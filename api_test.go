@@ -1,0 +1,175 @@
+package tetrabft_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft"
+)
+
+// TestQuickstartAPI runs the documented five-delay quick start through the
+// public façade.
+func TestQuickstartAPI(t *testing.T) {
+	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 1})
+	for i := 0; i < 4; i++ {
+		n, err := tetrabft.NewNode(tetrabft.Config{
+			ID:           tetrabft.NodeID(i),
+			Nodes:        4,
+			InitialValue: tetrabft.Value(fmt.Sprintf("proposal-%d", i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(n)
+	}
+	if err := s.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := s.Decision(0, 0)
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Val != "proposal-0" || d.At != 5 {
+		t.Errorf("decision (%q, t=%d), want (proposal-0, 5)", d.Val, d.At)
+	}
+}
+
+// TestChainAPI finalizes a short chain through the public façade and
+// replays it into the KV state machine.
+func TestChainAPI(t *testing.T) {
+	mempools := make([]*tetrabft.Mempool, 4)
+	nodes := make([]*tetrabft.ChainNode, 4)
+	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 1})
+	for i := 0; i < 4; i++ {
+		mp := tetrabft.NewMempool(0)
+		mp.Submit(tetrabft.SetTx(fmt.Sprintf("key-%d", i), "1"))
+		mempools[i] = mp
+		n, err := tetrabft.NewChain(tetrabft.ChainConfig{
+			ID:      tetrabft.NodeID(i),
+			Nodes:   4,
+			MaxSlot: 7,
+			Payload: mp.PayloadSource(10),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		s.Add(n)
+	}
+	if err := s.Run(2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].FinalizedSlot() != 4 {
+		t.Fatalf("finalized %d slots, want 4", nodes[0].FinalizedSlot())
+	}
+
+	store := tetrabft.NewChainStore()
+	kv := tetrabft.NewKV()
+	for _, b := range nodes[0].FinalizedChain() {
+		if err := store.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		kv.ApplyBlock(b)
+	}
+	if store.Height() != 4 {
+		t.Errorf("store height %d, want 4", store.Height())
+	}
+	if kv.Len() == 0 {
+		t.Error("no transactions reached the KV state machine")
+	}
+}
+
+// TestWALAPI exercises the durable-state path through the façade.
+func TestWALAPI(t *testing.T) {
+	w, err := tetrabft.OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := tetrabft.NewNode(tetrabft.Config{ID: 1, Nodes: 4, InitialValue: "x", Persist: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 1})
+	s.Add(node)
+	for i := 0; i < 4; i++ {
+		if i == 1 {
+			continue
+		}
+		n, err := tetrabft.NewNode(tetrabft.Config{ID: tetrabft.NodeID(i), Nodes: 4, InitialValue: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(n)
+	}
+	if err := s.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	state, found, err := w.Load()
+	if err != nil || !found {
+		t.Fatalf("Load: found=%v err=%v", found, err)
+	}
+	restored, err := tetrabft.Restore(tetrabft.Config{ID: 1, Nodes: 4, InitialValue: "x"}, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.ID() != 1 {
+		t.Errorf("restored ID = %d", restored.ID())
+	}
+}
+
+// TestHeterogeneousQuorumAPI runs TetraBFT on an FBA-style quorum-slice
+// system (each node trusts any 3-of-4 including itself — equivalent to the
+// threshold system), reproducing the paper's Section 7 observation that
+// TetraBFT transfers to heterogeneous trust.
+func TestHeterogeneousQuorumAPI(t *testing.T) {
+	members := []tetrabft.NodeID{0, 1, 2, 3}
+	slices := make(map[tetrabft.NodeID][]tetrabft.NodeSet, len(members))
+	for _, m := range members {
+		var own []tetrabft.NodeSet
+		// Every 3-subset containing the node itself is a slice.
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				set := tetrabft.QuorumSet(m, members[i], members[j])
+				if set.Len() == 3 {
+					own = append(own, set)
+				}
+			}
+		}
+		slices[m] = own
+	}
+	sys, err := tetrabft.NewSlices(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 1})
+	for _, m := range members {
+		n, err := tetrabft.NewNode(tetrabft.Config{
+			ID:           m,
+			Quorum:       sys,
+			InitialValue: "fba-value",
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(n)
+	}
+	if err := s.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range members {
+		d, ok := s.Decision(m, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", m)
+		}
+		if d.Val != "fba-value" {
+			t.Errorf("node %d decided %q", m, d.Val)
+		}
+	}
+}

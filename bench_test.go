@@ -1,0 +1,293 @@
+package tetrabft_test
+
+// This file regenerates every table and figure of the paper as Go
+// benchmarks (go test -bench=. -benchmem). Each benchmark reports the
+// paper's observables as custom metrics so the comparison with Table 1 and
+// Figures 2-3 can be read straight from the benchmark output; the
+// assertions themselves live in internal/bench's tests and EXPERIMENTS.md
+// records paper-vs-measured values.
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft/internal/bench"
+	"tetrabft/internal/core"
+	"tetrabft/internal/quorum"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+// BenchmarkTable1Latency regenerates Table 1's latency columns (E1): the
+// good-case and view-change latency of TetraBFT and every baseline, in
+// message delays.
+func BenchmarkTable1Latency(b *testing.B) {
+	var rows []bench.Table1Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Table1(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		name := metricName(string(row.Protocol))
+		b.ReportMetric(float64(row.GoodCaseDelays), name+"_good_delays")
+		if row.ViewChangeDelays >= 0 {
+			b.ReportMetric(float64(row.ViewChangeDelays), name+"_vc_delays")
+		}
+	}
+}
+
+// BenchmarkTable1Communication regenerates Table 1's communication column
+// (E2): total bytes per instance as n grows — TetraBFT O(n²) vs PBFT's
+// O(n³) view change.
+func BenchmarkTable1Communication(b *testing.B) {
+	var rows []bench.CommRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.CommunicationSweep([]int{4, 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		key := fmt.Sprintf("%s_%s_n%d_bytes", metricName(string(row.Protocol)), metricName(row.Scenario), row.N)
+		b.ReportMetric(float64(row.TotalBytes), key)
+	}
+}
+
+// BenchmarkTable1Storage regenerates Table 1's storage column (E3):
+// persistent bytes after repeated failed views.
+func BenchmarkTable1Storage(b *testing.B) {
+	var rows []bench.StorageRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.StorageSweep(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		b.ReportMetric(float64(row.Bytes), metricName(string(row.Protocol))+"_storage_bytes")
+	}
+}
+
+// BenchmarkResponsiveness regenerates the responsiveness column (E4):
+// post-timeout recovery as the conservative bound Δ grows while the actual
+// delay stays δ = 1.
+func BenchmarkResponsiveness(b *testing.B) {
+	var rows []bench.RespRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.Responsiveness([]types.Duration{10, 50})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		key := fmt.Sprintf("%s_delta%d_recovery", metricName(string(row.Protocol)), row.Delta)
+		b.ReportMetric(float64(row.Recovery), key)
+	}
+}
+
+// BenchmarkFig2Pipeline regenerates Figure 2 (E5): one finalized block per
+// message delay, 5× single-shot throughput.
+func BenchmarkFig2Pipeline(b *testing.B) {
+	var res bench.Fig2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig2Pipeline(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.MeanInterval, "delays_per_block")
+	b.ReportMetric(res.ThroughputSpeedup, "speedup_vs_singleshot")
+}
+
+// BenchmarkFig3ViewChange regenerates Figure 3 (E6/E9): ≤5 aborted blocks
+// and post-view-change notarization within 5Δ.
+func BenchmarkFig3ViewChange(b *testing.B) {
+	var res bench.Fig3Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Fig3ViewChange()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.AbortedSlots), "aborted_slots")
+	b.ReportMetric(float64(res.RecoveryDelta), "recovery_ticks")
+	b.ReportMetric(float64(res.DeltaBound), "bound_5delta_ticks")
+}
+
+// BenchmarkFormalVerification regenerates the Section 5 reproduction (E7):
+// model-checking throughput over the abstract spec.
+func BenchmarkFormalVerification(b *testing.B) {
+	var res bench.VerificationResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.Verification(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Violations != 0 {
+			b.Fatalf("verification found %d violations", res.Violations)
+		}
+	}
+	b.ReportMetric(float64(res.BFSStates), "bfs_states")
+	b.ReportMetric(float64(res.WalkStates), "walk_states")
+	b.ReportMetric(float64(res.InductionSteps), "induction_steps")
+}
+
+// BenchmarkTimeoutBound regenerates the Section 3.2 timeout analysis (E8):
+// worst-case post-GST recovery against the 9Δ+2Δ+7δ bound.
+func BenchmarkTimeoutBound(b *testing.B) {
+	var res bench.TimeoutBoundResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = bench.TimeoutBound(10, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDecided || !res.AllAgreed {
+			b.Fatal("timeout-bound run failed to decide or agree")
+		}
+	}
+	b.ReportMetric(float64(res.WorstRecovery), "worst_recovery_ticks")
+	b.ReportMetric(float64(res.PaperBound), "paper_bound_ticks")
+}
+
+// BenchmarkAblationTimeout sweeps the view-timeout factor around the
+// paper's 9Δ choice (Section 3.2): too small livelocks, too large slows
+// crash recovery.
+func BenchmarkAblationTimeout(b *testing.B) {
+	var rows []bench.AblationRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = bench.AblationTimeout([]int{2, 9, 18})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range rows {
+		prefix := fmt.Sprintf("factor%d", row.Factor)
+		good := float64(-1)
+		if row.GoodDecided {
+			good = float64(row.GoodDecideAt)
+		}
+		b.ReportMetric(good, prefix+"_good_decide_at")
+		if row.SilentDecided {
+			b.ReportMetric(float64(row.SilentDecideAt), prefix+"_crash_decide_at")
+		}
+	}
+}
+
+// --- Microbenchmarks of the hot paths ---
+
+// BenchmarkGoodCaseRun measures simulator + protocol throughput for one
+// complete 4-node single-shot instance.
+func BenchmarkGoodCaseRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := sim.New(sim.Config{Seed: int64(i)})
+		for id := 0; id < 4; id++ {
+			n, err := core.NewNode(core.Config{ID: types.NodeID(id), Nodes: 4, InitialValue: "v"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r.Add(n)
+		}
+		if err := r.Run(0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLeaderSafeValue measures Rule 1 (Algorithm 4) on a loaded
+// suggest set.
+func BenchmarkLeaderSafeValue(b *testing.B) {
+	qs := quorum.MustThreshold(10)
+	suggests := make(map[types.NodeID]types.SuggestMsg, 10)
+	for i := 0; i < 10; i++ {
+		suggests[types.NodeID(i)] = types.SuggestMsg{
+			View:      8,
+			Vote2:     types.Vote(types.View(i%7), types.Value(fmt.Sprintf("val-%d", i%3))),
+			PrevVote2: types.Vote(types.View(i%5), types.Value(fmt.Sprintf("val-%d", (i+1)%3))),
+			Vote3:     types.Vote(types.View(i%6), types.Value(fmt.Sprintf("val-%d", i%3))),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.LeaderSafeValue(qs, 0, suggests, 8, "init")
+	}
+}
+
+// BenchmarkProposalSafe measures Rule 3 (Algorithm 5) on a loaded proof set.
+func BenchmarkProposalSafe(b *testing.B) {
+	qs := quorum.MustThreshold(10)
+	proofs := make(map[types.NodeID]types.ProofMsg, 10)
+	for i := 0; i < 10; i++ {
+		proofs[types.NodeID(i)] = types.ProofMsg{
+			View:      8,
+			Vote1:     types.Vote(types.View(i%7), types.Value(fmt.Sprintf("val-%d", i%3))),
+			PrevVote1: types.Vote(types.View(i%5), types.Value(fmt.Sprintf("val-%d", (i+1)%3))),
+			Vote4:     types.Vote(types.View(i%6), types.Value(fmt.Sprintf("val-%d", i%3))),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.ProposalSafe(qs, 0, proofs, 8, "val-1")
+	}
+}
+
+// BenchmarkEncodeDecode measures the wire codec round trip for the largest
+// common message shape.
+func BenchmarkEncodeDecode(b *testing.B) {
+	msg := types.SuggestMsg{
+		View:      12,
+		Vote2:     types.Vote(11, "value-abcdef"),
+		PrevVote2: types.Vote(9, "value-ghijkl"),
+		Vote3:     types.Vote(10, "value-abcdef"),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data := types.Encode(msg)
+		if _, err := types.Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineBlocks measures end-to-end multi-shot throughput in
+// finalized blocks per second of wall time.
+func BenchmarkPipelineBlocks(b *testing.B) {
+	const slots = 50
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Fig2Pipeline(slots)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Slots != slots {
+			b.Fatal("short pipeline run")
+		}
+	}
+	blocksPerOp := float64(slots)
+	b.ReportMetric(blocksPerOp, "blocks/op")
+}
+
+func metricName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			out = append(out, r)
+		case r >= 'A' && r <= 'Z':
+			out = append(out, r+('a'-'A'))
+		case r == ' ', r == '-', r == '.':
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,96 @@
+// Blockchain: multi-shot (pipelined) TetraBFT finalizes a chain of blocks
+// carrying real transactions — one block per message delay, as in the
+// paper's Figure 2 — and a replicated key-value store applies them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tetrabft"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n       = 4
+		target  = 12 // finalized blocks to produce
+		maxSlot = target + 3
+	)
+
+	// Every node runs its own mempool; clients would submit to any of them.
+	mempools := make([]*tetrabft.Mempool, n)
+	nodes := make([]*tetrabft.ChainNode, n)
+	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 42})
+	for i := 0; i < n; i++ {
+		mp := tetrabft.NewMempool(0)
+		mempools[i] = mp
+		node, err := tetrabft.NewChain(tetrabft.ChainConfig{
+			ID:      tetrabft.NodeID(i),
+			Nodes:   n,
+			MaxSlot: maxSlot,
+			Payload: mp.PayloadSource(8), // up to 8 txs per block
+		})
+		if err != nil {
+			return err
+		}
+		nodes[i] = node
+		s.Add(node)
+	}
+
+	// Seed some account activity across the nodes' mempools. Leaders
+	// rotate per slot, so a transaction lands in the next block its
+	// receiving node proposes: node i leads slots ≡ i (mod 4).
+	accounts := []string{"alice", "bob", "carol", "dave"}
+	for i, acct := range accounts {
+		mempools[i%n].Submit(tetrabft.SetTx(acct, fmt.Sprintf("%d coins", 100*(i+1))))
+	}
+	mempools[0].Submit(tetrabft.SetTx("alice", "250 coins")) // update, lands at slot 4
+	mempools[0].Submit(tetrabft.DelTx("dave"))               // closure, after dave's creation at slot 3
+
+	if err := s.Run(5000, nil); err != nil {
+		return err
+	}
+	if err := s.AgreementViolation(); err != nil {
+		return err
+	}
+
+	// Replay node 0's finalized chain through the ledger substrate.
+	store := tetrabft.NewChainStore()
+	kv := tetrabft.NewKV()
+	fmt.Println("finalized chain:")
+	for _, b := range nodes[0].FinalizedChain() {
+		if err := store.Append(b); err != nil {
+			return err
+		}
+		txs, err := tetrabft.DecodePayload(b.Payload)
+		if err != nil {
+			return err
+		}
+		applied := kv.ApplyBlock(b)
+		fmt.Printf("  slot %2d  block %s  %d txs (%d applied)\n", b.Slot, b.ID(), len(txs), applied)
+	}
+	fmt.Printf("\nchain height: %d blocks (one finalized per message delay after warm-up)\n", store.Height())
+
+	fmt.Println("\nreplicated key-value state:")
+	for k, v := range kv.Snapshot() {
+		fmt.Printf("  %-6s = %s\n", k, v)
+	}
+
+	// Every replica's chain is identical (Definition 2's consistency).
+	for i := 1; i < n; i++ {
+		a, b := nodes[0].FinalizedChain(), nodes[i].FinalizedChain()
+		for j := range a {
+			if j < len(b) && a[j].ID() != b[j].ID() {
+				return fmt.Errorf("nodes 0 and %d diverge at slot %d", i, j+1)
+			}
+		}
+	}
+	fmt.Println("\nall replicas hold identical chains ✓")
+	return nil
+}

@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+// TestAblationTimeout justifies the 9Δ design choice (Section 3.2):
+//   - 2Δ (below the 8Δ analysis bound): views expire before completing
+//     under high delay variance → livelock (safety intact);
+//   - 9Δ (the paper's choice): no spurious view change in the good case;
+//   - 18Δ: good case unchanged, crash recovery twice as slow.
+func TestAblationTimeout(t *testing.T) {
+	rows, err := AblationTimeout([]int{2, 9, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFactor := make(map[int]AblationRow, len(rows))
+	for _, row := range rows {
+		byFactor[row.Factor] = row
+	}
+
+	tiny := byFactor[2]
+	if tiny.GoodDecided {
+		t.Errorf("factor 2: decided at t=%d; expected a livelock below the 8Δ bound", tiny.GoodDecideAt)
+	}
+	if tiny.GoodMaxView < 3 {
+		t.Errorf("factor 2: only reached view %d; expected churning view changes", tiny.GoodMaxView)
+	}
+
+	paper := byFactor[9]
+	if !paper.GoodDecided {
+		t.Fatal("factor 9: good case did not decide")
+	}
+	if paper.GoodMaxView != 0 {
+		t.Errorf("factor 9: spurious view change to view %d in the good case", paper.GoodMaxView)
+	}
+	if !paper.SilentDecided {
+		t.Fatal("factor 9: silent-leader case did not decide")
+	}
+
+	big := byFactor[18]
+	if !big.GoodDecided || big.GoodMaxView != 0 {
+		t.Errorf("factor 18: good case broken (%+v)", big)
+	}
+	if !big.SilentDecided {
+		t.Fatal("factor 18: silent-leader case did not decide")
+	}
+	// Recovery is timeout-dominated: 18Δ detection vs 9Δ.
+	if big.SilentDecideAt <= paper.SilentDecideAt {
+		t.Errorf("factor 18 recovered at t=%d, not slower than factor 9's t=%d",
+			big.SilentDecideAt, paper.SilentDecideAt)
+	}
+	if diff := big.SilentDecideAt - paper.SilentDecideAt; diff != 90 {
+		t.Errorf("recovery gap = %d ticks, want exactly the 9Δ = 90 timeout difference", diff)
+	}
+}

@@ -1,0 +1,218 @@
+package blockchain
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"tetrabft/internal/types"
+)
+
+func TestPayloadRoundTrip(t *testing.T) {
+	cases := [][]Tx{
+		nil,
+		{},
+		{Tx("a")},
+		{Tx("a"), Tx(""), Tx("longer transaction body")},
+	}
+	for _, txs := range cases {
+		got, err := DecodePayload(EncodePayload(txs))
+		if err != nil {
+			t.Fatalf("DecodePayload(%v): %v", txs, err)
+		}
+		if len(got) != len(txs) {
+			t.Fatalf("got %d txs, want %d", len(got), len(txs))
+		}
+		for i := range txs {
+			if string(got[i]) != string(txs[i]) {
+				t.Errorf("tx %d: got %q want %q", i, got[i], txs[i])
+			}
+		}
+	}
+}
+
+func TestQuickPayloadRoundTrip(t *testing.T) {
+	f := func(raw [][]byte) bool {
+		txs := make([]Tx, len(raw))
+		for i, r := range raw {
+			txs[i] = Tx(r)
+		}
+		got, err := DecodePayload(EncodePayload(txs))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(txs) {
+			return false
+		}
+		for i := range txs {
+			if string(got[i]) != string(txs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodePayloadRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		{},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}, // absurd count
+		append(EncodePayload([]Tx{Tx("a")}), 0x00),                   // trailing
+		{2, 1, 'a'}, // count 2 but one tx
+	}
+	for _, p := range bad {
+		if _, err := DecodePayload(p); err == nil {
+			t.Errorf("DecodePayload(%v) accepted", p)
+		}
+	}
+}
+
+func TestQuickDecodePayloadNeverPanics(t *testing.T) {
+	f := func(p []byte) bool {
+		_, _ = DecodePayload(p)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMempoolFIFOAndBounds(t *testing.T) {
+	m := NewMempool(3)
+	for i, tx := range []string{"a", "b", "c"} {
+		if !m.Submit(Tx(tx)) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	if m.Submit(Tx("overflow")) {
+		t.Error("submit beyond the limit accepted")
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	got := m.Drain(2)
+	if len(got) != 2 || string(got[0]) != "a" || string(got[1]) != "b" {
+		t.Fatalf("Drain(2) = %v", got)
+	}
+	if rest := m.Drain(0); len(rest) != 1 || string(rest[0]) != "c" {
+		t.Fatalf("Drain(0) = %v", rest)
+	}
+}
+
+func TestMempoolCopiesSubmittedTx(t *testing.T) {
+	m := NewMempool(0)
+	raw := []byte("mutate-me")
+	m.Submit(raw)
+	raw[0] = 'X'
+	got := m.Drain(0)
+	if string(got[0]) != "mutate-me" {
+		t.Error("mempool aliased the caller's buffer")
+	}
+}
+
+func TestPayloadSource(t *testing.T) {
+	m := NewMempool(0)
+	m.Submit(Tx("t1"))
+	m.Submit(Tx("t2"))
+	m.Submit(Tx("t3"))
+	src := m.PayloadSource(2)
+	txs, err := DecodePayload(src(1))
+	if err != nil || len(txs) != 2 {
+		t.Fatalf("first payload: %v txs, err %v", txs, err)
+	}
+	txs, err = DecodePayload(src(2))
+	if err != nil || len(txs) != 1 {
+		t.Fatalf("second payload: %v txs, err %v", txs, err)
+	}
+}
+
+func TestStoreLinkage(t *testing.T) {
+	s := NewStore()
+	b1 := types.Block{Slot: 1, Parent: types.ZeroBlockID, Payload: EncodePayload(nil)}
+	b2 := types.Block{Slot: 2, Parent: b1.ID(), Payload: EncodePayload(nil)}
+	bad := types.Block{Slot: 2, Parent: types.ZeroBlockID}
+
+	if err := s.Append(b2); err == nil {
+		t.Error("appended slot 2 to an empty chain")
+	}
+	if err := s.Append(b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(bad); err == nil {
+		t.Error("appended a block that does not extend the head")
+	}
+	if err := s.Append(b2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Height() != 2 {
+		t.Errorf("Height = %d, want 2", s.Height())
+	}
+	if got, ok := s.Get(1); !ok || got.ID() != b1.ID() {
+		t.Error("Get(1) mismatch")
+	}
+	if _, ok := s.Get(3); ok {
+		t.Error("Get(3) on a 2-block chain succeeded")
+	}
+	chain := s.Chain()
+	if len(chain) != 2 || chain[1].ID() != b2.ID() {
+		t.Error("Chain() mismatch")
+	}
+}
+
+func TestKVApply(t *testing.T) {
+	kv := NewKV()
+	payload := EncodePayload([]Tx{
+		SetTx("alice", "10"),
+		SetTx("bob", "20"),
+		SetTx("alice", "15"),
+		DelTx("bob"),
+	})
+	applied := kv.ApplyBlock(types.Block{Slot: 1, Payload: payload})
+	if applied != 4 {
+		t.Fatalf("applied %d txs, want 4", applied)
+	}
+	if v, ok := kv.Get("alice"); !ok || v != "15" {
+		t.Errorf("alice = %q, %v", v, ok)
+	}
+	if _, ok := kv.Get("bob"); ok {
+		t.Error("bob survived deletion")
+	}
+	if kv.Len() != 1 {
+		t.Errorf("Len = %d, want 1", kv.Len())
+	}
+}
+
+func TestKVSkipsMalformedTxs(t *testing.T) {
+	kv := NewKV()
+	payload := EncodePayload([]Tx{
+		Tx{},               // empty
+		Tx{9, 1, 'k'},      // unknown op
+		SetTx("good", "1"), // valid
+		Tx{1, 200, 'x'},    // absurd key length
+	})
+	applied := kv.ApplyBlock(types.Block{Slot: 1, Payload: payload})
+	if applied != 1 {
+		t.Fatalf("applied %d txs, want 1", applied)
+	}
+	if _, ok := kv.Get("good"); !ok {
+		t.Error("valid tx among garbage not applied")
+	}
+}
+
+func TestKVDeterminism(t *testing.T) {
+	blocks := []types.Block{
+		{Slot: 1, Payload: EncodePayload([]Tx{SetTx("a", "1"), SetTx("b", "2")})},
+		{Slot: 2, Payload: EncodePayload([]Tx{DelTx("a"), SetTx("c", "3")})},
+	}
+	kv1, kv2 := NewKV(), NewKV()
+	for _, b := range blocks {
+		kv1.ApplyBlock(b)
+		kv2.ApplyBlock(b)
+	}
+	if !reflect.DeepEqual(kv1.Snapshot(), kv2.Snapshot()) {
+		t.Error("same chain produced different states")
+	}
+}

@@ -1,0 +1,184 @@
+// Package byz provides reusable Byzantine node behaviors for adversarial
+// tests and experiments. Each behavior implements types.Machine and can be
+// dropped into the simulator in place of an honest node.
+package byz
+
+import (
+	"math/rand"
+
+	"tetrabft/internal/types"
+)
+
+// Silent is a crashed node: it never sends anything. A silent leader is the
+// canonical trigger for the view-change path measured in Table 1.
+type Silent struct {
+	NodeID types.NodeID
+}
+
+var _ types.Machine = Silent{}
+
+// ID implements types.Machine.
+func (s Silent) ID() types.NodeID { return s.NodeID }
+
+// Start implements types.Machine.
+func (Silent) Start(types.Env) {}
+
+// Deliver implements types.Machine.
+func (Silent) Deliver(types.Env, types.NodeID, types.Message) {}
+
+// Tick implements types.Machine.
+func (Silent) Tick(types.Env, types.TimerID) {}
+
+// Equivocator is a view-0 leader that proposes different values to the two
+// halves of the cluster and then goes silent. Honest nodes split their
+// vote-1s, no quorum forms, and the protocol must recover via view change.
+type Equivocator struct {
+	NodeID types.NodeID
+	Peers  []types.NodeID
+	ValA   types.Value
+	ValB   types.Value
+}
+
+var _ types.Machine = Equivocator{}
+
+// ID implements types.Machine.
+func (e Equivocator) ID() types.NodeID { return e.NodeID }
+
+// Start implements types.Machine.
+func (e Equivocator) Start(env types.Env) {
+	for i, p := range e.Peers {
+		val := e.ValA
+		if i%2 == 1 {
+			val = e.ValB
+		}
+		env.Send(p, types.Proposal{View: 0, Val: val})
+	}
+}
+
+// Deliver implements types.Machine.
+func (Equivocator) Deliver(types.Env, types.NodeID, types.Message) {}
+
+// Tick implements types.Machine.
+func (Equivocator) Tick(types.Env, types.TimerID) {}
+
+// Random is a fuzzing adversary: on every delivery it may blurt out a burst
+// of randomly shaped protocol messages (proposals, votes of any phase,
+// forged suggest/proof histories, view changes). Deterministic per seed.
+type Random struct {
+	NodeID  types.NodeID
+	Seed    int64
+	Values  []types.Value
+	MaxView types.View
+	Burst   int // messages per delivery (default 2)
+	Budget  int // lifetime message cap (default 300)
+
+	rng  *rand.Rand
+	sent int
+}
+
+var _ types.Machine = (*Random)(nil)
+
+// ID implements types.Machine.
+func (r *Random) ID() types.NodeID { return r.NodeID }
+
+// Start implements types.Machine.
+func (r *Random) Start(env types.Env) {
+	r.rng = rand.New(rand.NewSource(r.Seed))
+	if r.Burst == 0 {
+		r.Burst = 2
+	}
+	if r.Budget == 0 {
+		r.Budget = 300
+	}
+	if len(r.Values) == 0 {
+		r.Values = []types.Value{"byz-a", "byz-b"}
+	}
+	if r.MaxView == 0 {
+		r.MaxView = 4
+	}
+	r.spew(env)
+}
+
+// Deliver implements types.Machine.
+func (r *Random) Deliver(env types.Env, _ types.NodeID, _ types.Message) {
+	r.spew(env)
+}
+
+// Tick implements types.Machine.
+func (r *Random) Tick(types.Env, types.TimerID) {}
+
+func (r *Random) spew(env types.Env) {
+	for i := 0; i < r.Burst && r.sent < r.Budget; i++ {
+		env.Broadcast(r.randomMessage())
+		r.sent++
+	}
+}
+
+func (r *Random) randomMessage() types.Message {
+	view := types.View(r.rng.Int63n(int64(r.MaxView) + 1))
+	val := r.Values[r.rng.Intn(len(r.Values))]
+	switch r.rng.Intn(5) {
+	case 0:
+		return types.Proposal{View: view, Val: val}
+	case 1:
+		return types.VoteMsg{Phase: uint8(r.rng.Intn(4) + 1), View: view, Val: val}
+	case 2:
+		return types.SuggestMsg{View: view, Vote2: r.randomRef(), PrevVote2: r.randomRef(), Vote3: r.randomRef()}
+	case 3:
+		return types.ProofMsg{View: view, Vote1: r.randomRef(), PrevVote1: r.randomRef(), Vote4: r.randomRef()}
+	default:
+		return types.ViewChange{View: view + 1}
+	}
+}
+
+func (r *Random) randomRef() types.VoteRef {
+	if r.rng.Intn(3) == 0 {
+		return types.VoteRef{}
+	}
+	return types.Vote(types.View(r.rng.Int63n(int64(r.MaxView)+1)), r.Values[r.rng.Intn(len(r.Values))])
+}
+
+// Scripted replays a fixed schedule of (trigger, emissions). It exists for
+// precisely choreographed attack scenarios in tests.
+type Scripted struct {
+	NodeID types.NodeID
+	// OnStart is broadcast immediately.
+	OnStart []types.Message
+	// React maps a received message kind to messages broadcast in reply
+	// (each reaction fires at most MaxReactions times; default 1).
+	React        map[types.Kind][]types.Message
+	MaxReactions int
+
+	fired map[types.Kind]int
+}
+
+var _ types.Machine = (*Scripted)(nil)
+
+// ID implements types.Machine.
+func (s *Scripted) ID() types.NodeID { return s.NodeID }
+
+// Start implements types.Machine.
+func (s *Scripted) Start(env types.Env) {
+	s.fired = make(map[types.Kind]int)
+	if s.MaxReactions == 0 {
+		s.MaxReactions = 1
+	}
+	for _, m := range s.OnStart {
+		env.Broadcast(m)
+	}
+}
+
+// Deliver implements types.Machine.
+func (s *Scripted) Deliver(env types.Env, _ types.NodeID, msg types.Message) {
+	reactions, ok := s.React[msg.Kind()]
+	if !ok || s.fired[msg.Kind()] >= s.MaxReactions {
+		return
+	}
+	s.fired[msg.Kind()]++
+	for _, m := range reactions {
+		env.Broadcast(m)
+	}
+}
+
+// Tick implements types.Machine.
+func (*Scripted) Tick(types.Env, types.TimerID) {}

@@ -1,0 +1,178 @@
+package checker
+
+import "fmt"
+
+// ActionKind discriminates spec actions.
+type ActionKind int
+
+// Spec actions (honest guarded actions plus Byzantine havoc deltas).
+const (
+	ActStartRound ActionKind = iota + 1
+	ActPropose
+	ActVote // Phase selects vote-1..vote-4
+	ActHavocAddVote
+	ActHavocRemoveVote
+	ActHavocRound
+)
+
+// Action is one transition of the abstract spec.
+type Action struct {
+	Kind  ActionKind
+	Node  int
+	Value Value
+	Round Round
+	Phase int
+}
+
+// String renders the action for traces.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActStartRound:
+		return fmt.Sprintf("StartRound(p%d, r%d)", a.Node, a.Round)
+	case ActPropose:
+		return fmt.Sprintf("Propose(v%d)", a.Value)
+	case ActVote:
+		return fmt.Sprintf("Vote%d(p%d, v%d, r%d)", a.Phase, a.Node, a.Value, a.Round)
+	case ActHavocAddVote:
+		return fmt.Sprintf("Havoc+(p%d, r%d/ph%d/v%d)", a.Node, a.Round, a.Phase, a.Value)
+	case ActHavocRemoveVote:
+		return fmt.Sprintf("Havoc-(p%d, r%d/ph%d/v%d)", a.Node, a.Round, a.Phase, a.Value)
+	case ActHavocRound:
+		return fmt.Sprintf("HavocRound(p%d, r%d)", a.Node, a.Round)
+	default:
+		return fmt.Sprintf("Action(%d)", a.Kind)
+	}
+}
+
+// Enabled evaluates the action's guard in state s, mirroring the TLA+
+// action definitions (and the *_ENABLED predicates) exactly.
+func (sp *Spec) Enabled(s *State, a Action) bool {
+	cfg := sp.cfg
+	switch a.Kind {
+	case ActStartRound:
+		if sp.IsByz(a.Node) {
+			return false
+		}
+		if cfg.GoodRound > -1 && a.Round > cfg.GoodRound {
+			return false // a good round lasts forever
+		}
+		return s.Round[a.Node] < a.Round
+
+	case ActPropose:
+		if cfg.GoodRound < 0 || s.Proposed {
+			return false
+		}
+		return sp.ExistsQuorumShowingSafe(s, a.Value, cfg.GoodRound, 3, 2)
+
+	case ActVote:
+		if sp.IsByz(a.Node) {
+			return false
+		}
+		// DoVote precondition: never voted this (round, phase) before.
+		for vt := range s.Votes[a.Node] {
+			if vt.Round == a.Round && vt.Phase == a.Phase {
+				return false
+			}
+		}
+		switch a.Phase {
+		case 1:
+			if a.Round != s.Round[a.Node] {
+				return false
+			}
+			if a.Round == cfg.GoodRound && (!s.Proposed || a.Value != s.Proposal) {
+				return false
+			}
+			if cfg.Mutation == MutationNoSafetyCheck {
+				return true
+			}
+			return sp.ExistsQuorumShowingSafe(s, a.Value, a.Round, 4, 1)
+		case 2, 3, 4:
+			if s.Round[a.Node] > a.Round {
+				return false
+			}
+			return sp.Accepted(s, a.Value, a.Round, a.Phase-1)
+		default:
+			return false
+		}
+
+	case ActHavocAddVote:
+		return sp.IsByz(a.Node) && !s.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}]
+
+	case ActHavocRemoveVote:
+		return sp.IsByz(a.Node) && s.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}]
+
+	case ActHavocRound:
+		return sp.IsByz(a.Node) && s.Round[a.Node] != a.Round
+
+	default:
+		return false
+	}
+}
+
+// Apply executes an enabled action, returning the successor state.
+func (sp *Spec) Apply(s *State, a Action) *State {
+	next := s.Clone()
+	switch a.Kind {
+	case ActStartRound:
+		next.Round[a.Node] = a.Round
+	case ActPropose:
+		next.Proposed = true
+		next.Proposal = a.Value
+	case ActVote:
+		next.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}] = true
+		if a.Phase >= 2 {
+			next.Round[a.Node] = a.Round
+		}
+	case ActHavocAddVote:
+		next.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}] = true
+	case ActHavocRemoveVote:
+		delete(next.Votes[a.Node], Vote{Round: a.Round, Phase: a.Phase, Value: a.Value})
+	case ActHavocRound:
+		next.Round[a.Node] = a.Round
+	}
+	return next
+}
+
+// EnabledActions enumerates every enabled action in s. honestOnly restricts
+// to honest guarded actions (used by the liveness fixpoint).
+func (sp *Spec) EnabledActions(s *State, honestOnly bool) []Action {
+	cfg := sp.cfg
+	var out []Action
+	tryAdd := func(a Action) {
+		if sp.Enabled(s, a) {
+			out = append(out, a)
+		}
+	}
+	for p := 0; p < cfg.Nodes; p++ {
+		for r := Round(0); r < Round(cfg.Rounds); r++ {
+			tryAdd(Action{Kind: ActStartRound, Node: p, Round: r})
+		}
+	}
+	for v := Value(0); v < Value(cfg.Values); v++ {
+		tryAdd(Action{Kind: ActPropose, Value: v})
+	}
+	for p := 0; p < cfg.Nodes; p++ {
+		for r := Round(0); r < Round(cfg.Rounds); r++ {
+			for v := Value(0); v < Value(cfg.Values); v++ {
+				for phase := 1; phase <= 4; phase++ {
+					tryAdd(Action{Kind: ActVote, Node: p, Value: v, Round: r, Phase: phase})
+				}
+			}
+		}
+	}
+	if honestOnly {
+		return out
+	}
+	for p := cfg.Nodes - cfg.Byz; p < cfg.Nodes; p++ {
+		for r := Round(0); r < Round(cfg.Rounds); r++ {
+			tryAdd(Action{Kind: ActHavocRound, Node: p, Round: r})
+			for v := Value(0); v < Value(cfg.Values); v++ {
+				for phase := 1; phase <= 4; phase++ {
+					tryAdd(Action{Kind: ActHavocAddVote, Node: p, Value: v, Round: r, Phase: phase})
+					tryAdd(Action{Kind: ActHavocRemoveVote, Node: p, Value: v, Round: r, Phase: phase})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package checker
+
+import "fmt"
+
+// This file implements trace conformance: replaying the *concrete*
+// protocol's event traces (from internal/core runs on the simulator)
+// against the abstract specification of Appendix B. Every honest action the
+// implementation takes — entering a view, casting vote-1..vote-4, deciding
+// — must be an enabled action of the spec; otherwise the implementation has
+// diverged from the verified model. This is the refinement check that links
+// Section 5's formal verification to the running Go code.
+//
+// Scope: traces of runs whose faulty nodes are silent (crashed). Actively
+// Byzantine nodes act outside the honest action system (the spec models
+// them as havoc on global state, which a message trace does not capture).
+
+// ConformanceEvent is one observed concrete action.
+type ConformanceEvent struct {
+	Node  int
+	Type  string // "enter-view", "vote-1".."vote-4", "decide"
+	Round Round
+	Value Value
+}
+
+// ConformanceError reports the first trace event that is not an enabled
+// spec action.
+type ConformanceError struct {
+	Index int
+	Event ConformanceEvent
+	Why   string
+}
+
+// Error renders the divergence.
+func (e *ConformanceError) Error() string {
+	return fmt.Sprintf("checker: trace event %d (%+v) diverges from the spec: %s", e.Index, e.Event, e.Why)
+}
+
+// Replay replays a concrete trace against the spec, returning nil if every
+// event is an enabled action (and every decide is justified by the spec's
+// decided-set). The spec configuration must have GoodRound = -1: concrete
+// runs have no externally designated good round, and the spec's Vote1 guard
+// then reduces to the pure safety condition ShowsSafeAt.
+func (sp *Spec) Replay(events []ConformanceEvent) error {
+	if sp.cfg.GoodRound != -1 {
+		return fmt.Errorf("checker: Replay requires GoodRound = -1, got %d", sp.cfg.GoodRound)
+	}
+	s := NewInitState(sp.cfg)
+	for i, ev := range events {
+		if ev.Node < 0 || ev.Node >= sp.cfg.Nodes {
+			return &ConformanceError{Index: i, Event: ev, Why: "node out of range"}
+		}
+		if ev.Round < 0 || ev.Round >= Round(sp.cfg.Rounds) {
+			return &ConformanceError{Index: i, Event: ev, Why: "round out of range"}
+		}
+		switch ev.Type {
+		case "enter-view":
+			a := Action{Kind: ActStartRound, Node: ev.Node, Round: ev.Round}
+			if !sp.Enabled(s, a) {
+				return &ConformanceError{Index: i, Event: ev, Why: "StartRound not enabled"}
+			}
+			s = sp.Apply(s, a)
+		case "vote-1", "vote-2", "vote-3", "vote-4":
+			phase := int(ev.Type[5] - '0')
+			if ev.Value < 0 || ev.Value >= Value(sp.cfg.Values) {
+				return &ConformanceError{Index: i, Event: ev, Why: "value out of range"}
+			}
+			a := Action{Kind: ActVote, Node: ev.Node, Value: ev.Value, Round: ev.Round, Phase: phase}
+			if !sp.Enabled(s, a) {
+				return &ConformanceError{Index: i, Event: ev, Why: fmt.Sprintf("Vote%d guard not satisfied", phase)}
+			}
+			s = sp.Apply(s, a)
+		case "decide":
+			justified := false
+			for _, v := range sp.Decided(s) {
+				if v == ev.Value {
+					justified = true
+				}
+			}
+			if !justified {
+				return &ConformanceError{Index: i, Event: ev, Why: "decision not in the spec's decided set"}
+			}
+		default:
+			return &ConformanceError{Index: i, Event: ev, Why: "unknown event type"}
+		}
+		if err := sp.CheckInvariant(s); err != nil {
+			return &ConformanceError{Index: i, Event: ev, Why: fmt.Sprintf("invariant broken after event: %v", err)}
+		}
+	}
+	return nil
+}

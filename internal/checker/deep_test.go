@@ -1,0 +1,56 @@
+package checker
+
+import "testing"
+
+// Deep exploration runs, skipped under -short: these push the Section 5
+// reproduction well beyond the CI sizing (minutes, not seconds).
+
+func TestDeepBFS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration; run without -short")
+	}
+	sp := mustSpec(t, Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1})
+	res := sp.BFS(250000, 16)
+	if res.Violation != nil {
+		t.Fatalf("deep BFS found: %v", res.Violation)
+	}
+	t.Logf("deep BFS: %d states, %d transitions, truncated=%v",
+		res.StatesExplored, res.Transitions, res.Truncated)
+}
+
+func TestDeepWalksPaperConfig(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration; run without -short")
+	}
+	sp := mustSpec(t, PaperConfig())
+	res := sp.GuidedWalks(300, 150, 11)
+	if res.Violation != nil {
+		t.Fatalf("deep walks found: %v", res.Violation)
+	}
+	t.Logf("deep walks: %d states", res.StatesExplored)
+}
+
+func TestDeepInduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration; run without -short")
+	}
+	sp := mustSpec(t, PaperConfig())
+	res := sp.InductionSample(400, 13)
+	if res.Violation != nil {
+		t.Fatalf("deep induction found: %v", res.Violation)
+	}
+	t.Logf("deep induction: %d samples, %d steps", res.SamplesAccepted, res.StepsChecked)
+}
+
+func TestDeepLiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration; run without -short")
+	}
+	for _, good := range []Round{0, 1, 3} {
+		sp := mustSpec(t, Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 4, GoodRound: good})
+		res := sp.LivenessFixpoint(40, 40, 17)
+		if res.Violation != nil {
+			t.Fatalf("goodRound=%d: %v", good, res.Violation)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package checker
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Result summarizes one exploration.
+type Result struct {
+	StatesExplored int
+	Transitions    int
+	Truncated      bool // hit the state or depth cap before exhausting
+	Violation      *Violation
+}
+
+// Violation is a counterexample: the action trace from the initial state.
+type Violation struct {
+	Property string
+	Trace    []Action
+	Detail   string
+}
+
+// Error renders the counterexample.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("checker: %s violated after %d steps (%s): trace %v",
+		v.Property, len(v.Trace), v.Detail, v.Trace)
+}
+
+// BFS explores the state graph breadth-first up to maxStates unique states
+// and maxDepth transitions deep, checking Consistency in every visited
+// state. It is exhaustive when it returns with Truncated == false — the
+// paper notes full exploration of the Section 5 configuration is out of
+// reach even for TLC, so exhaustive runs use reduced bounds.
+func (sp *Spec) BFS(maxStates, maxDepth int) Result {
+	type entry struct {
+		state *State
+		depth int
+	}
+	init := NewInitState(sp.cfg)
+	res := Result{}
+	seen := map[string][]Action{init.Key(): nil}
+	queue := []entry{{state: init, depth: 0}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		res.StatesExplored++
+		trace := seen[cur.state.Key()]
+		if !sp.ConsistencyHolds(cur.state) {
+			res.Violation = &Violation{
+				Property: "Consistency",
+				Trace:    trace,
+				Detail:   fmt.Sprintf("decided = %v", sp.Decided(cur.state)),
+			}
+			return res
+		}
+		if cur.depth >= maxDepth {
+			res.Truncated = true
+			continue
+		}
+		for _, a := range sp.EnabledActions(cur.state, false) {
+			next := sp.Apply(cur.state, a)
+			key := next.Key()
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			res.Transitions++
+			if len(seen) >= maxStates {
+				res.Truncated = true
+				return res
+			}
+			nextTrace := make([]Action, len(trace), len(trace)+1)
+			copy(nextTrace, trace)
+			seen[key] = append(nextTrace, a)
+			queue = append(queue, entry{state: next, depth: cur.depth + 1})
+		}
+	}
+	return res
+}
+
+// RandomWalks runs `walks` random schedules of up to `steps` transitions
+// each from the initial state, checking Consistency (and, optionally but
+// always here, that every reachable state satisfies the inductive
+// invariant — reachable states violating it would disprove invariance).
+func (sp *Spec) RandomWalks(walks, steps int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{}
+	for w := 0; w < walks; w++ {
+		s := NewInitState(sp.cfg)
+		var traceOut []Action
+		for i := 0; i < steps; i++ {
+			actions := sp.EnabledActions(s, false)
+			if len(actions) == 0 {
+				break
+			}
+			a := actions[rng.Intn(len(actions))]
+			s = sp.Apply(s, a)
+			traceOut = append(traceOut, a)
+			res.StatesExplored++
+			res.Transitions++
+			if !sp.ConsistencyHolds(s) {
+				res.Violation = &Violation{
+					Property: "Consistency",
+					Trace:    traceOut,
+					Detail:   fmt.Sprintf("decided = %v", sp.Decided(s)),
+				}
+				return res
+			}
+			if sp.cfg.Mutation == MutationNone {
+				if err := sp.CheckInvariant(s); err != nil {
+					res.Violation = &Violation{
+						Property: "ConsistencyInvariant(reachable)",
+						Trace:    traceOut,
+						Detail:   err.Error(),
+					}
+					return res
+				}
+			}
+		}
+	}
+	return res
+}
+
+// GuidedWalks is RandomWalks with a vote-biased scheduler: voting actions
+// are picked with priority, which reaches decision states far more often
+// and is how the mutation tests find agreement violations quickly.
+func (sp *Spec) GuidedWalks(walks, steps int, seed int64) Result {
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{}
+	for w := 0; w < walks; w++ {
+		s := NewInitState(sp.cfg)
+		var traceOut []Action
+		for i := 0; i < steps; i++ {
+			actions := sp.EnabledActions(s, false)
+			if len(actions) == 0 {
+				break
+			}
+			a := pickBiased(rng, actions)
+			s = sp.Apply(s, a)
+			traceOut = append(traceOut, a)
+			res.StatesExplored++
+			res.Transitions++
+			if !sp.ConsistencyHolds(s) {
+				res.Violation = &Violation{
+					Property: "Consistency",
+					Trace:    traceOut,
+					Detail:   fmt.Sprintf("decided = %v", sp.Decided(s)),
+				}
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// pickBiased prefers Vote > Propose/StartRound/HavocAdd > other havoc.
+func pickBiased(rng *rand.Rand, actions []Action) Action {
+	var votes, mid, rest []Action
+	for _, a := range actions {
+		switch a.Kind {
+		case ActVote:
+			votes = append(votes, a)
+		case ActPropose, ActStartRound, ActHavocAddVote:
+			mid = append(mid, a)
+		default:
+			rest = append(rest, a)
+		}
+	}
+	r := rng.Float64()
+	switch {
+	case len(votes) > 0 && r < 0.6:
+		return votes[rng.Intn(len(votes))]
+	case len(mid) > 0 && r < 0.95:
+		return mid[rng.Intn(len(mid))]
+	case len(rest) > 0:
+		return rest[rng.Intn(len(rest))]
+	case len(mid) > 0:
+		return mid[rng.Intn(len(mid))]
+	default:
+		return votes[rng.Intn(len(votes))]
+	}
+}
+
+// InductionResult summarizes an induction-sampling run.
+type InductionResult struct {
+	SamplesTried    int // candidate states generated
+	SamplesAccepted int // states satisfying the invariant (bases tested)
+	StepsChecked    int // (state, action) pairs stepped and re-checked
+	Violation       *Violation
+}
+
+// InductionSample is the sampled analogue of the paper's Apalache check
+// that ConsistencyInvariant is inductive: generate states satisfying the
+// invariant (both synthetic states and reachable states from short walks),
+// apply one enabled action, and verify the invariant still holds.
+func (sp *Spec) InductionSample(samples int, seed int64) InductionResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := InductionResult{}
+
+	// Base case: the initial state satisfies the invariant.
+	init := NewInitState(sp.cfg)
+	if err := sp.CheckInvariant(init); err != nil {
+		res.Violation = &Violation{Property: "Init ⇒ Inv", Detail: err.Error()}
+		return res
+	}
+
+	for res.SamplesAccepted < samples {
+		var s *State
+		if rng.Intn(2) == 0 {
+			s = sp.randomSyntheticState(rng)
+		} else {
+			s = sp.randomWalkState(rng)
+		}
+		res.SamplesTried++
+		if res.SamplesTried > samples*200 {
+			break // generator starved; report what we have
+		}
+		if sp.CheckInvariant(s) != nil {
+			continue // not an Inv state; irrelevant for induction
+		}
+		res.SamplesAccepted++
+		actions := sp.EnabledActions(s, false)
+		if len(actions) == 0 {
+			continue
+		}
+		// Step every enabled action from this Inv state (stronger than one
+		// random action and still cheap at these instance sizes).
+		for _, a := range actions {
+			next := sp.Apply(s, a)
+			res.StepsChecked++
+			if err := sp.CheckInvariant(next); err != nil {
+				res.Violation = &Violation{
+					Property: "Inv ∧ Next ⇒ Inv'",
+					Trace:    []Action{a},
+					Detail:   fmt.Sprintf("%v from state %s", err, s.Key()),
+				}
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// randomSyntheticState builds an arbitrary (not necessarily reachable)
+// state biased toward satisfying the invariant's structural conjuncts:
+// votes respect NoFutureVote and OneValuePerPhasePerRound by construction;
+// quorum backing and VotesSafe are left to the rejection filter.
+func (sp *Spec) randomSyntheticState(rng *rand.Rand) *State {
+	cfg := sp.cfg
+	s := NewInitState(cfg)
+	// Choose a common "history value" per round so quorum-backed chains
+	// are likely.
+	roundVal := make([]Value, cfg.Rounds)
+	for r := range roundVal {
+		roundVal[r] = Value(rng.Intn(cfg.Values))
+	}
+	for p := 0; p < cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			for i := rng.Intn(4); i > 0; i-- {
+				s.Votes[p][Vote{
+					Round: Round(rng.Intn(cfg.Rounds)),
+					Phase: rng.Intn(4) + 1,
+					Value: Value(rng.Intn(cfg.Values)),
+				}] = true
+			}
+			s.Round[p] = Round(rng.Intn(cfg.Rounds+1) - 1)
+			continue
+		}
+		s.Round[p] = Round(rng.Intn(cfg.Rounds+1) - 1)
+		for r := Round(0); r <= s.Round[p] && r < Round(cfg.Rounds); r++ {
+			if rng.Intn(2) == 0 {
+				continue // no votes in this round
+			}
+			depth := rng.Intn(5) // how many phases voted: 0..4
+			val := roundVal[r]
+			if rng.Intn(4) == 0 {
+				val = Value(rng.Intn(cfg.Values))
+			}
+			for phase := 1; phase <= depth; phase++ {
+				s.Votes[p][Vote{Round: r, Phase: phase, Value: val}] = true
+			}
+		}
+	}
+	s.Proposed = rng.Intn(2) == 0
+	s.Proposal = Value(rng.Intn(cfg.Values))
+	return s
+}
+
+// randomWalkState returns a state reached by a short biased random walk
+// (reachable states satisfy the invariant if the spec is correct, and they
+// exercise deep, realistic vote structures).
+func (sp *Spec) randomWalkState(rng *rand.Rand) *State {
+	s := NewInitState(sp.cfg)
+	steps := rng.Intn(30)
+	for i := 0; i < steps; i++ {
+		actions := sp.EnabledActions(s, false)
+		if len(actions) == 0 {
+			break
+		}
+		s = sp.Apply(s, pickBiased(rng, actions))
+	}
+	return s
+}
+
+// LivenessResult summarizes liveness fixpoint runs.
+type LivenessResult struct {
+	Runs      int
+	Decided   int
+	Violation *Violation
+}
+
+// LivenessFixpoint reproduces the paper's liveness theorem: from any state
+// reached by a bounded adversarial prefix, exhausting the honest actions of
+// a good round must produce a decision. Each run takes `prefix` random
+// steps (havoc included), then greedily applies honest actions to fixpoint
+// and checks that `decided` is non-empty.
+func (sp *Spec) LivenessFixpoint(runs, prefix int, seed int64) LivenessResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := LivenessResult{}
+	if sp.cfg.GoodRound < 0 {
+		res.Violation = &Violation{Property: "Liveness", Detail: "config has no good round"}
+		return res
+	}
+	for i := 0; i < runs; i++ {
+		res.Runs++
+		s := NewInitState(sp.cfg)
+		var traceOut []Action
+		for j := 0; j < prefix; j++ {
+			actions := sp.EnabledActions(s, false)
+			if len(actions) == 0 {
+				break
+			}
+			a := pickBiased(rng, actions)
+			s = sp.Apply(s, a)
+			traceOut = append(traceOut, a)
+		}
+		// Drain honest actions to fixpoint.
+		for {
+			actions := sp.EnabledActions(s, true)
+			if len(actions) == 0 {
+				break
+			}
+			a := actions[rng.Intn(len(actions))]
+			s = sp.Apply(s, a)
+			traceOut = append(traceOut, a)
+		}
+		if len(sp.Decided(s)) == 0 {
+			res.Violation = &Violation{
+				Property: "Liveness",
+				Trace:    traceOut,
+				Detail:   "honest fixpoint reached with no decision",
+			}
+			return res
+		}
+		res.Decided++
+	}
+	return res
+}

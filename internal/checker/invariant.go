@@ -1,0 +1,173 @@
+package checker
+
+import "fmt"
+
+// This file implements the paper's ConsistencyInvariant (Appendix B), the
+// inductive invariant Apalache verified in about three hours:
+//
+//	ConsistencyInvariant ==
+//	  TypeOK ∧ NoFutureVote ∧ OneValuePerPhasePerRound
+//	  ∧ VoteHasQuorumInPreviousPhase ∧ VotesSafe
+//
+// together with the theorem ConsistencyInvariant ⇒ Consistency.
+
+// InvariantViolation describes which conjunct failed (empty = none).
+type InvariantViolation struct {
+	Conjunct string
+	Detail   string
+}
+
+// Error renders the violation.
+func (v InvariantViolation) Error() string {
+	return fmt.Sprintf("checker: invariant conjunct %s violated: %s", v.Conjunct, v.Detail)
+}
+
+// CheckInvariant evaluates the full ConsistencyInvariant, returning nil if
+// it holds.
+func (sp *Spec) CheckInvariant(s *State) error {
+	if err := sp.checkNoFutureVote(s); err != nil {
+		return err
+	}
+	if err := sp.checkOneValuePerPhasePerRound(s); err != nil {
+		return err
+	}
+	if err := sp.checkVoteHasQuorumInPreviousPhase(s); err != nil {
+		return err
+	}
+	if err := sp.checkVotesSafe(s); err != nil {
+		return err
+	}
+	if !sp.ConsistencyHolds(s) {
+		return InvariantViolation{Conjunct: "Consistency", Detail: fmt.Sprintf("decided = %v", sp.Decided(s))}
+	}
+	return nil
+}
+
+// checkNoFutureVote: well-behaved nodes never hold votes beyond their round.
+func (sp *Spec) checkNoFutureVote(s *State) error {
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		for vt := range s.Votes[p] {
+			if vt.Round > s.Round[p] {
+				return InvariantViolation{
+					Conjunct: "NoFutureVote",
+					Detail:   fmt.Sprintf("p%d at round %d holds %+v", p, s.Round[p], vt),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkOneValuePerPhasePerRound: an honest node votes one value per
+// (round, phase).
+func (sp *Spec) checkOneValuePerPhasePerRound(s *State) error {
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		seen := make(map[[2]int]Value)
+		for vt := range s.Votes[p] {
+			key := [2]int{int(vt.Round), vt.Phase}
+			if prev, dup := seen[key]; dup && prev != vt.Value {
+				return InvariantViolation{
+					Conjunct: "OneValuePerPhasePerRound",
+					Detail:   fmt.Sprintf("p%d voted v%d and v%d at (r%d, ph%d)", p, prev, vt.Value, vt.Round, vt.Phase),
+				}
+			}
+			seen[key] = vt.Value
+		}
+	}
+	return nil
+}
+
+// checkVoteHasQuorumInPreviousPhase: every honest phase-k>1 vote is backed
+// by a quorum of phase-(k−1) votes (actually-Byzantine members are free).
+func (sp *Spec) checkVoteHasQuorumInPreviousPhase(s *State) error {
+	honestNeeded := sp.quorumSize() - sp.cfg.Byz
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		for vt := range s.Votes[p] {
+			if vt.Phase <= 1 {
+				continue
+			}
+			prev := Vote{Round: vt.Round, Phase: vt.Phase - 1, Value: vt.Value}
+			count := 0
+			for q := 0; q < sp.cfg.Nodes; q++ {
+				if !sp.IsByz(q) && s.Votes[q][prev] {
+					count++
+				}
+			}
+			if count < honestNeeded {
+				return InvariantViolation{
+					Conjunct: "VoteHasQuorumInPreviousPhase",
+					Detail:   fmt.Sprintf("p%d's %+v backed by only %d honest prev-phase votes", p, vt, count),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkVotesSafe: every honest vote (r, v) satisfies SafeAt(r, v): for each
+// earlier round c, some quorum's honest members either voted phase 4 for v
+// at c or can no longer vote at c.
+func (sp *Spec) checkVotesSafe(s *State) error {
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		for vt := range s.Votes[p] {
+			if !sp.safeAt(s, vt.Round, vt.Value) {
+				return InvariantViolation{
+					Conjunct: "VotesSafe",
+					Detail:   fmt.Sprintf("p%d's %+v is not SafeAt", p, vt),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (sp *Spec) safeAt(s *State, r Round, v Value) bool {
+	for c := Round(0); c < r; c++ {
+		if !sp.noneOtherChoosableAt(s, c, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// noneOtherChoosableAt: ∃ quorum Q: every honest member of Q voted phase 4
+// for v at c, or is past c without a phase-4 vote at c. Actually-Byzantine
+// members satisfy the predicate for free.
+func (sp *Spec) noneOtherChoosableAt(s *State, c Round, v Value) bool {
+	honestNeeded := sp.quorumSize() - sp.cfg.Byz
+	count := 0
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		if s.Votes[p][Vote{Round: c, Phase: 4, Value: v}] {
+			count++
+			continue
+		}
+		if s.Round[p] > c && !sp.votedPhase4At(s, p, c) {
+			count++
+		}
+	}
+	return count >= honestNeeded
+}
+
+func (sp *Spec) votedPhase4At(s *State, p int, c Round) bool {
+	for v := Value(0); v < Value(sp.cfg.Values); v++ {
+		if s.Votes[p][Vote{Round: c, Phase: 4, Value: v}] {
+			return true
+		}
+	}
+	return false
+}

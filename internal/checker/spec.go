@@ -1,0 +1,353 @@
+// Package checker is an explicit-state model checker for the abstract
+// TetraBFT specification of the paper's Appendix B (the TLA+ spec verified
+// with Apalache in Section 5).
+//
+// The spec abstracts the network away: votes are global state, Byzantine
+// nodes mutate their own vote sets arbitrarily (havoc), and honest nodes
+// take guarded actions (StartRound, Propose, Vote1..Vote4). The checker
+// verifies:
+//
+//   - Consistency (agreement): all decided values are equal, via bounded
+//     exhaustive breadth-first search and long randomized walks on the
+//     paper's configuration (4 nodes, 1 Byzantine, 3 values, 5 views);
+//   - inductiveness of the paper's ConsistencyInvariant, by sampling:
+//     random states satisfying the invariant are stepped once and must
+//     still satisfy it (a sampled version of Apalache's induction check);
+//   - the liveness theorem: from a good round, running honest actions to
+//     fixpoint always yields a decision.
+//
+// Deliberately broken spec variants (Mutation*) are used by tests to prove
+// the checker actually catches safety bugs.
+package checker
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an abstract value index (0..Values-1).
+type Value int
+
+// Round is an abstract round index (0..Rounds-1); -1 means "none".
+type Round int
+
+// Vote is a (round, phase, value) triple, mirroring the TLA+ Vote record.
+type Vote struct {
+	Round Round
+	Phase int // 1..4
+	Value Value
+}
+
+// Mutation deliberately breaks the spec so tests can prove the checker
+// catches real safety violations.
+type Mutation int
+
+// Supported spec mutations.
+const (
+	// MutationNone checks the correct spec.
+	MutationNone Mutation = iota
+	// MutationNoSafetyCheck removes the ShowsSafeAt guard from Vote1
+	// (mirrors core.MutationSkipRule3).
+	MutationNoSafetyCheck
+	// MutationSmallQuorum shrinks quorums to f+1 (breaks intersection).
+	MutationSmallQuorum
+	// MutationNoPrevVote removes the second disjunct of ClaimsSafeAt
+	// (the "two conflicting votes bracket the view" witness).
+	MutationNoPrevVote
+)
+
+// NoByz marks a configuration whose runs contain no actually-Byzantine
+// node (the fault budget Faulty still shapes quorum sizes). Used by trace
+// conformance over crash-free concrete runs.
+const NoByz = -1
+
+// Config fixes the finite instance to check.
+type Config struct {
+	Nodes  int // n
+	Faulty int // f: quorums have n−f members, blocking sets f+1
+	// Byz is the *actual* number of Byzantine nodes (the top IDs), which
+	// may be smaller than the budget Faulty — the TLA+ spec's Byz is drawn
+	// from a fail-prone set that includes smaller sets. 0 defaults to
+	// Faulty; NoByz means none.
+	Byz       int
+	Values    int   // |V|
+	Rounds    int   // rounds 0..Rounds-1
+	GoodRound Round // -1 disables the proposer machinery
+	Mutation  Mutation
+}
+
+// PaperConfig is the instance verified in Section 5 of the paper:
+// 4 nodes with 1 Byzantine, 3 values, 5 views.
+func PaperConfig() Config {
+	return Config{Nodes: 4, Faulty: 1, Values: 3, Rounds: 5, GoodRound: 0}
+}
+
+// State is one global state of the abstract spec.
+type State struct {
+	Votes    []map[Vote]bool // per node
+	Round    []Round         // per node; -1 initially
+	Proposed bool
+	Proposal Value
+}
+
+// NewInitState builds the initial state: no votes, all rounds -1.
+func NewInitState(cfg Config) *State {
+	s := &State{
+		Votes: make([]map[Vote]bool, cfg.Nodes),
+		Round: make([]Round, cfg.Nodes),
+	}
+	for i := range s.Votes {
+		s.Votes[i] = make(map[Vote]bool)
+		s.Round[i] = -1
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (s *State) Clone() *State {
+	c := &State{
+		Votes:    make([]map[Vote]bool, len(s.Votes)),
+		Round:    make([]Round, len(s.Round)),
+		Proposed: s.Proposed,
+		Proposal: s.Proposal,
+	}
+	copy(c.Round, s.Round)
+	for i, vs := range s.Votes {
+		c.Votes[i] = make(map[Vote]bool, len(vs))
+		for v := range vs {
+			c.Votes[i][v] = true
+		}
+	}
+	return c
+}
+
+// Key returns a canonical fingerprint for state deduplication.
+func (s *State) Key() string {
+	var b strings.Builder
+	for i, vs := range s.Votes {
+		fmt.Fprintf(&b, "r%d=%d|", i, s.Round[i])
+		votes := make([]Vote, 0, len(vs))
+		for v := range vs {
+			votes = append(votes, v)
+		}
+		sort.Slice(votes, func(a, c int) bool {
+			if votes[a].Round != votes[c].Round {
+				return votes[a].Round < votes[c].Round
+			}
+			if votes[a].Phase != votes[c].Phase {
+				return votes[a].Phase < votes[c].Phase
+			}
+			return votes[a].Value < votes[c].Value
+		})
+		for _, v := range votes {
+			fmt.Fprintf(&b, "%d.%d.%d,", v.Round, v.Phase, v.Value)
+		}
+		b.WriteByte(';')
+	}
+	fmt.Fprintf(&b, "p=%v,%d", s.Proposed, s.Proposal)
+	return b.String()
+}
+
+// Spec evaluates guards and applies actions for a fixed configuration.
+type Spec struct {
+	cfg Config
+}
+
+// NewSpec builds a Spec, validating the configuration.
+func NewSpec(cfg Config) (*Spec, error) {
+	if cfg.Nodes < 1 || cfg.Faulty < 0 || 3*cfg.Faulty >= cfg.Nodes {
+		return nil, fmt.Errorf("checker: invalid n=%d f=%d", cfg.Nodes, cfg.Faulty)
+	}
+	if cfg.Values < 1 || cfg.Rounds < 1 {
+		return nil, fmt.Errorf("checker: need at least 1 value and 1 round")
+	}
+	switch {
+	case cfg.Byz == 0:
+		cfg.Byz = cfg.Faulty
+	case cfg.Byz == NoByz:
+		cfg.Byz = 0
+	case cfg.Byz < 0 || cfg.Byz > cfg.Faulty:
+		return nil, fmt.Errorf("checker: actual Byzantine count %d outside the fault budget %d", cfg.Byz, cfg.Faulty)
+	}
+	return &Spec{cfg: cfg}, nil
+}
+
+// Config returns the checked configuration.
+func (sp *Spec) Config() Config { return sp.cfg }
+
+// IsByz reports whether node p is Byzantine (the top Byz node IDs).
+func (sp *Spec) IsByz(p int) bool { return p >= sp.cfg.Nodes-sp.cfg.Byz }
+
+// quorumSize returns the quorum cardinality (n−f, or f+1 when mutated).
+func (sp *Spec) quorumSize() int {
+	if sp.cfg.Mutation == MutationSmallQuorum {
+		return sp.cfg.Faulty + 1
+	}
+	return sp.cfg.Nodes - sp.cfg.Faulty
+}
+
+// blockingSize returns the blocking-set cardinality (f+1).
+func (sp *Spec) blockingSize() int { return sp.cfg.Faulty + 1 }
+
+// ClaimsSafeAt mirrors the TLA+ ClaimsSafeAt(v, r, r2, p, phase): does p's
+// vote history claim value v safe at round r2, judged before round r?
+func (sp *Spec) ClaimsSafeAt(s *State, v Value, r, r2 Round, p, phase int) bool {
+	if r2 == 0 {
+		return true
+	}
+	for vt1 := range s.Votes[p] {
+		if vt1.Phase != phase || vt1.Round >= r || vt1.Round < r2 {
+			continue
+		}
+		if vt1.Value == v {
+			return true
+		}
+		if sp.cfg.Mutation == MutationNoPrevVote {
+			continue
+		}
+		for vt2 := range s.Votes[p] {
+			if vt2.Phase == phase && vt2.Round >= r2 && vt2.Round < vt1.Round && vt2.Value != vt1.Value {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ShowsSafeAt mirrors the TLA+ ShowsSafeAt(Q, v, r, phaseA, phaseB) for a
+// specific quorum Q (bitmask over nodes).
+func (sp *Spec) ShowsSafeAt(s *State, q uint, v Value, r Round, phaseA, phaseB int) bool {
+	if r == 0 {
+		return true
+	}
+	// Every member of Q must have reached round r.
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if q&(1<<p) != 0 && s.Round[p] < r {
+			return false
+		}
+	}
+	// Case 1: no member of Q voted phaseA before r.
+	clean := true
+	for p := 0; p < sp.cfg.Nodes && clean; p++ {
+		if q&(1<<p) == 0 {
+			continue
+		}
+		for vt := range s.Votes[p] {
+			if vt.Phase == phaseA && vt.Round < r {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		return true
+	}
+	// Case 2: some r2 < r bounds all phaseA votes, agreeing on v at r2,
+	// and a blocking set claims v safe at r2 with phaseB votes.
+	for r2 := Round(0); r2 < r; r2++ {
+		ok := true
+		for p := 0; p < sp.cfg.Nodes && ok; p++ {
+			if q&(1<<p) == 0 {
+				continue
+			}
+			for vt := range s.Votes[p] {
+				if vt.Phase != phaseA || vt.Round >= r {
+					continue
+				}
+				if vt.Round > r2 || (vt.Round == r2 && vt.Value != v) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		claimers := 0
+		for p := 0; p < sp.cfg.Nodes; p++ {
+			if sp.ClaimsSafeAt(s, v, r, r2, p, phaseB) {
+				claimers++
+			}
+		}
+		if claimers >= sp.blockingSize() {
+			return true
+		}
+	}
+	return false
+}
+
+// ExistsQuorumShowingSafe existentially quantifies ShowsSafeAt over all
+// quorums.
+func (sp *Spec) ExistsQuorumShowingSafe(s *State, v Value, r Round, phaseA, phaseB int) bool {
+	if r == 0 {
+		return true
+	}
+	for _, q := range sp.quorums() {
+		if sp.ShowsSafeAt(s, q, v, r, phaseA, phaseB) {
+			return true
+		}
+	}
+	return false
+}
+
+// Accepted mirrors TLA+ Accepted: a quorum voted (r, phase, v).
+func (sp *Spec) Accepted(s *State, v Value, r Round, phase int) bool {
+	count := 0
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if s.Votes[p][Vote{Round: r, Phase: phase, Value: v}] {
+			count++
+		}
+	}
+	return count >= sp.quorumSize()
+}
+
+// Decided returns the set of decided values: a quorum's well-behaved
+// members all voted phase 4 for v in some round (actually-Byzantine quorum
+// members contribute for free).
+func (sp *Spec) Decided(s *State) []Value {
+	honestNeeded := sp.quorumSize() - sp.cfg.Byz
+	var out []Value
+	for v := Value(0); v < Value(sp.cfg.Values); v++ {
+		for r := Round(0); r < Round(sp.cfg.Rounds); r++ {
+			count := 0
+			for p := 0; p < sp.cfg.Nodes; p++ {
+				if !sp.IsByz(p) && s.Votes[p][Vote{Round: r, Phase: 4, Value: v}] {
+					count++
+				}
+			}
+			if count >= honestNeeded {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ConsistencyHolds is the checked agreement property.
+func (sp *Spec) ConsistencyHolds(s *State) bool {
+	return len(sp.Decided(s)) <= 1
+}
+
+// quorums enumerates all minimal-or-larger quorums as bitmasks.
+func (sp *Spec) quorums() []uint {
+	var out []uint
+	n := sp.cfg.Nodes
+	need := sp.quorumSize()
+	for mask := uint(0); mask < 1<<n; mask++ {
+		if popcount(mask) >= need {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+func popcount(m uint) int {
+	c := 0
+	for m != 0 {
+		m &= m - 1
+		c++
+	}
+	return c
+}

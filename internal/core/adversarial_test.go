@@ -1,0 +1,255 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft/internal/byz"
+	"tetrabft/internal/quorum"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+// TestTwoByzantineNodesN7: full fault budget at n = 7 (f = 2): one silent
+// node and one random babbler; the five honest nodes must agree and decide.
+func TestTwoByzantineNodesN7(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := sim.New(sim.Config{Seed: seed, Delay: sim.UniformDelay{Min: 1, Max: 5}})
+			r.Add(byz.Silent{NodeID: 0}) // the view-0 leader, worst placement
+			r.Add(&byz.Random{NodeID: 1, Seed: seed, MaxView: 5,
+				Values: []types.Value{"val-2", "poison-a", "poison-b"}})
+			for i := 2; i < 7; i++ {
+				addHonest(t, r, types.NodeID(i), 7, types.Value(fmt.Sprintf("val-%d", i)))
+			}
+			if err := r.Run(8000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.AgreementViolation(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.DecidedCount(0); got < 5 {
+				t.Fatalf("only %d of 5 honest nodes decided", got)
+			}
+		})
+	}
+}
+
+// voteEquivocator duplicates every vote in flight with a conflicting value,
+// simulating a Byzantine node whose votes differ per receiver (the
+// strongest equivocation the unauthenticated model allows).
+type voteEquivocator struct {
+	who types.NodeID
+}
+
+func (a voteEquivocator) Intercept(from, to types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
+	v, ok := msg.(types.VoteMsg)
+	if !ok || from != a.who {
+		return sim.Verdict{}
+	}
+	if to%2 == 0 {
+		v.Val = "equivocated-" + v.Val
+		return sim.Verdict{Replace: v}
+	}
+	return sim.Verdict{}
+}
+
+// TestVoteEquivocationIsHarmless: per-receiver vote equivocation by one
+// node cannot break agreement — quorum intersection guarantees at most one
+// value gathers a quorum per (view, phase).
+func TestVoteEquivocationIsHarmless(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := sim.New(sim.Config{Seed: seed, Adversary: voteEquivocator{who: 3},
+			Delay: sim.UniformDelay{Min: 1, Max: 4}})
+		for i := 0; i < 4; i++ {
+			addHonest(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)))
+		}
+		if err := r.Run(8000, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.AgreementViolation(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// The other three honest nodes must still decide; node 3 itself may
+		// be wedged by its own forged traffic.
+		if got := r.DecidedCount(0); got < 3 {
+			t.Fatalf("seed %d: only %d nodes decided", seed, got)
+		}
+	}
+}
+
+// TestCascadedViewChanges: the leaders of views 0, 1 and 2 are all silent;
+// the cluster must walk three view changes and decide under view 3's
+// leader at the expected time.
+func TestCascadedViewChanges(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	const n = 7 // f = 2 tolerates the two crashed future leaders
+	r.Add(byz.Silent{NodeID: 0})
+	r.Add(byz.Silent{NodeID: 1})
+	for i := 2; i < n; i++ {
+		addHonest(t, r, types.NodeID(i), n, types.Value(fmt.Sprintf("val-%d", i)))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := r.Decision(2, 0)
+	if !ok {
+		t.Fatal("node 2 never decided")
+	}
+	if d.Val != "val-2" {
+		t.Errorf("decided %q, want view-2 leader's value val-2", d.Val)
+	}
+	// Two full timeouts: view 0 times out at 90; view 1 starts ~92 and
+	// times out ~182; view 2's honest leader then needs 7 more delays.
+	if d.At < 180 || d.At > 200 {
+		t.Errorf("decided at t=%d, want within two timeout epochs (≈189)", d.At)
+	}
+}
+
+// TestHeterogeneousCluster runs the full protocol over a genuinely
+// heterogeneous slice system (nodes declare different slices) whose
+// quorums still pairwise intersect in honest nodes.
+func TestHeterogeneousCluster(t *testing.T) {
+	// A 4-node system where node 0 is more demanding than the rest:
+	// node 0 requires both {0,1,2} and accepts {0,2,3}; others accept any
+	// 3-set containing themselves.
+	slices := map[types.NodeID][]quorum.Set{
+		0: {quorum.NewSet(0, 1, 2), quorum.NewSet(0, 2, 3)},
+		1: {quorum.NewSet(1, 0, 2), quorum.NewSet(1, 2, 3), quorum.NewSet(1, 0, 3)},
+		2: {quorum.NewSet(2, 0, 1), quorum.NewSet(2, 1, 3), quorum.NewSet(2, 0, 3)},
+		3: {quorum.NewSet(3, 0, 1), quorum.NewSet(3, 1, 2), quorum.NewSet(3, 0, 2)},
+	}
+	sys, err := quorum.NewSlices(slices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.New(sim.Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		node, err := NewNode(Config{
+			ID:           types.NodeID(i),
+			Quorum:       sys,
+			InitialValue: types.Value(fmt.Sprintf("val-%d", i)),
+			Delta:        10,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Add(node)
+	}
+	if err := r.Run(2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.DecidedCount(0); got != 4 {
+		t.Fatalf("only %d of 4 nodes decided on the heterogeneous system", got)
+	}
+}
+
+// TestFutureViewMessagesBuffered: proposals and votes for future views must
+// be retained and consumed on view entry, not dropped.
+func TestFutureViewMessagesBuffered(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 3) // follower; leader of view 1 is node 1
+	n.Start(env)
+	// A full view-1 history arrives while the node is still in view 0.
+	n.Deliver(env, 1, types.Proposal{View: 1, Val: "future"})
+	for _, from := range []types.NodeID{0, 1, 2} {
+		n.Deliver(env, from, types.ProofMsg{View: 1})
+	}
+	for _, from := range []types.NodeID{0, 1, 2} {
+		n.Deliver(env, from, types.VoteMsg{Phase: 1, View: 1, Val: "future"})
+	}
+	if len(env.votesOfPhase(1))+len(env.votesOfPhase(2)) != 0 {
+		t.Fatal("acted on future-view traffic before entering the view")
+	}
+	// Enter view 1: the buffered proposal/proofs yield vote-1 and the
+	// buffered vote-1 quorum immediately yields vote-2.
+	for _, from := range []types.NodeID{0, 1, 2} {
+		n.Deliver(env, from, types.ViewChange{View: 1})
+	}
+	if got := env.votesOfPhase(1); len(got) != 1 || got[0].View != 1 || got[0].Val != "future" {
+		t.Fatalf("vote-1 after entry = %v", got)
+	}
+	if got := env.votesOfPhase(2); len(got) != 1 || got[0].Val != "future" {
+		t.Fatalf("vote-2 after entry = %v", got)
+	}
+}
+
+// TestWALClusterSurvivesCrashRestart: run a full cluster where one node
+// persists through a WAL-like store, crash it mid-run, restore it into a
+// second simulation along with the survivors' state, and check it cannot
+// contradict its pre-crash votes.
+func TestWALClusterSurvivesCrashRestart(t *testing.T) {
+	p := &memPersister{}
+	// Phase 1: run until votes are in flight but nothing is decided
+	// (horizon 3 ticks: proposal out, vote-1 out).
+	r := sim.New(sim.Config{Seed: 1})
+	addHonest(t, r, 0, 4, "a")
+	nodeUnderTest, err := NewNode(Config{ID: 1, Nodes: 4, InitialValue: "b", Delta: 10, Persist: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(nodeUnderTest)
+	addHonest(t, r, 2, 4, "c")
+	addHonest(t, r, 3, 4, "d")
+	if err := r.Run(2, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.states) == 0 {
+		t.Fatal("nothing persisted before the crash")
+	}
+	snapshot := p.last()
+	if !snapshot.Votes.Vote1.Valid {
+		t.Fatal("expected a persisted vote-1 before the crash")
+	}
+
+	// Phase 2: fresh simulation; the restored node rejoins three fresh
+	// honest nodes. Agreement must hold and the restored node must end up
+	// deciding the same value it voted for in view 0 (it is the only value
+	// that can gather quorums).
+	restored, err := Restore(Config{ID: 1, Nodes: 4, InitialValue: "b", Delta: 10}, snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2 := sim.New(sim.Config{Seed: 2})
+	addHonest(t, r2, 0, 4, "a")
+	r2.Add(restored)
+	addHonest(t, r2, 2, 4, "c")
+	addHonest(t, r2, 3, 4, "d")
+	if err := r2.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := r2.Decision(1, 0)
+	if !ok {
+		t.Fatal("restored node never decided")
+	}
+	if d.Val != snapshot.Votes.Vote1.Val {
+		t.Errorf("restored node decided %q, conflicting with its persisted vote-1 for %q", d.Val, snapshot.Votes.Vote1.Val)
+	}
+}
+
+// TestNoDecisionWithoutQuorumOfHonestVotes: with two silent nodes at n = 4
+// (beyond the fault budget), the protocol must stall rather than decide —
+// safety over liveness.
+func TestNoDecisionWithoutQuorumOfHonestVotes(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	r.Add(byz.Silent{NodeID: 0})
+	r.Add(byz.Silent{NodeID: 1})
+	addHonest(t, r, 2, 4, "x")
+	addHonest(t, r, 3, 4, "x")
+	if err := r.Run(3000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.DecidedCount(0); got != 0 {
+		t.Fatalf("%d nodes decided with only 2 of 4 participating", got)
+	}
+}

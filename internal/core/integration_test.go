@@ -1,0 +1,386 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft/internal/byz"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/trace"
+	"tetrabft/internal/types"
+)
+
+// addHonest adds an honest TetraBFT node to the runner.
+func addHonest(t *testing.T, r *sim.Runner, id types.NodeID, n int, init types.Value, opts ...func(*Config)) *Node {
+	t.Helper()
+	cfg := Config{ID: id, Nodes: n, InitialValue: init, Delta: 10}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	node, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(node)
+	return node
+}
+
+// TestGoodCaseFiveMessageDelays is the headline claim of the paper: with a
+// well-behaved leader and a synchronous network, every node decides after
+// exactly 5 message delays (proposal + 4 voting phases; Table 1).
+func TestGoodCaseFiveMessageDelays(t *testing.T) {
+	for _, n := range []int{4, 7, 10, 13} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			r := sim.New(sim.Config{Seed: 1})
+			for i := 0; i < n; i++ {
+				addHonest(t, r, types.NodeID(i), n, types.Value(fmt.Sprintf("val-%d", i)))
+			}
+			if err := r.Run(0, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.AgreementViolation(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				d, ok := r.Decision(types.NodeID(i), 0)
+				if !ok {
+					t.Fatalf("node %d never decided", i)
+				}
+				if d.Val != "val-0" {
+					t.Errorf("node %d decided %q, want leader's value val-0", i, d.Val)
+				}
+				if d.At != 5 {
+					t.Errorf("node %d decided at t=%d, want 5 message delays", i, d.At)
+				}
+			}
+		})
+	}
+}
+
+// TestValidity checks Definition 1's validity clause: identical inputs on
+// all well-behaved nodes force that value as the decision.
+func TestValidity(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		addHonest(t, r, types.NodeID(i), 4, "the-common-input")
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if d, ok := r.Decision(types.NodeID(i), 0); !ok || d.Val != "the-common-input" {
+			t.Errorf("node %d: decision %+v, want the-common-input", i, d)
+		}
+	}
+}
+
+// TestSilentLeaderViewChange measures the view-change path of Table 1: a
+// crashed view-0 leader forces a 9Δ timeout, and the decision lands exactly
+// 7 message delays after the view-change broadcast.
+func TestSilentLeaderViewChange(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	r.Add(byz.Silent{NodeID: 0})
+	for i := 1; i < 4; i++ {
+		addHonest(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	// Timeout at 9Δ = 90 → view-change broadcast at 90. Paper's Table 1:
+	// 7 message delays with view change: view-change(1) + suggest/proof(1)
+	// + proposal(1) + 4 votes(4) → decision at t = 97.
+	for i := 1; i < 4; i++ {
+		d, ok := r.Decision(types.NodeID(i), 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.Val != "val-1" {
+			t.Errorf("node %d decided %q, want view-1 leader's value val-1", i, d.Val)
+		}
+		if d.At != 97 {
+			t.Errorf("node %d decided at t=%d, want 97 (90 timeout + 7 delays)", i, d.At)
+		}
+	}
+}
+
+// TestEquivocatingLeader splits view-0 votes across two values; no quorum
+// can form, and the view change must recover with a consistent decision.
+func TestEquivocatingLeader(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	r.Add(byz.Equivocator{
+		NodeID: 0,
+		Peers:  []types.NodeID{0, 1, 2, 3},
+		ValA:   "evil-A",
+		ValB:   "evil-B",
+	})
+	for i := 1; i < 4; i++ {
+		addHonest(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 4; i++ {
+		d, ok := r.Decision(types.NodeID(i), 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.At <= 90 {
+			t.Errorf("node %d decided at t=%d; expected recovery only after the 9Δ timeout", i, d.At)
+		}
+	}
+}
+
+// lemma8Adversary drops every vote-4 not addressed to node 0 during view 0,
+// so only node 0 decides in view 0 — the sharpest cross-view safety setup.
+type lemma8Adversary struct{}
+
+func (lemma8Adversary) Intercept(_, to types.NodeID, msg types.Message, now types.Time) sim.Verdict {
+	if v, ok := msg.(types.VoteMsg); ok && v.Phase == 4 && v.View == 0 && to != 0 && now < 50 {
+		return sim.Verdict{Drop: true}
+	}
+	return sim.Verdict{}
+}
+
+// lemma8Byz is the Byzantine leader of view 1: it echoes the view change,
+// and once the new view starts it proposes a conflicting value "b" with a
+// forged clean history plus a full set of votes for it.
+func lemma8Byz() *byz.Scripted {
+	return &byz.Scripted{
+		NodeID: 1,
+		React: map[types.Kind][]types.Message{
+			types.KindViewChange: {types.ViewChange{View: 1}},
+			types.KindProof: {
+				types.Proposal{View: 1, Val: "b"},
+				types.ProofMsg{View: 1}, // forged: claims no vote history
+				types.VoteMsg{Phase: 1, View: 1, Val: "b"},
+				types.VoteMsg{Phase: 2, View: 1, Val: "b"},
+				types.VoteMsg{Phase: 3, View: 1, Val: "b"},
+				types.VoteMsg{Phase: 4, View: 1, Val: "b"},
+			},
+		},
+	}
+}
+
+// TestLemma8CrossViewSafety replays the Lemma 8 attack: node 0 decides "a"
+// in view 0 while everyone else is starved of vote-4s; the Byzantine leader
+// of view 1 then pushes "b". Rule 3 must reject "b", and the cluster must
+// re-decide "a" in view 2.
+func TestLemma8CrossViewSafety(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1, Adversary: lemma8Adversary{}})
+	addHonest(t, r, 0, 4, "a")
+	r.Add(lemma8Byz())
+	addHonest(t, r, 2, 4, "other-2")
+	addHonest(t, r, 3, 4, "other-3")
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []types.NodeID{0, 2, 3} {
+		d, ok := r.Decision(id, 0)
+		if !ok {
+			t.Fatalf("honest node %d never decided", id)
+		}
+		if d.Val != "a" {
+			t.Errorf("node %d decided %q, want the view-0 value a", id, d.Val)
+		}
+	}
+	// Node 0 must have decided inside view 0; the others after recovery.
+	d0, _ := r.Decision(0, 0)
+	d2, _ := r.Decision(2, 0)
+	if d0.At >= d2.At {
+		t.Errorf("node 0 decided at %d, node 2 at %d; expected node 0 first", d0.At, d2.At)
+	}
+}
+
+// TestLemma8MutationCaught runs the same attack against nodes that skip
+// Rule 3 (MutationSkipRule3) and demonstrates that the attack then succeeds
+// — i.e. the agreement monitor has teeth and Rule 3 is load-bearing.
+func TestLemma8MutationCaught(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1, Adversary: lemma8Adversary{}})
+	mutate := func(c *Config) { c.Mutation = MutationSkipRule3 }
+	addHonest(t, r, 0, 4, "a", mutate)
+	r.Add(lemma8Byz())
+	addHonest(t, r, 2, 4, "other-2", mutate)
+	addHonest(t, r, 3, 4, "other-3", mutate)
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err == nil {
+		t.Fatal("MutationSkipRule3 did not break agreement under the Lemma 8 attack; the safety test has no teeth")
+	}
+}
+
+// TestAsynchronyThenGST starts the network in an asynchronous period with
+// heavy loss; after GST the protocol must terminate with agreement
+// (Theorem 1: termination holds after GST).
+func TestAsynchronyThenGST(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := sim.New(sim.Config{
+				Seed:          seed,
+				GST:           200,
+				DropBeforeGST: 0.9,
+				Delay:         sim.UniformDelay{Min: 1, Max: 10}, // within Δ = 10
+			})
+			for i := 0; i < 4; i++ {
+				addHonest(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)))
+			}
+			if err := r.Run(5000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.AgreementViolation(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.DecidedCount(0); got != 4 {
+				t.Fatalf("only %d of 4 nodes decided by t=5000", got)
+			}
+		})
+	}
+}
+
+// TestAgreementFuzz sweeps seeds with one random-babbling Byzantine node
+// and randomized delays; agreement must hold in every run and honest nodes
+// must terminate.
+func TestAgreementFuzz(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := sim.New(sim.Config{Seed: seed, Delay: sim.UniformDelay{Min: 1, Max: 8}})
+			byzID := types.NodeID(seed % 4)
+			for i := 0; i < 4; i++ {
+				if types.NodeID(i) == byzID {
+					r.Add(&byz.Random{NodeID: byzID, Seed: seed, MaxView: 6,
+						Values: []types.Value{"val-0", "val-1", "poison"}})
+					continue
+				}
+				addHonest(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)))
+			}
+			if err := r.Run(8000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.AgreementViolation(); err != nil {
+				t.Fatal(err)
+			}
+			if got := r.DecidedCount(0); got < 3 {
+				t.Fatalf("only %d honest nodes decided by t=8000", got)
+			}
+		})
+	}
+}
+
+// TestTraceEventsEmitted wires a collecting tracer into a good-case run and
+// checks the protocol narrative (propose → vote-1..4 → decide).
+func TestTraceEventsEmitted(t *testing.T) {
+	log := &trace.Log{}
+	r := sim.New(sim.Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		addHonest(t, r, types.NodeID(i), 4, "v", func(c *Config) { c.Tracer = log })
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, typ := range []string{"enter-view", "propose", "vote-1", "vote-2", "vote-3", "vote-4", "decide"} {
+		if len(log.Filter(typ)) == 0 {
+			t.Errorf("no %q events traced", typ)
+		}
+	}
+	if got := len(log.Filter("decide")); got != 4 {
+		t.Errorf("decide events = %d, want 4", got)
+	}
+	if got := len(log.Filter("propose")); got != 1 {
+		t.Errorf("propose events = %d, want 1", got)
+	}
+}
+
+// TestQuadraticCommunication checks the Table 1 communication column: total
+// bytes per view grow quadratically (each node sends O(n) messages of
+// constant size), i.e. per-node traffic is linear in n.
+func TestQuadraticCommunication(t *testing.T) {
+	perNode := func(n int) float64 {
+		r := sim.New(sim.Config{Seed: 1})
+		for i := 0; i < n; i++ {
+			addHonest(t, r, types.NodeID(i), n, "v")
+		}
+		if err := r.Run(0, nil); err != nil {
+			t.Fatal(err)
+		}
+		return float64(r.TotalSentBytes()) / float64(n)
+	}
+	small, large := perNode(4), perNode(16)
+	// Per-node bytes should scale ≈ linearly: ratio ≈ 4 for 4× nodes.
+	ratio := large / small
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("per-node bytes scaled by %.2f from n=4 to n=16; want ≈4 (linear per node)", ratio)
+	}
+}
+
+// TestConstantStorageAcrossViews drives a cluster through many failed views
+// (silent leaders everywhere except high views) and checks the persisted
+// footprint stays constant, reproducing the storage column of Table 1.
+func TestConstantStorageAcrossViews(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	persisters := make([]*memPersister, 4)
+	// All four leaders cycle; an adversary suppresses every proposal until
+	// view 8, forcing repeated timeouts and view changes.
+	for i := 0; i < 4; i++ {
+		p := &memPersister{}
+		persisters[i] = p
+		addHonest(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)),
+			func(c *Config) { c.Persist = p })
+	}
+	drop := adversaryFunc(func(_, _ types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
+		if p, ok := msg.(types.Proposal); ok && p.View < 8 {
+			return sim.Verdict{Drop: true}
+		}
+		return sim.Verdict{}
+	})
+	r2 := sim.New(sim.Config{Seed: 1, Adversary: drop})
+	persisters2 := make([]*memPersister, 4)
+	for i := 0; i < 4; i++ {
+		p := &memPersister{}
+		persisters2[i] = p
+		addHonest(t, r2, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)),
+			func(c *Config) { c.Persist = p })
+	}
+	if err := r2.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	if r2.DecidedCount(0) < 4 {
+		t.Fatalf("only %d nodes decided", r2.DecidedCount(0))
+	}
+	for i, p := range persisters2 {
+		maxSize := 0
+		for _, s := range p.states {
+			if sz := s.PersistentSize(); sz > maxSize {
+				maxSize = sz
+			}
+		}
+		if maxSize > 128 {
+			t.Errorf("node %d persisted %d bytes after 8 failed views; want constant (<128)", i, maxSize)
+		}
+		last := p.last()
+		if last.View < 8 {
+			t.Errorf("node %d only reached view %d; adversary scenario broken", i, last.View)
+		}
+	}
+	_ = r
+	_ = persisters
+}
+
+// adversaryFunc adapts a function to the sim.Adversary interface.
+type adversaryFunc func(from, to types.NodeID, msg types.Message, now types.Time) sim.Verdict
+
+func (f adversaryFunc) Intercept(from, to types.NodeID, msg types.Message, now types.Time) sim.Verdict {
+	return f(from, to, msg, now)
+}

@@ -1,0 +1,436 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"tetrabft/internal/types"
+)
+
+// fakeEnv captures a node's effects for direct unit testing.
+type fakeEnv struct {
+	now        types.Time
+	sends      []sentMsg
+	broadcasts []types.Message
+	timers     []types.TimerID
+	decisions  []types.Value
+}
+
+type sentMsg struct {
+	to  types.NodeID
+	msg types.Message
+}
+
+func (f *fakeEnv) Now() types.Time { return f.now }
+
+func (f *fakeEnv) Send(to types.NodeID, msg types.Message) {
+	f.sends = append(f.sends, sentMsg{to: to, msg: msg})
+}
+
+func (f *fakeEnv) Broadcast(msg types.Message) {
+	f.broadcasts = append(f.broadcasts, msg)
+}
+
+func (f *fakeEnv) SetTimer(id types.TimerID, _ types.Duration) {
+	f.timers = append(f.timers, id)
+}
+
+func (f *fakeEnv) Decide(_ types.Slot, val types.Value) {
+	f.decisions = append(f.decisions, val)
+}
+
+func (f *fakeEnv) votesOfPhase(phase uint8) []types.VoteMsg {
+	var out []types.VoteMsg
+	for _, m := range f.broadcasts {
+		if v, ok := m.(types.VoteMsg); ok && v.Phase == phase {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func newTestNode(t *testing.T, id types.NodeID, opts ...func(*Config)) *Node {
+	t.Helper()
+	cfg := Config{ID: id, Nodes: 4, InitialValue: types.Value("init-" + string(rune('0'+id)))}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{ID: 0}); err == nil {
+		t.Error("config without membership accepted")
+	}
+	if _, err := NewNode(Config{ID: 9, Nodes: 4}); err == nil {
+		t.Error("non-member ID accepted")
+	}
+	if _, err := NewNode(Config{ID: 0, Nodes: 4}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestLeaderRotation(t *testing.T) {
+	n := newTestNode(t, 0)
+	for v := types.View(0); v < 9; v++ {
+		if got, want := n.Leader(v), types.NodeID(int64(v)%4); got != want {
+			t.Errorf("Leader(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestLeaderProposesAtStart(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 0)
+	n.Start(env)
+	if len(env.broadcasts) != 1 {
+		t.Fatalf("leader broadcast %d messages at start, want 1 proposal", len(env.broadcasts))
+	}
+	p, ok := env.broadcasts[0].(types.Proposal)
+	if !ok || p.View != 0 || p.Val != "init-0" {
+		t.Errorf("start broadcast = %#v, want Proposal{0, init-0}", env.broadcasts[0])
+	}
+	if len(env.timers) != 1 || env.timers[0] != 0 {
+		t.Errorf("timers = %v, want view-0 timer", env.timers)
+	}
+}
+
+func TestFollowerSilentAtStart(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	if len(env.broadcasts)+len(env.sends) != 0 {
+		t.Errorf("follower emitted %d messages at start of view 0", len(env.broadcasts)+len(env.sends))
+	}
+}
+
+func TestFollowerVotesOnView0Proposal(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	n.Deliver(env, 0, types.Proposal{View: 0, Val: "x"})
+	votes := env.votesOfPhase(1)
+	if len(votes) != 1 || votes[0].Val != "x" || votes[0].View != 0 {
+		t.Fatalf("vote-1 broadcasts = %v", votes)
+	}
+}
+
+func TestProposalFromNonLeaderIgnored(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	n.Deliver(env, 2, types.Proposal{View: 0, Val: "x"}) // leader of view 0 is node 0
+	if len(env.votesOfPhase(1)) != 0 {
+		t.Error("voted for a proposal from a non-leader")
+	}
+}
+
+func TestEquivocatingProposalsFirstWins(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	n.Deliver(env, 0, types.Proposal{View: 0, Val: "x"})
+	n.Deliver(env, 0, types.Proposal{View: 0, Val: "y"})
+	votes := env.votesOfPhase(1)
+	if len(votes) != 1 || votes[0].Val != "x" {
+		t.Fatalf("vote-1 broadcasts = %v, want single vote for x", votes)
+	}
+}
+
+func TestVotePipelineAdvancesOnQuorums(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	n.Deliver(env, 0, types.Proposal{View: 0, Val: "x"})
+	// Quorum of vote-1 (own vote counts via explicit delivery here).
+	for _, from := range []types.NodeID{0, 1, 2} {
+		n.Deliver(env, from, types.VoteMsg{Phase: 1, View: 0, Val: "x"})
+	}
+	if got := env.votesOfPhase(2); len(got) != 1 {
+		t.Fatalf("vote-2 broadcasts = %v, want 1", got)
+	}
+	// Duplicate quorum must not re-trigger.
+	n.Deliver(env, 3, types.VoteMsg{Phase: 1, View: 0, Val: "x"})
+	if got := env.votesOfPhase(2); len(got) != 1 {
+		t.Fatalf("vote-2 re-sent on duplicate quorum: %v", got)
+	}
+	for _, from := range []types.NodeID{0, 1, 2} {
+		n.Deliver(env, from, types.VoteMsg{Phase: 2, View: 0, Val: "x"})
+	}
+	if got := env.votesOfPhase(3); len(got) != 1 {
+		t.Fatalf("vote-3 broadcasts = %v, want 1", got)
+	}
+	for _, from := range []types.NodeID{0, 1, 2} {
+		n.Deliver(env, from, types.VoteMsg{Phase: 3, View: 0, Val: "x"})
+	}
+	if got := env.votesOfPhase(4); len(got) != 1 {
+		t.Fatalf("vote-4 broadcasts = %v, want 1", got)
+	}
+	for _, from := range []types.NodeID{0, 1, 2} {
+		n.Deliver(env, from, types.VoteMsg{Phase: 4, View: 0, Val: "x"})
+	}
+	if len(env.decisions) != 1 || env.decisions[0] != "x" {
+		t.Fatalf("decisions = %v, want [x]", env.decisions)
+	}
+	if val, ok := n.Decided(); !ok || val != "x" {
+		t.Errorf("Decided() = (%q, %v)", val, ok)
+	}
+}
+
+func TestVote2WithoutOwnVote1(t *testing.T) {
+	// Section 3.2 step 4: a quorum of vote-1 suffices even if this node
+	// never voted phase 1 itself (e.g. it missed the proposal).
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	for _, from := range []types.NodeID{0, 2, 3} {
+		n.Deliver(env, from, types.VoteMsg{Phase: 1, View: 0, Val: "x"})
+	}
+	if got := env.votesOfPhase(2); len(got) != 1 || got[0].Val != "x" {
+		t.Fatalf("vote-2 broadcasts = %v", got)
+	}
+}
+
+func TestViewChangeEchoOnBlockingSet(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	n.Deliver(env, 2, types.ViewChange{View: 1})
+	if countVCs(env, 1) != 0 {
+		t.Fatal("echoed after one view-change (f+1 = 2 needed)")
+	}
+	n.Deliver(env, 3, types.ViewChange{View: 1})
+	if countVCs(env, 1) != 1 {
+		t.Fatalf("view-change echoes = %d, want 1", countVCs(env, 1))
+	}
+	// Third message must not re-echo.
+	n.Deliver(env, 0, types.ViewChange{View: 1})
+	if countVCs(env, 1) != 1 {
+		t.Fatal("re-echoed view-change")
+	}
+}
+
+func TestNoEchoForLowerViewAfterHigherVC(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	n.Deliver(env, 2, types.ViewChange{View: 3})
+	n.Deliver(env, 3, types.ViewChange{View: 3})
+	if countVCs(env, 3) != 1 {
+		t.Fatalf("view-change(3) echoes = %d, want 1", countVCs(env, 3))
+	}
+	n.Deliver(env, 2, types.ViewChange{View: 2})
+	n.Deliver(env, 3, types.ViewChange{View: 2})
+	if countVCs(env, 2) != 0 {
+		t.Error("echoed a view-change lower than one already sent")
+	}
+}
+
+func TestEnterViewOnQuorumAndSendHistories(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 3) // leader of view 1 is node 1, so node 3 is a follower
+	n.Start(env)
+	for _, from := range []types.NodeID{0, 1, 2} {
+		n.Deliver(env, from, types.ViewChange{View: 1})
+	}
+	if n.View() != 1 {
+		t.Fatalf("view = %d, want 1", n.View())
+	}
+	var proofCount int
+	for _, m := range env.broadcasts {
+		if _, ok := m.(types.ProofMsg); ok {
+			proofCount++
+		}
+	}
+	if proofCount != 1 {
+		t.Errorf("proof broadcasts = %d, want 1", proofCount)
+	}
+	var suggestTo types.NodeID = -1
+	for _, s := range env.sends {
+		if _, ok := s.msg.(types.SuggestMsg); ok {
+			suggestTo = s.to
+		}
+	}
+	if suggestTo != 1 {
+		t.Errorf("suggest sent to %d, want leader 1", suggestTo)
+	}
+}
+
+func TestStaleTimerIgnored(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	for _, from := range []types.NodeID{0, 2, 3} {
+		n.Deliver(env, from, types.ViewChange{View: 1})
+	}
+	before := countVCs(env, 2)
+	n.Tick(env, types.TimerID(0)) // view-0 timer fires after we left view 0
+	if countVCs(env, 2) != before {
+		t.Error("stale view-0 timer triggered a view change")
+	}
+	n.Tick(env, types.TimerID(1)) // current view's timer
+	if countVCs(env, 2) != before+1 {
+		t.Error("current view timer did not trigger a view change")
+	}
+}
+
+func TestDecidedNodeDoesNotTimeOut(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	n.Deliver(env, 0, types.Proposal{View: 0, Val: "x"})
+	for _, from := range []types.NodeID{0, 2, 3} {
+		n.Deliver(env, from, types.VoteMsg{Phase: 4, View: 0, Val: "x"})
+	}
+	if _, ok := n.Decided(); !ok {
+		t.Fatal("not decided")
+	}
+	n.Tick(env, types.TimerID(0))
+	if countVCs(env, 1) != 0 {
+		t.Error("decided node broadcast a view-change on timeout")
+	}
+}
+
+func TestDecidedNodeStillEchoesViewChanges(t *testing.T) {
+	// Lemma 8 era: a decided node must keep helping laggards synchronize
+	// views (Section 3.2: nodes keep checking view-change messages).
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	for _, from := range []types.NodeID{0, 2, 3} {
+		n.Deliver(env, from, types.VoteMsg{Phase: 4, View: 0, Val: "x"})
+	}
+	n.Deliver(env, 2, types.ViewChange{View: 1})
+	n.Deliver(env, 3, types.ViewChange{View: 1})
+	if countVCs(env, 1) != 1 {
+		t.Error("decided node did not echo a blocking set of view-changes")
+	}
+}
+
+func countVCs(env *fakeEnv, view types.View) int {
+	count := 0
+	for _, m := range env.broadcasts {
+		if vc, ok := m.(types.ViewChange); ok && vc.View == view {
+			count++
+		}
+	}
+	return count
+}
+
+type memPersister struct {
+	states []PersistentState
+	fail   bool
+}
+
+func (p *memPersister) Persist(s PersistentState) error {
+	if p.fail {
+		return errors.New("disk on fire")
+	}
+	p.states = append(p.states, s)
+	return nil
+}
+
+func (p *memPersister) last() PersistentState { return p.states[len(p.states)-1] }
+
+func TestPersistFailureHaltsNode(t *testing.T) {
+	p := &memPersister{fail: true}
+	env := &fakeEnv{}
+	n := newTestNode(t, 0, func(c *Config) { c.Persist = p })
+	n.Start(env)
+	if !n.Halted() {
+		t.Fatal("node kept running after persist failure")
+	}
+	if len(env.broadcasts) != 0 {
+		t.Errorf("halted node still broadcast %v", env.broadcasts)
+	}
+	n.Deliver(env, 2, types.ViewChange{View: 1})
+	n.Deliver(env, 3, types.ViewChange{View: 1})
+	if len(env.broadcasts) != 0 {
+		t.Error("halted node reacted to deliveries")
+	}
+}
+
+func TestRestartDoesNotDoubleVote(t *testing.T) {
+	p := &memPersister{}
+	env := &fakeEnv{}
+	n := newTestNode(t, 1, func(c *Config) { c.Persist = p })
+	n.Start(env)
+	n.Deliver(env, 0, types.Proposal{View: 0, Val: "x"})
+	if len(env.votesOfPhase(1)) != 1 {
+		t.Fatal("setup: no vote-1")
+	}
+
+	// Crash and restore from the last persisted state.
+	restored, err := Restore(Config{ID: 1, Nodes: 4, Persist: p}, p.last())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := &fakeEnv{}
+	restored.Start(env2)
+	restored.Deliver(env2, 0, types.Proposal{View: 0, Val: "y"}) // conflicting replay
+	if votes := env2.votesOfPhase(1); len(votes) != 0 {
+		t.Fatalf("restored node voted again: %v", votes)
+	}
+}
+
+func TestRestartResumesViewAndHighestVC(t *testing.T) {
+	p := &memPersister{}
+	env := &fakeEnv{}
+	n := newTestNode(t, 1, func(c *Config) { c.Persist = p })
+	n.Start(env)
+	for _, from := range []types.NodeID{0, 2, 3} {
+		n.Deliver(env, from, types.ViewChange{View: 2})
+	}
+	if n.View() != 2 {
+		t.Fatal("setup: did not reach view 2")
+	}
+
+	restored, err := Restore(Config{ID: 1, Nodes: 4}, p.last())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := &fakeEnv{}
+	restored.Start(env2)
+	if restored.View() != 2 {
+		t.Errorf("restored view = %d, want 2", restored.View())
+	}
+	// The restored node must not re-send view-change(2) even when nudged.
+	restored.Deliver(env2, 0, types.ViewChange{View: 2})
+	restored.Deliver(env2, 2, types.ViewChange{View: 2})
+	if countVCs(env2, 2) != 0 {
+		t.Error("restored node re-sent an already-sent view-change")
+	}
+}
+
+func TestRestoreRejectsNegativeView(t *testing.T) {
+	if _, err := Restore(Config{ID: 1, Nodes: 4}, PersistentState{View: -1}); err == nil {
+		t.Error("negative restored view accepted")
+	}
+}
+
+func TestVoteMessageValidation(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 1)
+	n.Start(env)
+	// Invalid phases must be discarded, not panic.
+	n.Deliver(env, 0, types.VoteMsg{Phase: 0, View: 0, Val: "x"})
+	n.Deliver(env, 0, types.VoteMsg{Phase: 5, View: 0, Val: "x"})
+	n.Deliver(env, 0, types.VoteMsg{Phase: 9, View: 0, Val: "x"})
+	if len(env.broadcasts) != 0 {
+		t.Errorf("invalid phases caused broadcasts: %v", env.broadcasts)
+	}
+}
+
+func TestSuggestForWrongLeaderIgnored(t *testing.T) {
+	env := &fakeEnv{}
+	n := newTestNode(t, 2) // leader of view 1 is node 1, not node 2
+	n.Start(env)
+	n.Deliver(env, 0, types.SuggestMsg{View: 1})
+	if len(n.suggests[1]) != 0 {
+		t.Error("stored a suggest addressed to a different leader")
+	}
+}

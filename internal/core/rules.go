@@ -1,0 +1,252 @@
+package core
+
+import (
+	"sort"
+
+	"tetrabft/internal/quorum"
+	"tetrabft/internal/types"
+)
+
+// This file implements the paper's safety rules:
+//
+//   - ClaimsSafe      — Algorithm 1 / Rules 2 and 4 (a node's claim that a
+//     value is safe at a view, read off a suggest or proof message).
+//   - LeaderSafeValue — Rule 1 via Algorithm 4 (the new leader selects a
+//     value that is safe to propose, from a quorum of suggest messages).
+//   - ProposalSafe    — Rule 3 via Algorithm 5 (a follower checks the
+//     leader's proposal against a quorum of proof messages).
+//
+// rules_oracle.go contains independent reference implementations that follow
+// the rule text with explicit quantifiers; tests check the two agree on
+// randomized inputs.
+
+// ClaimsSafe implements Algorithm 1: does a node claim, through the reported
+// (highest, second-highest) vote pair, that val is safe at view vp?
+// For suggest messages pass (Vote2, PrevVote2); for proofs (Vote1, PrevVote1).
+func ClaimsSafe(vote, prevVote types.VoteRef, vp types.View, val types.Value) bool {
+	if vp == 0 {
+		return true // Rule 2/4 item 1: everything is safe at view 0
+	}
+	if vote.Valid && vote.View >= vp && vote.Val == val {
+		return true // item 2: highest vote endorses val at or after vp
+	}
+	if prevVote.Valid && prevVote.View >= vp {
+		return true // item 3: two conflicting votes bracket vp
+	}
+	return false
+}
+
+// LeaderSafeValue implements Rule 1 (Algorithm 4): given the suggest
+// messages received for view v (keyed by sender), return a value that is
+// safe to propose. initVal is the leader's own initial value, proposed
+// whenever arbitrary values are safe. observer is the deciding node
+// (relevant only for heterogeneous quorum systems).
+//
+// The second return is false when no value can currently be determined safe
+// (more suggest messages are needed).
+func LeaderSafeValue(qs quorum.System, observer types.NodeID, suggests map[types.NodeID]types.SuggestMsg, v types.View, initVal types.Value) (types.Value, bool) {
+	if v == 0 {
+		return initVal, true // all values are safe in view 0
+	}
+
+	// Rule 1 item 2a: a quorum reports never having sent vote-3.
+	noVote3 := quorum.NewSet()
+	for id, s := range suggests {
+		if !s.Vote3.Valid {
+			noVote3.Add(id)
+		}
+	}
+	if qs.IsQuorum(noVote3) {
+		return initVal, true
+	}
+
+	// Rule 1 item 2b: scan candidate views v' from v-1 down to 0 and
+	// candidate values. Candidates: every value reported in a vote-3 or
+	// vote-2 field (a blocking claim via Rule 2 item 2 names that value)
+	// plus initVal (claims via Rule 2 items 1 and 3 are value-agnostic, so
+	// arbitrary values — in particular the leader's input — can be safe).
+	candidates := suggestCandidates(suggests, initVal)
+	for vp := v - 1; vp >= 0; vp-- {
+		for _, val := range candidates {
+			q := quorum.NewSet()
+			b := quorum.NewSet()
+			for id, s := range suggests {
+				// Items 2(b)i + 2(b)ii: this member's reported vote-3
+				// history is compatible with (v', val).
+				if s.Vote3.Valid && (s.Vote3.View > vp || (s.Vote3.View == vp && s.Vote3.Val != val)) {
+					continue
+				}
+				q.Add(id)
+				if ClaimsSafe(s.Vote2, s.PrevVote2, vp, val) {
+					b.Add(id) // item 2(b)iii: claims val safe at v'
+				}
+			}
+			if qs.IsQuorum(q) && qs.IsBlocking(observer, b) {
+				return val, true
+			}
+		}
+	}
+	return "", false
+}
+
+// ProposalSafe implements Rule 3 (Algorithm 5): given the proof messages
+// received for view v, is the leader's proposal val safe?
+func ProposalSafe(qs quorum.System, observer types.NodeID, proofs map[types.NodeID]types.ProofMsg, v types.View, val types.Value) bool {
+	if v == 0 {
+		return true
+	}
+
+	// Rule 3 item 2a: a quorum reports never having sent vote-4.
+	noVote4 := quorum.NewSet()
+	for id, p := range proofs {
+		if !p.Vote4.Valid {
+			noVote4.Add(id)
+		}
+	}
+	if qs.IsQuorum(noVote4) {
+		return true
+	}
+
+	// Rule 3 item 2(b)iiiA: a blocking set inside a compatible quorum
+	// claims val itself safe at some v'.
+	for vp := v - 1; vp >= 0; vp-- {
+		q := compatibleQuorum(proofs, vp, val)
+		b := quorum.NewSet()
+		for id := range q {
+			p := proofs[id]
+			if ClaimsSafe(p.Vote1, p.PrevVote1, vp, val) {
+				b.Add(id)
+			}
+		}
+		if qs.IsQuorum(q) && qs.IsBlocking(observer, b) {
+			return true
+		}
+	}
+
+	// Rule 3 item 2(b)iiiB: two blocking sets claim two *different* values
+	// safe at views ṽ < ṽ' < v, both inside a quorum that satisfies items
+	// 2(b)i/ii at v' = ṽ (the paper's Algorithm 5 shows checking v' = ṽ
+	// suffices: items i/ii only get easier as v' grows).
+	candidates := proofCandidates(proofs)
+	type claim struct {
+		view types.View
+		val  types.Value
+		set  quorum.Set
+	}
+	var claims []claim
+	for vp := types.View(0); vp < v; vp++ {
+		for _, u := range candidates {
+			s := quorum.NewSet()
+			for id, p := range proofs {
+				if ClaimsSafe(p.Vote1, p.PrevVote1, vp, u) {
+					s.Add(id)
+				}
+			}
+			if qs.IsBlocking(observer, s) {
+				claims = append(claims, claim{view: vp, val: u, set: s})
+			}
+		}
+	}
+	for _, lo := range claims {
+		for _, hi := range claims {
+			if lo.view >= hi.view || lo.val == hi.val {
+				continue
+			}
+			q := compatibleQuorum(proofs, lo.view, val)
+			if !qs.IsQuorum(q) {
+				continue
+			}
+			if qs.IsBlocking(observer, intersect(lo.set, q)) && qs.IsBlocking(observer, intersect(hi.set, q)) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// compatibleQuorum returns the maximal set of proof senders whose reported
+// vote-4 history satisfies Rule 3 items 2(b)i and 2(b)ii for (vp, val):
+// either they never sent vote-4, or their highest vote-4 is below vp, or it
+// is exactly at vp with value val. Because the constraint is per-member, a
+// satisfying quorum exists iff this maximal set is a quorum.
+func compatibleQuorum(proofs map[types.NodeID]types.ProofMsg, vp types.View, val types.Value) quorum.Set {
+	q := quorum.NewSet()
+	for id, p := range proofs {
+		if p.Vote4.Valid && (p.Vote4.View > vp || (p.Vote4.View == vp && p.Vote4.Val != val)) {
+			continue
+		}
+		q.Add(id)
+	}
+	return q
+}
+
+// suggestCandidates lists the distinct values worth testing under Rule 1:
+// everything reported in vote-2/vote-3 fields plus the leader's input.
+// Sorted for determinism.
+func suggestCandidates(suggests map[types.NodeID]types.SuggestMsg, initVal types.Value) []types.Value {
+	seen := map[types.Value]struct{}{initVal: {}}
+	for _, s := range suggests {
+		for _, r := range []types.VoteRef{s.Vote2, s.PrevVote2, s.Vote3} {
+			if r.Valid {
+				seen[r.Val] = struct{}{}
+			}
+		}
+	}
+	return sortedValues(seen)
+}
+
+// proofCandidates lists the distinct values worth testing as ṽal/ṽal' in
+// Rule 3 item 2(b)iiiB: every reported vote-1/prev-vote-1/vote-4 value plus
+// two synthetic fresh values. Claims through Rule 4 items 1 and 3 hold for
+// arbitrary values, so values never seen in any vote field all share one
+// claim set; two fresh representatives cover every such choice.
+func proofCandidates(proofs map[types.NodeID]types.ProofMsg) []types.Value {
+	seen := make(map[types.Value]struct{})
+	for _, p := range proofs {
+		for _, r := range []types.VoteRef{p.Vote1, p.PrevVote1, p.Vote4} {
+			if r.Valid {
+				seen[r.Val] = struct{}{}
+			}
+		}
+	}
+	for _, fresh := range freshValues(seen, 2) {
+		seen[fresh] = struct{}{}
+	}
+	return sortedValues(seen)
+}
+
+// freshValues returns k values not present in seen.
+func freshValues(seen map[types.Value]struct{}, k int) []types.Value {
+	out := make([]types.Value, 0, k)
+	suffix := 0
+	for len(out) < k {
+		candidate := types.Value("\x00fresh" + string(rune('0'+suffix%10)) + string(rune('a'+suffix/10%26)))
+		if _, dup := seen[candidate]; !dup {
+			out = append(out, candidate)
+		}
+		suffix++
+	}
+	return out
+}
+
+func sortedValues(set map[types.Value]struct{}) []types.Value {
+	out := make([]types.Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func intersect(a, b quorum.Set) quorum.Set {
+	if b.Len() < a.Len() {
+		a, b = b, a
+	}
+	out := quorum.NewSet()
+	for n := range a {
+		if b.Has(n) {
+			out.Add(n)
+		}
+	}
+	return out
+}

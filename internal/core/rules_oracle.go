@@ -1,0 +1,204 @@
+package core
+
+import (
+	"tetrabft/internal/quorum"
+	"tetrabft/internal/types"
+)
+
+// This file contains reference implementations of Rule 1 and Rule 3 that
+// follow the paper's rule text literally: they enumerate *every subset* of
+// received messages as the candidate quorum q and check the rule's clauses
+// directly. They are exponential in the number of messages and exist purely
+// as oracles for differential tests against the efficient Algorithm 4/5
+// implementations in rules.go (mirroring how the paper validates the
+// algorithms against the rules in Section 3.3).
+
+// RefLeaderSafeValue is the oracle for Rule 1. It reports every value in
+// candidates that is safe to propose in view v given the suggests.
+func RefLeaderSafeValue(qs quorum.System, observer types.NodeID, suggests map[types.NodeID]types.SuggestMsg, v types.View, candidates []types.Value) []types.Value {
+	if v == 0 {
+		return candidates
+	}
+	var safe []types.Value
+	senders := sendersOfSuggests(suggests)
+	for _, val := range candidates {
+		if refRule1Holds(qs, observer, suggests, senders, v, val) {
+			safe = append(safe, val)
+		}
+	}
+	return safe
+}
+
+func refRule1Holds(qs quorum.System, observer types.NodeID, suggests map[types.NodeID]types.SuggestMsg, senders []types.NodeID, v types.View, val types.Value) bool {
+	for _, q := range subsets(senders) {
+		if !qs.IsQuorum(q) {
+			continue
+		}
+		// Item 2a: no member of q sent any vote-3 before view v.
+		noVote3 := true
+		for id := range q {
+			if suggests[id].Vote3.Valid {
+				noVote3 = false
+				break
+			}
+		}
+		if noVote3 {
+			return true
+		}
+		// Item 2b: some view v' < v satisfies (i), (ii) and (iii).
+		for vp := types.View(0); vp < v; vp++ {
+			if refRule1ItemBHolds(qs, observer, suggests, q, vp, val) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func refRule1ItemBHolds(qs quorum.System, observer types.NodeID, suggests map[types.NodeID]types.SuggestMsg, q quorum.Set, vp types.View, val types.Value) bool {
+	blocking := quorum.NewSet()
+	for id := range q {
+		s := suggests[id]
+		if s.Vote3.Valid && s.Vote3.View > vp {
+			return false // (i): someone in q voted phase 3 above v'
+		}
+		if s.Vote3.Valid && s.Vote3.View == vp && s.Vote3.Val != val {
+			return false // (ii): a phase-3 vote at v' for another value
+		}
+		if ClaimsSafe(s.Vote2, s.PrevVote2, vp, val) {
+			blocking.Add(id)
+		}
+	}
+	return qs.IsBlocking(observer, blocking) // (iii)
+}
+
+// RefProposalSafe is the oracle for Rule 3.
+func RefProposalSafe(qs quorum.System, observer types.NodeID, proofs map[types.NodeID]types.ProofMsg, v types.View, val types.Value) bool {
+	if v == 0 {
+		return true
+	}
+	senders := sendersOfProofs(proofs)
+	values := proofCandidates(proofs) // reported values + fresh representatives
+	for _, q := range subsets(senders) {
+		if !qs.IsQuorum(q) {
+			continue
+		}
+		// Item 2a.
+		noVote4 := true
+		for id := range q {
+			if proofs[id].Vote4.Valid {
+				noVote4 = false
+				break
+			}
+		}
+		if noVote4 {
+			return true
+		}
+		// Item 2b over every v' < v.
+		for vp := types.View(0); vp < v; vp++ {
+			if !refRule3ItemsIandII(proofs, q, vp, val) {
+				continue
+			}
+			// (iii)(A): a blocking subset of q claims val safe at v'.
+			claimVal := quorum.NewSet()
+			for id := range q {
+				p := proofs[id]
+				if ClaimsSafe(p.Vote1, p.PrevVote1, vp, val) {
+					claimVal.Add(id)
+				}
+			}
+			if qs.IsBlocking(observer, claimVal) {
+				return true
+			}
+			// (iii)(B): blocking subsets of q claim ṽal safe at ṽ and
+			// ṽal' ≠ ṽal safe at ṽ', with v' ≤ ṽ < ṽ' < v.
+			for tv := vp; tv < v; tv++ {
+				for tvp := tv + 1; tvp < v; tvp++ {
+					if refRule3ItemBPair(qs, observer, proofs, q, tv, tvp, values) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func refRule3ItemsIandII(proofs map[types.NodeID]types.ProofMsg, q quorum.Set, vp types.View, val types.Value) bool {
+	for id := range q {
+		p := proofs[id]
+		if !p.Vote4.Valid {
+			continue
+		}
+		if p.Vote4.View > vp {
+			return false
+		}
+		if p.Vote4.View == vp && p.Vote4.Val != val {
+			return false
+		}
+	}
+	return true
+}
+
+func refRule3ItemBPair(qs quorum.System, observer types.NodeID, proofs map[types.NodeID]types.ProofMsg, q quorum.Set, tv, tvp types.View, values []types.Value) bool {
+	for _, u1 := range values {
+		b1 := quorum.NewSet()
+		for id := range q {
+			p := proofs[id]
+			if ClaimsSafe(p.Vote1, p.PrevVote1, tv, u1) {
+				b1.Add(id)
+			}
+		}
+		if !qs.IsBlocking(observer, b1) {
+			continue
+		}
+		for _, u2 := range values {
+			if u2 == u1 {
+				continue
+			}
+			b2 := quorum.NewSet()
+			for id := range q {
+				p := proofs[id]
+				if ClaimsSafe(p.Vote1, p.PrevVote1, tvp, u2) {
+					b2.Add(id)
+				}
+			}
+			if qs.IsBlocking(observer, b2) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func sendersOfSuggests(m map[types.NodeID]types.SuggestMsg) []types.NodeID {
+	set := quorum.NewSet()
+	for id := range m {
+		set.Add(id)
+	}
+	return set.Sorted()
+}
+
+func sendersOfProofs(m map[types.NodeID]types.ProofMsg) []types.NodeID {
+	set := quorum.NewSet()
+	for id := range m {
+		set.Add(id)
+	}
+	return set.Sorted()
+}
+
+// subsets enumerates every subset of ids (exponential; oracle use only).
+func subsets(ids []types.NodeID) []quorum.Set {
+	n := len(ids)
+	out := make([]quorum.Set, 0, 1<<n)
+	for mask := 0; mask < 1<<n; mask++ {
+		s := quorum.NewSet()
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s.Add(ids[i])
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}

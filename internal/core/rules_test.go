@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetrabft/internal/quorum"
+	"tetrabft/internal/types"
+)
+
+func TestClaimsSafe(t *testing.T) {
+	tests := []struct {
+		name string
+		vote types.VoteRef
+		prev types.VoteRef
+		vp   types.View
+		val  types.Value
+		want bool
+	}{
+		{name: "view 0 is always safe", vp: 0, val: "x", want: true},
+		{name: "highest vote endorses", vote: types.Vote(5, "a"), vp: 3, val: "a", want: true},
+		{name: "highest vote exactly at vp", vote: types.Vote(3, "a"), vp: 3, val: "a", want: true},
+		{name: "highest vote too old", vote: types.Vote(2, "a"), vp: 3, val: "a", want: false},
+		{name: "highest vote wrong value", vote: types.Vote(5, "a"), vp: 3, val: "b", want: false},
+		{name: "prev vote brackets any value", vote: types.Vote(5, "a"), prev: types.Vote(4, "b"), vp: 3, val: "c", want: true},
+		{name: "prev vote too old", vote: types.Vote(5, "a"), prev: types.Vote(2, "b"), vp: 3, val: "c", want: false},
+		{name: "no votes at all", vp: 1, val: "a", want: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClaimsSafe(tt.vote, tt.prev, tt.vp, tt.val); got != tt.want {
+				t.Errorf("ClaimsSafe(%v, %v, %d, %q) = %v, want %v", tt.vote, tt.prev, tt.vp, tt.val, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLeaderSafeValueView0(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	val, ok := LeaderSafeValue(qs, 0, nil, 0, "init")
+	if !ok || val != "init" {
+		t.Errorf("view 0: got (%q, %v), want (init, true)", val, ok)
+	}
+}
+
+func TestLeaderSafeValueQuorumNoVote3(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	suggests := map[types.NodeID]types.SuggestMsg{
+		0: {View: 2},
+		1: {View: 2},
+		2: {View: 2},
+	}
+	val, ok := LeaderSafeValue(qs, 0, suggests, 2, "init")
+	if !ok || val != "init" {
+		t.Errorf("no-vote-3 quorum: got (%q, %v), want (init, true)", val, ok)
+	}
+}
+
+func TestLeaderSafeValueInsufficientSuggests(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	suggests := map[types.NodeID]types.SuggestMsg{
+		0: {View: 2},
+		1: {View: 2},
+	}
+	if _, ok := LeaderSafeValue(qs, 0, suggests, 2, "init"); ok {
+		t.Error("2 of 4 suggests determined a safe value")
+	}
+}
+
+// TestLeaderSafeValueLemma2 reproduces the Lemma 2 scenario: some quorum
+// member sent vote-3 for "a" in view 1, so a blocking set of nodes that
+// sent vote-2 for "a" in view 1 certifies "a" as the safe choice.
+func TestLeaderSafeValueLemma2(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	suggests := map[types.NodeID]types.SuggestMsg{
+		0: {View: 2, Vote2: types.Vote(1, "a"), Vote3: types.Vote(1, "a")},
+		1: {View: 2, Vote2: types.Vote(1, "a")},
+		2: {View: 2, Vote2: types.Vote(1, "a")},
+	}
+	val, ok := LeaderSafeValue(qs, 0, suggests, 2, "init")
+	if !ok || val != "a" {
+		t.Errorf("Lemma 2 scenario: got (%q, %v), want (a, true)", val, ok)
+	}
+}
+
+// TestLeaderSafeValueByzantineVote3 shows a lone Byzantine vote-3 report for
+// a conflicting value cannot block progress: the leader picks a quorum that
+// excludes it.
+func TestLeaderSafeValueByzantineVote3(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	suggests := map[types.NodeID]types.SuggestMsg{
+		0: {View: 2, Vote2: types.Vote(1, "a"), Vote3: types.Vote(1, "a")},
+		1: {View: 2, Vote2: types.Vote(1, "a")},
+		2: {View: 2, Vote2: types.Vote(1, "a")},
+		3: {View: 2, Vote3: types.Vote(1, "b")}, // Byzantine claim
+	}
+	val, ok := LeaderSafeValue(qs, 0, suggests, 2, "init")
+	if !ok || val != "a" {
+		t.Errorf("got (%q, %v), want (a, true)", val, ok)
+	}
+}
+
+func TestProposalSafeView0(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	if !ProposalSafe(qs, 0, nil, 0, "anything") {
+		t.Error("view 0 proposal not safe")
+	}
+}
+
+func TestProposalSafeQuorumNoVote4(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	proofs := map[types.NodeID]types.ProofMsg{
+		0: {View: 1}, 1: {View: 1}, 2: {View: 1},
+	}
+	if !ProposalSafe(qs, 0, proofs, 1, "x") {
+		t.Error("no-vote-4 quorum rejected the proposal")
+	}
+}
+
+// TestProposalSafeAfterDecision reproduces the Lemma 8 argument: once a
+// quorum has sent vote-4 for "a" in view 1, view 2 must accept "a" and
+// reject any other value.
+func TestProposalSafeAfterDecision(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	proofs := map[types.NodeID]types.ProofMsg{
+		0: {View: 2, Vote1: types.Vote(1, "a"), Vote4: types.Vote(1, "a")},
+		1: {View: 2, Vote1: types.Vote(1, "a"), Vote4: types.Vote(1, "a")},
+		2: {View: 2, Vote1: types.Vote(1, "a"), Vote4: types.Vote(1, "a")},
+	}
+	if !ProposalSafe(qs, 0, proofs, 2, "a") {
+		t.Error("the decided value was rejected")
+	}
+	if ProposalSafe(qs, 0, proofs, 2, "b") {
+		t.Error("a conflicting value was accepted after a decision")
+	}
+}
+
+// TestProposalSafeRule3BOnly exercises Rule 3 item 2(b)iiiB: the proposal
+// value "p" is not directly claimed safe by any blocking set, but two
+// blocking sets claim two different values ("x" at view 1, "y" at view 2)
+// safe, bracketing the last vote-4.
+func TestProposalSafeRule3BOnly(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	proofs := map[types.NodeID]types.ProofMsg{
+		0: {View: 3, Vote1: types.Vote(2, "y"), PrevVote1: types.Vote(1, "x")},
+		1: {View: 3, Vote1: types.Vote(2, "y"), PrevVote1: types.Vote(1, "x")},
+		2: {View: 3, Vote1: types.Vote(0, "p"), Vote4: types.Vote(1, "p")},
+	}
+	if !ProposalSafe(qs, 0, proofs, 3, "p") {
+		t.Error("iiiB witness rejected")
+	}
+	// A different proposal value fails item 2(b)ii at view 1 and has no
+	// other witnesses.
+	if ProposalSafe(qs, 0, proofs, 3, "q") {
+		t.Error("value with conflicting vote-4 accepted")
+	}
+}
+
+func TestProposalSafeInsufficientProofs(t *testing.T) {
+	qs := quorum.MustThreshold(4)
+	proofs := map[types.NodeID]types.ProofMsg{
+		0: {View: 1}, 1: {View: 1},
+	}
+	if ProposalSafe(qs, 0, proofs, 1, "x") {
+		t.Error("2 of 4 proofs accepted a proposal")
+	}
+}
+
+// randomRef builds an arbitrary (possibly Byzantine-shaped) vote reference.
+func randomRef(rng *rand.Rand, maxView int, vals []types.Value) types.VoteRef {
+	if rng.Intn(3) == 0 {
+		return types.VoteRef{}
+	}
+	return types.Vote(types.View(rng.Intn(maxView)), vals[rng.Intn(len(vals))])
+}
+
+// TestDifferentialLeaderSafeValue compares Algorithm 4 against the
+// exhaustive Rule 1 oracle on randomized (including adversarially shaped)
+// suggest sets.
+func TestDifferentialLeaderSafeValue(t *testing.T) {
+	vals := []types.Value{"a", "b", "c"}
+	const initVal = types.Value("init")
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(2)
+		qs := quorum.MustThreshold(n)
+		v := types.View(1 + rng.Intn(3))
+		suggests := make(map[types.NodeID]types.SuggestMsg)
+		for id := 0; id < n; id++ {
+			if rng.Intn(4) == 0 {
+				continue // this node's suggest never arrived
+			}
+			suggests[types.NodeID(id)] = types.SuggestMsg{
+				View:      v,
+				Vote2:     randomRef(rng, int(v), vals),
+				PrevVote2: randomRef(rng, int(v), vals),
+				Vote3:     randomRef(rng, int(v), vals),
+			}
+		}
+		got, ok := LeaderSafeValue(qs, 0, suggests, v, initVal)
+		candidates := append([]types.Value{initVal}, vals...)
+		refSafe := RefLeaderSafeValue(qs, 0, suggests, v, candidates)
+		if ok {
+			found := false
+			for _, s := range refSafe {
+				if s == got {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: LeaderSafeValue returned %q but oracle safe set is %v (suggests=%v, v=%d)",
+					seed, got, refSafe, suggests, v)
+			}
+		}
+		if ok != (len(refSafe) > 0) {
+			t.Fatalf("seed %d: LeaderSafeValue ok=%v but oracle safe set %v (suggests=%v, v=%d)",
+				seed, ok, refSafe, suggests, v)
+		}
+	}
+}
+
+// TestDifferentialProposalSafe compares Algorithm 5 against the exhaustive
+// Rule 3 oracle on randomized proof sets.
+func TestDifferentialProposalSafe(t *testing.T) {
+	vals := []types.Value{"a", "b", "c"}
+	for seed := int64(0); seed < 400; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(2)
+		qs := quorum.MustThreshold(n)
+		v := types.View(1 + rng.Intn(3))
+		proofs := make(map[types.NodeID]types.ProofMsg)
+		for id := 0; id < n; id++ {
+			if rng.Intn(4) == 0 {
+				continue
+			}
+			proofs[types.NodeID(id)] = types.ProofMsg{
+				View:      v,
+				Vote1:     randomRef(rng, int(v), vals),
+				PrevVote1: randomRef(rng, int(v), vals),
+				Vote4:     randomRef(rng, int(v), vals),
+			}
+		}
+		val := vals[rng.Intn(len(vals))]
+		got := ProposalSafe(qs, 0, proofs, v, val)
+		want := RefProposalSafe(qs, 0, proofs, v, val)
+		if got != want {
+			t.Fatalf("seed %d: ProposalSafe=%v oracle=%v (proofs=%v, v=%d, val=%q)",
+				seed, got, want, proofs, v, val)
+		}
+	}
+}
+
+// TestRulesWorkOnHeterogeneousQuorums runs the Lemma 2 scenario on a
+// slice-based quorum system equivalent to 4-node threshold, demonstrating
+// the paper's claim that TetraBFT transfers to heterogeneous trust.
+func TestRulesWorkOnHeterogeneousQuorums(t *testing.T) {
+	het, err := quorum.ThresholdSlices(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	suggests := map[types.NodeID]types.SuggestMsg{
+		0: {View: 2, Vote2: types.Vote(1, "a"), Vote3: types.Vote(1, "a")},
+		1: {View: 2, Vote2: types.Vote(1, "a")},
+		2: {View: 2, Vote2: types.Vote(1, "a")},
+	}
+	val, ok := LeaderSafeValue(het, 0, suggests, 2, "init")
+	if !ok || val != "a" {
+		t.Errorf("heterogeneous Lemma 2: got (%q, %v), want (a, true)", val, ok)
+	}
+}
+
+func TestFreshValuesAvoidCollisions(t *testing.T) {
+	seen := map[types.Value]struct{}{}
+	fresh := freshValues(seen, 2)
+	if len(fresh) != 2 || fresh[0] == fresh[1] {
+		t.Fatalf("freshValues = %v", fresh)
+	}
+	// Saturate with the first generated names and confirm new ones differ.
+	seen[fresh[0]] = struct{}{}
+	seen[fresh[1]] = struct{}{}
+	more := freshValues(seen, 2)
+	for _, m := range more {
+		if _, dup := seen[m]; dup {
+			t.Errorf("freshValues returned colliding value %q", m)
+		}
+	}
+}

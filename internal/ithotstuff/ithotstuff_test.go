@@ -1,0 +1,182 @@
+package ithotstuff
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft/internal/byz"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+func addNode(t *testing.T, r *sim.Runner, id types.NodeID, n int, variant Variant, init types.Value) *Node {
+	t.Helper()
+	node, err := NewNode(Config{ID: id, Nodes: n, Variant: variant, InitialValue: init, Delta: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(node)
+	return node
+}
+
+// TestFullGoodCaseSixDelays: IT-HS decides in 6 message delays (propose,
+// echo, key1, key2, key3, lock), the Table 1 row TetraBFT improves on.
+func TestFullGoodCaseSixDelays(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		addNode(t, r, types.NodeID(i), 4, Full, types.Value(fmt.Sprintf("val-%d", i)))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(0); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.Val != "val-0" || d.At != 6 {
+			t.Errorf("node %d decided (%q, t=%d), want (val-0, 6)", i, d.Val, d.At)
+		}
+	}
+}
+
+// TestBlogGoodCaseFourDelays: the blog version's 4 phases (propose, echo,
+// accept, lock).
+func TestBlogGoodCaseFourDelays(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		addNode(t, r, types.NodeID(i), 4, Blog, types.Value(fmt.Sprintf("val-%d", i)))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(0); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.At != 4 {
+			t.Errorf("node %d decided at t=%d, want 4", i, d.At)
+		}
+	}
+}
+
+// TestFullViewChangeNineDelays: after a silent leader's 9Δ timeout, IT-HS
+// needs 9 message delays (view-change, request, suggest, propose, echo,
+// key1, key2, key3, lock) — Table 1's view-change column.
+func TestFullViewChangeNineDelays(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	r.Add(byz.Silent{NodeID: 0})
+	for i := 1; i < 4; i++ {
+		addNode(t, r, types.NodeID(i), 4, Full, types.Value(fmt.Sprintf("val-%d", i)))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(1); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.At != 99 {
+			t.Errorf("node %d decided at t=%d, want 99 (90 timeout + 9 delays)", i, d.At)
+		}
+	}
+}
+
+// TestBlogViewChangeWaitsDelta: the blog version is non-responsive — its
+// new leader waits a full Δ before proposing, so recovery costs 5 message
+// delays plus Δ of dead time: decision at 90 + 1 (vc) + Δ (wait) + 4 = 105
+// with Δ = 10.
+func TestBlogViewChangeWaitsDelta(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	r.Add(byz.Silent{NodeID: 0})
+	for i := 1; i < 4; i++ {
+		addNode(t, r, types.NodeID(i), 4, Blog, types.Value(fmt.Sprintf("val-%d", i)))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(1); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.At != 105 {
+			t.Errorf("node %d decided at t=%d, want 105 (90 + 1 + Δ=10 + 4)", i, d.At)
+		}
+	}
+}
+
+// TestLockCarriesOver: a node locked in view 0 reports its lock, and the
+// new leader re-proposes the locked value.
+func TestLockCarriesOver(t *testing.T) {
+	// Drop all lock-phase messages so nobody decides in view 0 but
+	// everybody has locked (lock is set when key3 reaches quorum).
+	drop := adversaryFunc(func(_, _ types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
+		if m, ok := msg.(types.GenericVote); ok && m.Phase == phaseLock && m.View == 0 {
+			return sim.Verdict{Drop: true}
+		}
+		return sim.Verdict{}
+	})
+	r := sim.New(sim.Config{Seed: 1, Adversary: drop})
+	for i := 0; i < 4; i++ {
+		addNode(t, r, types.NodeID(i), 4, Full, types.Value(fmt.Sprintf("val-%d", i)))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(0); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.Val != "val-0" {
+			t.Errorf("node %d decided %q, want the view-0 locked value val-0", i, d.Val)
+		}
+		if d.At <= 90 {
+			t.Errorf("node %d decided at t=%d, expected recovery after the timeout", i, d.At)
+		}
+	}
+}
+
+func TestStorageConstant(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	nodes := make([]*Node, 0, 3)
+	r.Add(byz.Silent{NodeID: 0})
+	for i := 1; i < 4; i++ {
+		nodes = append(nodes, addNode(t, r, types.NodeID(i), 4, Full, "v"))
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if n.StorageBytes() > 64 {
+			t.Errorf("node %d storage %d bytes, want constant small", n.ID(), n.StorageBytes())
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewNode(Config{ID: 0, Nodes: 4}); err == nil {
+		t.Error("missing variant accepted")
+	}
+	if _, err := NewNode(Config{ID: 0, Nodes: 0, Variant: Full}); err == nil {
+		t.Error("n=0 accepted")
+	}
+}
+
+type adversaryFunc func(from, to types.NodeID, msg types.Message, now types.Time) sim.Verdict
+
+func (f adversaryFunc) Intercept(from, to types.NodeID, msg types.Message, now types.Time) sim.Verdict {
+	return f(from, to, msg, now)
+}

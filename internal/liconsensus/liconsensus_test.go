@@ -1,0 +1,64 @@
+package liconsensus
+
+import (
+	"testing"
+
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+// TestGoodCaseSixDelays: the two chained reliable broadcasts cost exactly
+// 3 + 3 = 6 message delays, the Table 1 row for Li et al.
+func TestGoodCaseSixDelays(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		n, err := NewNode(Config{ID: types.NodeID(i), Nodes: 4, Leader: 0, InitialValue: "v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Add(n)
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(0); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.Val != "v" {
+			t.Errorf("node %d decided %q", i, d.Val)
+		}
+		if d.At != 6 {
+			t.Errorf("node %d decided at t=%d, want 6", i, d.At)
+		}
+	}
+}
+
+func TestStorageGrows(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		n, err := NewNode(Config{ID: types.NodeID(i), Nodes: 4, Leader: 0, InitialValue: "v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = n
+		r.Add(n)
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0].StorageBytes() == 0 {
+		t.Error("unbounded-log model retained nothing")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewNode(Config{ID: 0, Nodes: 0}); err == nil {
+		t.Error("accepted n=0")
+	}
+}

@@ -1,0 +1,168 @@
+package multishot
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft/internal/byz"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+// blockEquivocator is a Byzantine leader machine: whenever it leads a slot
+// it proposes two different blocks to the two halves of the cluster, then
+// votes for whatever it sees (maximizing confusion).
+type blockEquivocator struct {
+	id    types.NodeID
+	n     int
+	peers []types.NodeID
+}
+
+func (b *blockEquivocator) ID() types.NodeID { return b.id }
+
+func (b *blockEquivocator) Start(types.Env) {}
+
+func (b *blockEquivocator) Deliver(env types.Env, _ types.NodeID, msg types.Message) {
+	p, ok := msg.(types.MSPropose)
+	if !ok {
+		return
+	}
+	// If we lead the next slot, equivocate on top of the received block.
+	next := p.Block.Slot + 1
+	if (int64(next)+int64(p.View))%int64(b.n) != int64(b.id) {
+		return
+	}
+	for i, peer := range b.peers {
+		payload := []byte("evil-A")
+		if i%2 == 1 {
+			payload = []byte("evil-B")
+		}
+		env.Send(peer, types.MSPropose{
+			View:  p.View,
+			Block: types.Block{Slot: next, Parent: p.Block.ID(), Payload: payload},
+		})
+	}
+}
+
+func (b *blockEquivocator) Tick(types.Env, types.TimerID) {}
+
+// TestBlockEquivocatingLeader: the equivocating proposer splits votes on
+// its slots; no quorum forms there, a view change re-proposes, and the
+// chain stays prefix-consistent.
+func TestBlockEquivocatingLeader(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	nodes := make([]*Node, 0, 3)
+	for i := 0; i < 4; i++ {
+		if i == 2 {
+			r.Add(&blockEquivocator{id: 2, n: 4, peers: []types.NodeID{0, 1, 2, 3}})
+			continue
+		}
+		nodes = append(nodes, addNode(t, r, types.NodeID(i), 4, 9))
+	}
+	if err := r.Run(5000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	checkChains(t, nodes)
+	for _, n := range nodes {
+		if n.FinalizedSlot() < 4 {
+			t.Fatalf("node %d finalized only %d slots under an equivocating proposer", n.ID(), n.FinalizedSlot())
+		}
+	}
+}
+
+// TestMultishotFuzz sweeps seeds with a random-babbling Byzantine node and
+// randomized delays: prefix consistency must hold in every run and honest
+// nodes must make progress.
+func TestMultishotFuzz(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := sim.New(sim.Config{Seed: seed, Delay: sim.UniformDelay{Min: 1, Max: 6}})
+			byzID := types.NodeID(seed % 4)
+			nodes := make([]*Node, 0, 3)
+			for i := 0; i < 4; i++ {
+				if types.NodeID(i) == byzID {
+					r.Add(&byz.Random{NodeID: byzID, Seed: seed, MaxView: 4, Budget: 400,
+						Values: []types.Value{"junk-a", "junk-b"}})
+					continue
+				}
+				nodes = append(nodes, addNode(t, r, types.NodeID(i), 4, 10))
+			}
+			if err := r.Run(15000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.AgreementViolation(); err != nil {
+				t.Fatal(err)
+			}
+			checkChains(t, nodes)
+			for _, n := range nodes {
+				if n.FinalizedSlot() < 5 {
+					t.Fatalf("node %d finalized only %d slots", n.ID(), n.FinalizedSlot())
+				}
+			}
+		})
+	}
+}
+
+// msRandom is a Byzantine babbler speaking the multi-shot message dialect
+// (forged votes, view changes, suggest/proof histories, finality claims).
+// Its forgeries are budgeted: reacting to its own broadcast echoes would
+// otherwise self-feed an unbounded same-instant message storm.
+type msRandom struct {
+	byz.Random
+
+	forgeries int
+}
+
+func (m *msRandom) Deliver(env types.Env, from types.NodeID, msg types.Message) {
+	// Reuse Random's budgeted spew, then add multi-shot-specific forgeries.
+	m.Random.Deliver(env, from, msg)
+	if from == m.NodeID || m.forgeries >= 100 {
+		return
+	}
+	if v, ok := msg.(types.MSVote); ok {
+		m.forgeries++
+		forged := v
+		forged.Block = types.Block{Slot: v.Slot, Payload: []byte("forged")}.ID()
+		env.Broadcast(forged)
+		env.Broadcast(types.MSViewChange{Slot: v.Slot, View: v.View + 1})
+		env.Broadcast(types.MSFinal{Block: types.Block{Slot: v.Slot, Payload: []byte("fake-final")}})
+	}
+}
+
+// TestMultishotDialectFuzz: forged multi-shot votes, premature view-change
+// calls and fake finality claims from one Byzantine node must not break
+// consistency or stall the chain.
+func TestMultishotDialectFuzz(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			r := sim.New(sim.Config{Seed: seed, Delay: sim.UniformDelay{Min: 1, Max: 4}})
+			nodes := make([]*Node, 0, 3)
+			for i := 0; i < 4; i++ {
+				if i == 1 {
+					r.Add(&msRandom{Random: byz.Random{NodeID: 1, Seed: seed, Budget: 150}})
+					continue
+				}
+				nodes = append(nodes, addNode(t, r, types.NodeID(i), 4, 10))
+			}
+			if err := r.Run(15000, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.AgreementViolation(); err != nil {
+				t.Fatal(err)
+			}
+			checkChains(t, nodes)
+			for _, n := range nodes {
+				if n.FinalizedSlot() < 5 {
+					t.Fatalf("node %d finalized only %d slots", n.ID(), n.FinalizedSlot())
+				}
+			}
+		})
+	}
+}

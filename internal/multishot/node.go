@@ -1,0 +1,819 @@
+// Package multishot implements Multi-shot TetraBFT (Section 6 of the
+// paper): the pipelined, chained extension of single-shot TetraBFT that
+// finalizes a blockchain.
+//
+// Blocks are indexed by slots. Each vote message ⟨vote, slot s, view v,
+// block b⟩ plays four roles at once: vote-1 for slot s, vote-2 for slot
+// s−1, vote-3 for s−2 and vote-4 for s−3, resolved along b's ancestor
+// chain. A block is notarized on a quorum of votes; the first block of four
+// consecutively notarized, parent-linked slots is finalized together with
+// its entire prefix. In the good case the pipeline commits one block per
+// message delay (Figure 2); leader failure aborts at most the five
+// in-flight blocks and recovers through a per-slot view change with
+// suggest/proof messages and Rules 1/3 (Figure 3, Algorithms 2-3).
+package multishot
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"tetrabft/internal/core"
+	"tetrabft/internal/quorum"
+	"tetrabft/internal/trace"
+	"tetrabft/internal/types"
+)
+
+// Config parameterizes a multi-shot TetraBFT node.
+type Config struct {
+	// ID is this node's identity.
+	ID types.NodeID
+	// Quorum is the quorum system (nil = threshold over Nodes).
+	Quorum quorum.System
+	// Nodes is the membership size used when Quorum is nil.
+	Nodes int
+	// Delta is the post-GST delay bound Δ in ticks (default 10).
+	Delta types.Duration
+	// TimeoutFactor scales the per-slot view timeout (default 9 → 9Δ).
+	TimeoutFactor int
+	// Payload produces the block body this node proposes for a slot.
+	// Nil yields a deterministic placeholder payload.
+	Payload func(slot types.Slot) []byte
+	// MaxSlot stops the pipeline: leaders do not propose beyond it
+	// (0 = unbounded).
+	MaxSlot types.Slot
+	// Tracer optionally observes protocol events.
+	Tracer trace.Tracer
+}
+
+// slotState is the per-slot consensus state. Only the ≤5 in-flight slots
+// are ever active; finalized slots keep just their final block.
+type slotState struct {
+	started   bool
+	view      types.View
+	votes     core.VoteState // implicit vote-1..4 history for this slot
+	highestVC types.View
+
+	proposals map[types.View]types.Block
+	proposed  map[types.View]bool
+	sentVote  map[types.View]bool
+	suggests  map[types.View]map[types.NodeID]types.SuggestMsg
+	proofs    map[types.View]map[types.NodeID]types.ProofMsg
+	tallies   map[types.View]map[types.BlockID]quorum.Set
+	vcSets    map[types.View]quorum.Set
+	notarized map[types.BlockID]types.View
+
+	finalized  bool
+	finalBlock types.BlockID
+}
+
+func newSlotState() *slotState {
+	return &slotState{
+		proposals: make(map[types.View]types.Block),
+		proposed:  make(map[types.View]bool),
+		sentVote:  make(map[types.View]bool),
+		suggests:  make(map[types.View]map[types.NodeID]types.SuggestMsg),
+		proofs:    make(map[types.View]map[types.NodeID]types.ProofMsg),
+		tallies:   make(map[types.View]map[types.BlockID]quorum.Set),
+		vcSets:    make(map[types.View]quorum.Set),
+		notarized: make(map[types.BlockID]types.View),
+	}
+}
+
+// Node is a multi-shot TetraBFT node; it implements types.Machine.
+type Node struct {
+	cfg     Config
+	qs      quorum.System
+	members []types.NodeID
+
+	slots     map[types.Slot]*slotState
+	blocks    map[types.BlockID]types.Block
+	maxSlot   types.Slot // highest started slot
+	finalized types.Slot // highest finalized slot
+
+	// claims tracks MSFinal finality claims per slot: last claimed block
+	// per sender. f+1 matching claims let a straggler adopt a finalized
+	// block it missed (see onFinal).
+	claims map[types.Slot]map[types.NodeID]types.BlockID
+
+	timers    map[types.TimerID]timerRef
+	nextTimer types.TimerID
+}
+
+// catchupWindow bounds how far ahead of the local finalized head finality
+// claims are buffered (spam bound; catch-up is sequential anyway and the
+// claim protocol retries on every view-change retransmission).
+const catchupWindow = 64
+
+type timerRef struct {
+	slot types.Slot
+	view types.View
+}
+
+var _ types.Machine = (*Node)(nil)
+
+// NewNode builds a multi-shot node.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Quorum == nil {
+		if cfg.Nodes <= 0 {
+			return nil, errors.New("multishot: config needs either Quorum or Nodes")
+		}
+		t, err := quorum.NewThreshold(cfg.Nodes)
+		if err != nil {
+			return nil, fmt.Errorf("multishot: %w", err)
+		}
+		cfg.Quorum = t
+	}
+	if cfg.Delta <= 0 {
+		cfg.Delta = 10
+	}
+	if cfg.TimeoutFactor <= 0 {
+		cfg.TimeoutFactor = core.DefaultTimeoutFactor
+	}
+	if cfg.Payload == nil {
+		id := cfg.ID
+		cfg.Payload = func(slot types.Slot) []byte {
+			return []byte("payload-" + strconv.FormatInt(int64(slot), 10) + "-by-" + strconv.Itoa(int(id)))
+		}
+	}
+	members := cfg.Quorum.Members()
+	found := false
+	for _, m := range members {
+		if m == cfg.ID {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("multishot: node %d is not a member of the quorum system", cfg.ID)
+	}
+	return &Node{
+		cfg:     cfg,
+		qs:      cfg.Quorum,
+		members: members,
+		slots:   make(map[types.Slot]*slotState),
+		blocks:  make(map[types.BlockID]types.Block),
+		claims:  make(map[types.Slot]map[types.NodeID]types.BlockID),
+		timers:  make(map[types.TimerID]timerRef),
+	}, nil
+}
+
+// ID implements types.Machine.
+func (n *Node) ID() types.NodeID { return n.cfg.ID }
+
+// Leader returns the leader of (slot, view): round-robin over both.
+func (n *Node) Leader(slot types.Slot, view types.View) types.NodeID {
+	idx := (int64(slot) + int64(view)) % int64(len(n.members))
+	return n.members[idx]
+}
+
+// FinalizedSlot returns the highest finalized slot.
+func (n *Node) FinalizedSlot() types.Slot { return n.finalized }
+
+// FinalizedChain returns the finalized blocks in slot order.
+func (n *Node) FinalizedChain() []types.Block {
+	out := make([]types.Block, 0, n.finalized)
+	for s := types.Slot(1); s <= n.finalized; s++ {
+		if b, ok := n.blocks[n.slots[s].finalBlock]; ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ViewOf returns the node's current view for a slot.
+func (n *Node) ViewOf(slot types.Slot) types.View { return n.slot(slot).view }
+
+// Start implements types.Machine: slot 1 begins at time zero.
+func (n *Node) Start(env types.Env) {
+	n.startSlot(env, 1)
+	n.tryPropose(env, 1)
+}
+
+// Deliver implements types.Machine.
+func (n *Node) Deliver(env types.Env, from types.NodeID, msg types.Message) {
+	switch m := msg.(type) {
+	case types.MSPropose:
+		n.onPropose(env, from, m)
+	case types.MSVote:
+		n.onVote(env, from, m)
+	case types.MSViewChange:
+		n.onViewChange(env, from, m)
+	case types.MSSuggest:
+		n.onSuggest(env, from, m)
+	case types.MSProof:
+		n.onProof(env, from, m)
+	case types.MSFinal:
+		n.onFinal(env, from, m)
+	default:
+		// Foreign message kinds are ignored.
+	}
+}
+
+// Tick implements types.Machine: a per-slot view timer expired. If the slot
+// is still unfinalized in that view, call for the next view on the lowest
+// aborted slot (Algorithm 3 lines 6-8), then re-arm for retransmission.
+func (n *Node) Tick(env types.Env, id types.TimerID) {
+	ref, ok := n.timers[id]
+	if !ok {
+		return
+	}
+	delete(n.timers, id)
+	if n.cfg.MaxSlot > 0 && n.finalized >= n.cfg.MaxSlot-3 {
+		return // bounded run complete: the tail slots can never finalize
+	}
+	st := n.slot(ref.slot)
+	if st.finalized || st.view != ref.view {
+		return // stale: the slot finalized or moved on
+	}
+	lowest := n.lowestAborted()
+	if lowest == 0 {
+		return
+	}
+	ls := n.slot(lowest)
+	want := ls.view + 1
+	if want > ls.highestVC {
+		ls.highestVC = want
+		n.emit(env, "view-change", lowest, want, "")
+		env.Broadcast(types.MSViewChange{Slot: lowest, View: want})
+	} else {
+		// Retransmit the pending call (it may have been lost pre-GST).
+		env.Broadcast(types.MSViewChange{Slot: lowest, View: ls.highestVC})
+	}
+	n.armTimer(env, ref.slot, ref.view)
+}
+
+// lowestAborted returns the lowest started-but-unfinalized slot (0 = none).
+func (n *Node) lowestAborted() types.Slot {
+	for s := n.finalized + 1; s <= n.maxSlot; s++ {
+		if st, ok := n.slots[s]; ok && st.started && !st.finalized {
+			return s
+		}
+	}
+	return 0
+}
+
+func (n *Node) onPropose(env types.Env, from types.NodeID, m types.MSPropose) {
+	s := m.Block.Slot
+	if s < 1 || (n.cfg.MaxSlot > 0 && s > n.cfg.MaxSlot) {
+		return
+	}
+	if from != n.Leader(s, m.View) {
+		return
+	}
+	st := n.slot(s)
+	if st.finalized || m.View < st.view {
+		return
+	}
+	if _, dup := st.proposals[m.View]; dup {
+		return // first proposal per (slot, view) wins
+	}
+	st.proposals[m.View] = m.Block
+	n.blocks[m.Block.ID()] = m.Block
+	// Receiving the proposal for slot s starts slot s+1 (Section 6.2).
+	if !st.started {
+		n.startSlot(env, s)
+	}
+	n.startSlot(env, s+1)
+	n.tryVote(env, s)
+	// The pipeline leader of s+1 proposes on top of this block.
+	n.tryPropose(env, s+1)
+}
+
+func (n *Node) onVote(env types.Env, from types.NodeID, m types.MSVote) {
+	if m.Slot < 1 {
+		return
+	}
+	st := n.slot(m.Slot)
+	if st.finalized {
+		return
+	}
+	byView := st.tallies[m.View]
+	if byView == nil {
+		byView = make(map[types.BlockID]quorum.Set)
+		st.tallies[m.View] = byView
+	}
+	set := byView[m.Block]
+	if set == nil {
+		set = quorum.NewSet()
+		byView[m.Block] = set
+	}
+	set.Add(from)
+	if _, already := st.notarized[m.Block]; !already && n.qs.IsQuorum(set) {
+		st.notarized[m.Block] = m.View
+		n.emit(env, "notarize", m.Slot, m.View, m.Block.String())
+		n.tryVote(env, m.Slot+1)    // child slot's parent condition may now hold
+		n.tryPropose(env, m.Slot+2) // pipeline leader two ahead may be unblocked
+		n.tryFinalize(env)
+	}
+}
+
+func (n *Node) onViewChange(env types.Env, from types.NodeID, m types.MSViewChange) {
+	if m.Slot < 1 || m.View <= 0 {
+		return
+	}
+	// A view-change for a slot we already finalized means the sender is a
+	// straggler: answer with finality claims so it can catch up.
+	if m.Slot <= n.finalized {
+		last := m.Slot + 3
+		if last > n.finalized {
+			last = n.finalized
+		}
+		for s := m.Slot; s <= last; s++ {
+			if b, known := n.blocks[n.slot(s).finalBlock]; known {
+				env.Send(from, types.MSFinal{Block: b})
+			}
+		}
+		return
+	}
+	st := n.slot(m.Slot)
+	set := st.vcSets[m.View]
+	if set == nil {
+		set = quorum.NewSet()
+		st.vcSets[m.View] = set
+	}
+	set.Add(from)
+	// Echo on f+1 unless already sent for this slot at this view or higher.
+	if m.View > st.highestVC && n.qs.IsBlocking(n.cfg.ID, set) {
+		st.highestVC = m.View
+		env.Broadcast(types.MSViewChange{Slot: m.Slot, View: m.View})
+	}
+	// Apply on n−f.
+	if m.View > st.view && n.qs.IsQuorum(set) {
+		n.applyViewChange(env, m.Slot, m.View)
+	}
+}
+
+// applyViewChange moves every unfinalized slot in [s, maxSlot] to view v,
+// resets their timers, and broadcasts per-slot proof/suggest histories
+// (Algorithm 2 lines 7-11). Slots never started stay in view 0.
+func (n *Node) applyViewChange(env types.Env, s types.Slot, v types.View) {
+	for k := s; k <= n.maxSlot; k++ {
+		st := n.slot(k)
+		if st.finalized || !st.started || st.view >= v {
+			continue
+		}
+		st.view = v
+		n.emit(env, "enter-view", k, v, "")
+		n.armTimer(env, k, v)
+		env.Broadcast(msProof(k, v, st.votes))
+		env.Send(n.Leader(k, v), msSuggest(k, v, st.votes))
+		if n.Leader(k, v) == n.cfg.ID {
+			n.tryPropose(env, k)
+		}
+	}
+}
+
+func (n *Node) onSuggest(env types.Env, from types.NodeID, m types.MSSuggest) {
+	if m.Slot < 1 {
+		return
+	}
+	st := n.slot(m.Slot)
+	if st.finalized || m.View < st.view || n.Leader(m.Slot, m.View) != n.cfg.ID {
+		return
+	}
+	perView := st.suggests[m.View]
+	if perView == nil {
+		perView = make(map[types.NodeID]types.SuggestMsg)
+		st.suggests[m.View] = perView
+	}
+	if _, dup := perView[from]; dup {
+		return
+	}
+	perView[from] = types.SuggestMsg{View: m.View, Vote2: m.Vote2, PrevVote2: m.PrevVote2, Vote3: m.Vote3}
+	n.tryPropose(env, m.Slot)
+}
+
+func (n *Node) onProof(env types.Env, from types.NodeID, m types.MSProof) {
+	if m.Slot < 1 {
+		return
+	}
+	st := n.slot(m.Slot)
+	if st.finalized || m.View < st.view {
+		return
+	}
+	perView := st.proofs[m.View]
+	if perView == nil {
+		perView = make(map[types.NodeID]types.ProofMsg)
+		st.proofs[m.View] = perView
+	}
+	if _, dup := perView[from]; dup {
+		return
+	}
+	perView[from] = types.ProofMsg{View: m.View, Vote1: m.Vote1, PrevVote1: m.PrevVote1, Vote4: m.Vote4}
+	n.tryVote(env, m.Slot)
+}
+
+// onFinal processes a finality claim. Claims are buffered per (slot,
+// sender); once f+1 distinct senders claim the same block for the next
+// unfinalized slot, at least one of them is honest and the block is
+// genuinely final — adopt it and advance.
+func (n *Node) onFinal(env types.Env, from types.NodeID, m types.MSFinal) {
+	s := m.Block.Slot
+	if s <= n.finalized || s > n.finalized+catchupWindow {
+		return
+	}
+	byNode := n.claims[s]
+	if byNode == nil {
+		byNode = make(map[types.NodeID]types.BlockID)
+		n.claims[s] = byNode
+	}
+	id := m.Block.ID()
+	byNode[from] = id
+	n.blocks[id] = m.Block
+	// Adopt sequentially from the finalized head.
+	adopted := false
+	for {
+		next := n.finalized + 1
+		candidate, ok := n.blockingClaim(next)
+		if !ok {
+			break
+		}
+		b, known := n.blocks[candidate]
+		if !known {
+			break
+		}
+		want := types.ZeroBlockID
+		if n.finalized >= 1 {
+			want = n.slot(n.finalized).finalBlock
+		}
+		if b.Parent != want {
+			break
+		}
+		st := n.slot(next)
+		st.finalized = true
+		st.finalBlock = candidate
+		n.finalized = next
+		delete(n.claims, next)
+		n.emit(env, "adopt-final", next, st.view, candidate.String())
+		env.Decide(next, candidate.Value())
+		n.releaseSlot(next)
+		adopted = true
+	}
+	if adopted {
+		// Keep the recovery loop alive: the next unfinalized slot needs a
+		// running timer to request the following catch-up window (or to
+		// rejoin the live pipeline).
+		n.startSlot(env, n.finalized+1)
+		n.tryPropose(env, n.finalized+1)
+	}
+}
+
+// blockingClaim returns a block claimed final for slot s by a blocking set
+// (f+1 senders), if any.
+func (n *Node) blockingClaim(s types.Slot) (types.BlockID, bool) {
+	byNode := n.claims[s]
+	counts := make(map[types.BlockID]quorum.Set)
+	for sender, id := range byNode {
+		set := counts[id]
+		if set == nil {
+			set = quorum.NewSet()
+			counts[id] = set
+		}
+		set.Add(sender)
+	}
+	for id, set := range counts {
+		if n.qs.IsBlocking(n.cfg.ID, set) {
+			return id, true
+		}
+	}
+	return types.ZeroBlockID, false
+}
+
+// startSlot begins slot s: it becomes in-flight with a fresh 9Δ timer.
+func (n *Node) startSlot(env types.Env, s types.Slot) {
+	if s < 1 || (n.cfg.MaxSlot > 0 && s > n.cfg.MaxSlot) {
+		return
+	}
+	st := n.slot(s)
+	if st.started || st.finalized {
+		return
+	}
+	st.started = true
+	if s > n.maxSlot {
+		n.maxSlot = s
+	}
+	n.emit(env, "start-slot", s, st.view, "")
+	n.armTimer(env, s, st.view)
+}
+
+func (n *Node) armTimer(env types.Env, s types.Slot, v types.View) {
+	n.nextTimer++
+	id := n.nextTimer
+	n.timers[id] = timerRef{slot: s, view: v}
+	env.SetTimer(id, types.Duration(n.cfg.TimeoutFactor)*n.cfg.Delta)
+}
+
+// tryPropose proposes a block for slot s if this node leads (s, view) and
+// the pipeline/view-change preconditions hold.
+func (n *Node) tryPropose(env types.Env, s types.Slot) {
+	if s < 1 || (n.cfg.MaxSlot > 0 && s > n.cfg.MaxSlot) {
+		return
+	}
+	st := n.slot(s)
+	v := st.view
+	if st.finalized || st.proposed[v] || n.Leader(s, v) != n.cfg.ID {
+		return
+	}
+	parent, ok := n.parentFor(s, v)
+	if !ok {
+		return
+	}
+	var block types.Block
+	if v == 0 {
+		block = types.Block{Slot: s, Parent: parent, Payload: n.cfg.Payload(s)}
+	} else {
+		// Rule 1 over the per-slot suggest histories (Algorithm 4).
+		val, safe := core.LeaderSafeValue(n.qs, n.cfg.ID, st.suggests[v], v, types.Value("*any*"))
+		if !safe {
+			return
+		}
+		if val == "*any*" {
+			block = types.Block{Slot: s, Parent: parent, Payload: n.cfg.Payload(s)}
+		} else {
+			id, idOK := types.BlockIDFromValue(val)
+			if !idOK {
+				return // a forged suggest smuggled a non-block value; wait for honest quorum
+			}
+			body, known := n.blocks[id]
+			if !known {
+				return // cannot re-propose a block whose body we never saw
+			}
+			block = body
+		}
+	}
+	st.proposed[v] = true
+	n.blocks[block.ID()] = block
+	n.emit(env, "propose", s, v, block.ID().String())
+	env.Broadcast(types.MSPropose{View: v, Block: block})
+}
+
+// parentFor returns the parent block ID a slot-s proposal must extend, and
+// whether it is known yet. In the good case the parent is the previous
+// slot's (possibly still unnotarized) proposal — that is the pipelining; the
+// previous-but-one slot must already be notarized (Section 6.1).
+func (n *Node) parentFor(s types.Slot, v types.View) (types.BlockID, bool) {
+	if s == 1 {
+		return types.ZeroBlockID, true
+	}
+	prev := n.slot(s - 1)
+	if prev.finalized {
+		return prev.finalBlock, true
+	}
+	// Prefer the previous slot's proposal in its current view, provided the
+	// grandparent chain is notarized beneath it.
+	if b, ok := prev.proposals[prev.view]; ok && n.ancestorNotarized(b) {
+		return b.ID(), true
+	}
+	// Otherwise any notarized block at s−1 can anchor a new proposal
+	// (view-change recovery path).
+	if id, ok := n.someNotarized(s - 1); ok {
+		return id, true
+	}
+	return types.ZeroBlockID, false
+}
+
+// ancestorNotarized checks the pipeline precondition for building on block
+// b at slot s: b's parent (slot s−1) is notarized — or the boundary.
+func (n *Node) ancestorNotarized(b types.Block) bool {
+	if b.Slot <= 1 {
+		return b.Parent == types.ZeroBlockID
+	}
+	prev := n.slot(b.Slot - 1)
+	if prev.finalized {
+		return prev.finalBlock == b.Parent
+	}
+	_, ok := prev.notarized[b.Parent]
+	return ok
+}
+
+// someNotarized returns a deterministic notarized block at slot s, if any.
+func (n *Node) someNotarized(s types.Slot) (types.BlockID, bool) {
+	st := n.slot(s)
+	if len(st.notarized) == 0 {
+		return types.ZeroBlockID, false
+	}
+	ids := make([]types.BlockID, 0, len(st.notarized))
+	for id := range st.notarized {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		for b := range ids[i] {
+			if ids[i][b] != ids[j][b] {
+				return ids[i][b] < ids[j][b]
+			}
+		}
+		return false
+	})
+	// Prefer the one notarized in the highest view (latest recovery).
+	best := ids[0]
+	for _, id := range ids[1:] {
+		if st.notarized[id] > st.notarized[best] {
+			best = id
+		}
+	}
+	return best, true
+}
+
+// tryVote broadcasts this node's vote for slot s's current proposal once
+// the Section 6.1 conditions hold: the parent is notarized, the block
+// extends it, and (past view 0) Rule 3 accepts the value.
+func (n *Node) tryVote(env types.Env, s types.Slot) {
+	if s < 1 {
+		return
+	}
+	st := n.slot(s)
+	v := st.view
+	if st.finalized || st.sentVote[v] {
+		return
+	}
+	b, ok := st.proposals[v]
+	if !ok {
+		return
+	}
+	if !n.parentLinkOK(b) {
+		return
+	}
+	if v > 0 && !core.ProposalSafe(n.qs, n.cfg.ID, st.proofs[v], v, b.ID().Value()) {
+		return
+	}
+	st.sentVote[v] = true
+	n.recordImplicitVotes(s, v, b)
+	n.emit(env, "vote", s, v, b.ID().String())
+	env.Broadcast(types.MSVote{Slot: s, View: v, Block: b.ID()})
+}
+
+// parentLinkOK checks conditions 1) and 2) of Section 6.1: the parent block
+// at slot s−1 is notarized (or finalized) and b extends it.
+func (n *Node) parentLinkOK(b types.Block) bool {
+	if b.Slot == 1 {
+		return b.Parent == types.ZeroBlockID
+	}
+	prev := n.slot(b.Slot - 1)
+	if prev.finalized {
+		return prev.finalBlock == b.Parent
+	}
+	_, ok := prev.notarized[b.Parent]
+	return ok
+}
+
+// recordImplicitVotes updates the per-slot vote histories for the four
+// phases a single multi-shot vote represents (Section 6.3: "every vote
+// serves multiple purposes").
+func (n *Node) recordImplicitVotes(s types.Slot, v types.View, b types.Block) {
+	n.slot(s).votes.Record(1, v, b.ID().Value())
+	cur := b
+	for phase := uint8(2); phase <= 4; phase++ {
+		prevSlot := s - types.Slot(phase) + 1
+		if prevSlot < 1 || cur.Parent == types.ZeroBlockID {
+			return
+		}
+		parent, known := n.blocks[cur.Parent]
+		if !known {
+			return // cannot attribute deeper phases without the body
+		}
+		n.slot(prevSlot).votes.Record(phase, v, cur.Parent.Value())
+		cur = parent
+	}
+}
+
+// tryFinalize finalizes the longest provable prefix: the first block of any
+// four consecutively notarized, parent-linked slots is final together with
+// its ancestors (Section 6.1).
+func (n *Node) tryFinalize(env types.Env) {
+	for {
+		best, ok := n.highestChainStart()
+		if !ok {
+			return
+		}
+		if !n.finalizePrefix(env, best) {
+			return
+		}
+	}
+}
+
+// highestChainStart finds the highest slot k > finalized that starts a
+// notarized 4-chain.
+func (n *Node) highestChainStart() (types.Slot, bool) {
+	for k := n.maxSlot; k > n.finalized; k-- {
+		if _, ok := n.chainAt(k); ok {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// chainAt reports the block starting a notarized, parent-linked 4-chain at
+// slots k..k+3.
+func (n *Node) chainAt(k types.Slot) (types.BlockID, bool) {
+	for id := range n.slot(k).notarized {
+		cur := id
+		ok := true
+		for step := types.Slot(1); step <= 3; step++ {
+			next, found := n.childNotarizedOf(k+step, cur)
+			if !found {
+				ok = false
+				break
+			}
+			cur = next
+		}
+		if ok {
+			return id, true
+		}
+	}
+	return types.ZeroBlockID, false
+}
+
+// childNotarizedOf finds a notarized block at slot s whose parent is id.
+func (n *Node) childNotarizedOf(s types.Slot, id types.BlockID) (types.BlockID, bool) {
+	for cand := range n.slot(s).notarized {
+		if b, known := n.blocks[cand]; known && b.Parent == id {
+			return cand, true
+		}
+	}
+	return types.ZeroBlockID, false
+}
+
+// finalizePrefix finalizes slot k and its entire ancestry back to the
+// current finalized head, emitting one decision per slot. Returns false if
+// ancestor bodies are missing (retry later).
+func (n *Node) finalizePrefix(env types.Env, k types.Slot) bool {
+	head, ok := n.chainAt(k)
+	if !ok {
+		return false
+	}
+	// Walk ancestors down to the finalized boundary.
+	path := make([]types.BlockID, 0, k-n.finalized)
+	cur := head
+	for s := k; s > n.finalized; s-- {
+		path = append(path, cur)
+		b, known := n.blocks[cur]
+		if !known {
+			return false
+		}
+		if s == n.finalized+1 {
+			// Must anchor on the previous final block (or genesis).
+			want := types.ZeroBlockID
+			if n.finalized >= 1 {
+				want = n.slot(n.finalized).finalBlock
+			}
+			if b.Parent != want {
+				return false
+			}
+			break
+		}
+		cur = b.Parent
+	}
+	// Commit from lowest slot upward.
+	for i := len(path) - 1; i >= 0; i-- {
+		s := k - types.Slot(i)
+		st := n.slot(s)
+		st.finalized = true
+		st.finalBlock = path[i]
+		n.finalized = s
+		n.emit(env, "finalize", s, st.view, path[i].String())
+		env.Decide(s, path[i].Value())
+		n.releaseSlot(s)
+	}
+	return true
+}
+
+// releaseSlot drops a finalized slot's transient state (tallies, message
+// buffers), keeping the node's live footprint bounded by the in-flight
+// window — the multi-shot analogue of the constant-storage property.
+func (n *Node) releaseSlot(s types.Slot) {
+	st := n.slot(s)
+	st.proposals = nil
+	st.proposed = nil
+	st.sentVote = nil
+	st.suggests = nil
+	st.proofs = nil
+	st.tallies = nil
+	st.vcSets = nil
+	st.notarized = nil
+}
+
+func (n *Node) slot(s types.Slot) *slotState {
+	st, ok := n.slots[s]
+	if !ok {
+		st = newSlotState()
+		n.slots[s] = st
+	}
+	return st
+}
+
+func (n *Node) emit(env types.Env, typ string, s types.Slot, v types.View, note string) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	n.cfg.Tracer.Emit(trace.Event{Time: env.Now(), Node: n.cfg.ID, Type: typ, View: v, Slot: s, Note: note})
+}
+
+func msSuggest(s types.Slot, v types.View, votes core.VoteState) types.MSSuggest {
+	return types.MSSuggest{Slot: s, View: v, Vote2: votes.Vote2, PrevVote2: votes.PrevVote2, Vote3: votes.Vote3}
+}
+
+func msProof(s types.Slot, v types.View, votes core.VoteState) types.MSProof {
+	return types.MSProof{Slot: s, View: v, Vote1: votes.Vote1, PrevVote1: votes.PrevVote1, Vote4: votes.Vote4}
+}

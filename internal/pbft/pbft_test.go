@@ -1,0 +1,170 @@
+package pbft
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft/internal/byz"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+func addNode(t *testing.T, r *sim.Runner, id types.NodeID, n int, init types.Value, unbounded bool) *Node {
+	t.Helper()
+	node, err := NewNode(Config{ID: id, Nodes: n, InitialValue: init, Delta: 10, Unbounded: unbounded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Add(node)
+	return node
+}
+
+// TestGoodCaseThreeDelays: PBFT's pre-prepare, prepare, commit — the
+// fastest row of Table 1.
+func TestGoodCaseThreeDelays(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	for i := 0; i < 4; i++ {
+		addNode(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)), false)
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(0); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.Val != "val-0" || d.At != 3 {
+			t.Errorf("node %d decided (%q, t=%d), want (val-0, 3)", i, d.Val, d.At)
+		}
+	}
+}
+
+// TestViewChangeSevenDelays: request + view-change + ack + new-view + the
+// three normal phases = 7 delays after the timeout (Table 1).
+func TestViewChangeSevenDelays(t *testing.T) {
+	r := sim.New(sim.Config{Seed: 1})
+	r.Add(byz.Silent{NodeID: 0})
+	for i := 1; i < 4; i++ {
+		addNode(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)), false)
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(1); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.At != 97 {
+			t.Errorf("node %d decided at t=%d, want 97 (90 timeout + 7 delays)", i, d.At)
+		}
+	}
+}
+
+// TestPreparedValueCarriesOver: when nodes prepared a value in view 0, the
+// new leader must re-propose it.
+func TestPreparedValueCarriesOver(t *testing.T) {
+	// Drop commit messages in view 0: everyone prepares val-0 but nobody
+	// decides; the view change must preserve it.
+	drop := adversaryFunc(func(_, _ types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
+		if m, ok := msg.(types.GenericVote); ok && m.Phase == phaseCommit && m.View == 0 {
+			return sim.Verdict{Drop: true}
+		}
+		return sim.Verdict{}
+	})
+	r := sim.New(sim.Config{Seed: 1, Adversary: drop})
+	for i := 0; i < 4; i++ {
+		addNode(t, r, types.NodeID(i), 4, types.Value(fmt.Sprintf("val-%d", i)), false)
+	}
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	for i := types.NodeID(0); i < 4; i++ {
+		d, ok := r.Decision(i, 0)
+		if !ok {
+			t.Fatalf("node %d never decided", i)
+		}
+		if d.Val != "val-0" {
+			t.Errorf("node %d decided %q, want the prepared value val-0", i, d.Val)
+		}
+	}
+}
+
+// TestViewChangeMessagesCarryLinearEvidence: the O(n) evidence inside
+// view-change messages is what drives PBFT to O(n³) total worst-case bits.
+func TestViewChangeMessagesCarryLinearEvidence(t *testing.T) {
+	bytesFor := func(n int) int64 {
+		drop := adversaryFunc(func(_, _ types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
+			if m, ok := msg.(types.GenericVote); ok && m.Phase == phaseCommit && m.View == 0 {
+				return sim.Verdict{Drop: true}
+			}
+			return sim.Verdict{}
+		})
+		r := sim.New(sim.Config{Seed: 1, Adversary: drop})
+		for i := 0; i < n; i++ {
+			addNode(t, r, types.NodeID(i), n, "v", false)
+		}
+		if err := r.Run(0, nil); err != nil {
+			t.Fatal(err)
+		}
+		return r.TotalSentBytes()
+	}
+	small, large := bytesFor(4), bytesFor(16)
+	// Total bytes should scale super-quadratically (≈ cubic): 4× nodes
+	// must cost much more than 16× bytes.
+	if ratio := float64(large) / float64(small); ratio < 20 {
+		t.Errorf("total bytes scaled only %.1f× from n=4 to n=16; expected super-quadratic growth", ratio)
+	}
+}
+
+// TestUnboundedStorageGrows vs bounded staying constant (Table 1's two
+// PBFT rows).
+func TestUnboundedStorageGrows(t *testing.T) {
+	run := func(unbounded bool) int64 {
+		r := sim.New(sim.Config{Seed: 1})
+		nodes := make([]*Node, 0, 3)
+		r.Add(byz.Silent{NodeID: 0})
+		for i := 1; i < 4; i++ {
+			nodes = append(nodes, addNode(t, r, types.NodeID(i), 4, "v", unbounded))
+		}
+		if err := r.Run(0, nil); err != nil {
+			t.Fatal(err)
+		}
+		max := int64(0)
+		for _, n := range nodes {
+			if n.StorageBytes() > max {
+				max = n.StorageBytes()
+			}
+		}
+		return max
+	}
+	bounded, unbounded := run(false), run(true)
+	if bounded > 64 {
+		t.Errorf("bounded PBFT stored %d bytes, want constant", bounded)
+	}
+	if unbounded <= bounded {
+		t.Errorf("unbounded PBFT stored %d bytes, want more than bounded (%d)", unbounded, bounded)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewNode(Config{ID: 0, Nodes: 0}); err == nil {
+		t.Error("accepted n=0")
+	}
+}
+
+type adversaryFunc func(from, to types.NodeID, msg types.Message, now types.Time) sim.Verdict
+
+func (f adversaryFunc) Intercept(from, to types.NodeID, msg types.Message, now types.Time) sim.Verdict {
+	return f(from, to, msg, now)
+}

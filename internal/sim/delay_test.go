@@ -1,0 +1,113 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tetrabft/internal/types"
+)
+
+func TestUniformDelayBounds(t *testing.T) {
+	f := func(seed int64, lo, span uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		min := types.Duration(lo)
+		max := min + types.Duration(span)
+		u := UniformDelay{Min: min, Max: max}
+		for i := 0; i < 50; i++ {
+			d := u.Delay(rng, 0, 1)
+			if d < min || d > max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformDelayDegenerateRange(t *testing.T) {
+	u := UniformDelay{Min: 5, Max: 5}
+	if got := u.Delay(rand.New(rand.NewSource(1)), 0, 1); got != 5 {
+		t.Errorf("Delay = %d, want 5", got)
+	}
+	inverted := UniformDelay{Min: 7, Max: 3}
+	if got := inverted.Delay(rand.New(rand.NewSource(1)), 0, 1); got != 7 {
+		t.Errorf("inverted range Delay = %d, want Min", got)
+	}
+}
+
+func TestPerLinkDelay(t *testing.T) {
+	p := PerLinkDelay{
+		Default: 1,
+		Links: map[[2]types.NodeID]types.Duration{
+			{0, 3}: 9,
+			{3, 0}: 7,
+		},
+	}
+	if got := p.Delay(nil, 0, 3); got != 9 {
+		t.Errorf("0→3 = %d, want 9", got)
+	}
+	if got := p.Delay(nil, 3, 0); got != 7 {
+		t.Errorf("3→0 = %d, want 7 (links are directed)", got)
+	}
+	if got := p.Delay(nil, 1, 2); got != 1 {
+		t.Errorf("unlisted link = %d, want default 1", got)
+	}
+}
+
+// delayAdversary adds a fixed extra delay to every message toward node 1.
+type delayAdversary struct{}
+
+func (delayAdversary) Intercept(from, to types.NodeID, _ types.Message, _ types.Time) Verdict {
+	if to == 1 && from != to {
+		return Verdict{ExtraDelay: 10}
+	}
+	return Verdict{}
+}
+
+// TestAdversaryExtraDelay verifies Verdict.ExtraDelay shifts delivery.
+func TestAdversaryExtraDelay(t *testing.T) {
+	var log []string
+	r := New(Config{Seed: 1, Adversary: delayAdversary{}})
+	newPingCluster(r, 2, &log)
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "1<-0 proposal@11" // 1 network + 10 adversarial ticks
+	found := false
+	for _, line := range log {
+		if line == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("log %v missing %q", log, want)
+	}
+}
+
+// TestSlowReplicaStillDecides runs the ping cluster with one distant
+// replica: the run completes, and the distant node's contribution arrives
+// late without blocking the others.
+func TestSlowReplicaStillDecides(t *testing.T) {
+	links := make(map[[2]types.NodeID]types.Duration)
+	for i := types.NodeID(0); i < 4; i++ {
+		links[[2]types.NodeID{i, 3}] = 20
+		links[[2]types.NodeID{3, i}] = 20
+	}
+	r := New(Config{Seed: 1, Delay: PerLinkDelay{Default: 1, Links: links}})
+	newPingCluster(r, 4, nil)
+	if err := r.Run(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := r.Decision(0, 0)
+	if !ok {
+		t.Fatal("root never decided")
+	}
+	// The root needs all 4 replies; node 3's reply takes 20 (inbound) + 20
+	// (outbound) ticks, so the decision lands at t=40.
+	if d.At != 40 {
+		t.Errorf("decision at t=%d, want 40 (bounded by the slow replica)", d.At)
+	}
+}

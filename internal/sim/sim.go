@@ -1,0 +1,398 @@
+// Package sim is a deterministic discrete-event network simulator for
+// message-passing protocols.
+//
+// The paper states every latency result in message delays under partial
+// synchrony (an unknown GST before which messages may be lost, after which
+// every message arrives within Δ). The simulator reproduces exactly that
+// model with a virtual clock: with the unit delay model, decision
+// timestamps read directly as the paper's "message delays". It also
+// accounts every byte that crosses the network using the shared wire
+// encoding, which is how the communication column of Table 1 is measured.
+//
+// Runs are fully deterministic given a seed: the event queue breaks time
+// ties by sequence number and all randomness flows from one seeded source.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"tetrabft/internal/types"
+)
+
+// ErrEventBudget reports that a run exceeded its event budget, which almost
+// always means a protocol bug created a message storm or a timer loop.
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
+// DelayModel produces per-message network delays.
+type DelayModel interface {
+	// Delay returns the in-flight time for a message from -> to.
+	Delay(rng *rand.Rand, from, to types.NodeID) types.Duration
+}
+
+// ConstantDelay delays every message by a fixed amount. With D = 1 the
+// simulator measures latency in message delays, the paper's currency.
+type ConstantDelay struct {
+	D types.Duration
+}
+
+// Delay implements DelayModel.
+func (c ConstantDelay) Delay(*rand.Rand, types.NodeID, types.NodeID) types.Duration { return c.D }
+
+// UniformDelay draws delays uniformly from [Min, Max].
+type UniformDelay struct {
+	Min, Max types.Duration
+}
+
+// Delay implements DelayModel.
+func (u UniformDelay) Delay(rng *rand.Rand, _, _ types.NodeID) types.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + types.Duration(rng.Int63n(int64(u.Max-u.Min)+1))
+}
+
+// PerLinkDelay models a geographically skewed cluster: each directed link
+// has its own fixed delay, defaulting to Default for unlisted links. Useful
+// for latency experiments where one replica sits far from the rest.
+type PerLinkDelay struct {
+	Default types.Duration
+	Links   map[[2]types.NodeID]types.Duration
+}
+
+// Delay implements DelayModel.
+func (p PerLinkDelay) Delay(_ *rand.Rand, from, to types.NodeID) types.Duration {
+	if d, ok := p.Links[[2]types.NodeID{from, to}]; ok {
+		return d
+	}
+	return p.Default
+}
+
+// Verdict is an adversary's ruling on one in-flight message.
+type Verdict struct {
+	// Drop discards the message entirely.
+	Drop bool
+	// Replace substitutes the delivered message when non-nil.
+	Replace types.Message
+	// ExtraDelay is added on top of the network delay.
+	ExtraDelay types.Duration
+}
+
+// Adversary inspects and manipulates in-flight traffic (message-level
+// Byzantine power beyond what Byzantine Machines already provide).
+type Adversary interface {
+	Intercept(from, to types.NodeID, msg types.Message, now types.Time) Verdict
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Seed drives all randomness. Same seed + same machines = same run.
+	Seed int64
+	// Delay is the post-GST delay model. Defaults to ConstantDelay{1}.
+	Delay DelayModel
+	// GST is the global stabilization time. Messages sent before GST are
+	// dropped with probability DropBeforeGST; survivors are delivered at
+	// max(send time, GST) plus a sampled delay. Zero means synchronous
+	// from the start.
+	GST types.Time
+	// DropBeforeGST is the pre-GST loss probability in [0, 1].
+	DropBeforeGST float64
+	// Adversary optionally filters every network message. Nil allows all.
+	Adversary Adversary
+	// EventBudget caps processed events (0 = default 5,000,000).
+	EventBudget int
+}
+
+// Decision records one node's decision for one slot.
+type Decision struct {
+	Val types.Value
+	At  types.Time
+}
+
+// Runner executes a set of Machines against the simulated network.
+type Runner struct {
+	cfg      Config
+	rng      *rand.Rand
+	machines map[types.NodeID]types.Machine
+	order    []types.NodeID
+
+	queue  eventQueue
+	seq    uint64
+	now    types.Time
+	events int
+
+	decisions map[types.NodeID]map[types.Slot]Decision
+
+	sentBytes map[types.NodeID]int64
+	recvBytes map[types.NodeID]int64
+	sentMsgs  map[types.Kind]int64
+	dropped   int64
+
+	// Watch, when non-nil, observes every delivered message (after the
+	// adversary). Used by invariant monitors in tests.
+	Watch func(from, to types.NodeID, msg types.Message, at types.Time)
+}
+
+// New creates a runner with the given configuration.
+func New(cfg Config) *Runner {
+	if cfg.Delay == nil {
+		cfg.Delay = ConstantDelay{D: 1}
+	}
+	if cfg.EventBudget == 0 {
+		cfg.EventBudget = 5_000_000
+	}
+	return &Runner{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		machines:  make(map[types.NodeID]types.Machine),
+		decisions: make(map[types.NodeID]map[types.Slot]Decision),
+		sentBytes: make(map[types.NodeID]int64),
+		recvBytes: make(map[types.NodeID]int64),
+		sentMsgs:  make(map[types.Kind]int64),
+	}
+}
+
+// Add registers a machine. Machines must be added before Run.
+func (r *Runner) Add(m types.Machine) {
+	id := m.ID()
+	if _, dup := r.machines[id]; dup {
+		panic(fmt.Sprintf("sim: duplicate machine id %d", id))
+	}
+	r.machines[id] = m
+	r.order = append(r.order, id)
+}
+
+// Now returns the current virtual time.
+func (r *Runner) Now() types.Time { return r.now }
+
+// Run starts every machine (in insertion order, at time zero) and processes
+// events until the queue drains, until exceeds the horizon (0 = no horizon),
+// or the stop predicate returns true. It returns an error only if the event
+// budget is exhausted.
+func (r *Runner) Run(until types.Time, stop func() bool) error {
+	for _, id := range r.order {
+		env := &env{r: r, self: id}
+		r.machines[id].Start(env)
+	}
+	for r.queue.Len() > 0 {
+		if stop != nil && stop() {
+			return nil
+		}
+		ev := heap.Pop(&r.queue).(event)
+		if until > 0 && ev.at > until {
+			return nil
+		}
+		r.now = ev.at
+		r.events++
+		if r.events > r.cfg.EventBudget {
+			return fmt.Errorf("%w (%d events)", ErrEventBudget, r.events)
+		}
+		m := r.machines[ev.node]
+		env := &env{r: r, self: ev.node}
+		if ev.timer {
+			m.Tick(env, ev.timerID)
+			continue
+		}
+		if r.Watch != nil {
+			r.Watch(ev.from, ev.node, ev.msg, ev.at)
+		}
+		m.Deliver(env, ev.from, ev.msg)
+	}
+	return nil
+}
+
+// Decisions returns a copy of every recorded decision.
+func (r *Runner) Decisions() map[types.NodeID]map[types.Slot]Decision {
+	out := make(map[types.NodeID]map[types.Slot]Decision, len(r.decisions))
+	for id, slots := range r.decisions {
+		cp := make(map[types.Slot]Decision, len(slots))
+		for s, d := range slots {
+			cp[s] = d
+		}
+		out[id] = cp
+	}
+	return out
+}
+
+// Decision returns node's decision for slot, if any.
+func (r *Runner) Decision(node types.NodeID, slot types.Slot) (Decision, bool) {
+	d, ok := r.decisions[node][slot]
+	return d, ok
+}
+
+// DecidedCount returns how many machines have decided slot.
+func (r *Runner) DecidedCount(slot types.Slot) int {
+	count := 0
+	for _, slots := range r.decisions {
+		if _, ok := slots[slot]; ok {
+			count++
+		}
+	}
+	return count
+}
+
+// AgreementViolation returns an error describing the first pair of nodes
+// that decided different values for the same slot, or nil. This is the
+// Agreement property of Definition 1 (and per-slot Consistency for
+// multi-shot runs).
+func (r *Runner) AgreementViolation() error {
+	chosen := make(map[types.Slot]types.Value)
+	owner := make(map[types.Slot]types.NodeID)
+	for _, id := range r.order {
+		for slot, d := range r.decisions[id] {
+			if prev, ok := chosen[slot]; ok {
+				if prev != d.Val {
+					return fmt.Errorf("sim: agreement violated in slot %d: node %d decided %q, node %d decided %q",
+						slot, owner[slot], prev, id, d.Val)
+				}
+				continue
+			}
+			chosen[slot] = d.Val
+			owner[slot] = id
+		}
+	}
+	return nil
+}
+
+// SentBytes returns the bytes node put on the wire (per receiver: a
+// broadcast to n nodes costs n× the message size, matching the paper's
+// "communicated bits" accounting).
+func (r *Runner) SentBytes(node types.NodeID) int64 { return r.sentBytes[node] }
+
+// RecvBytes returns the bytes delivered to node.
+func (r *Runner) RecvBytes(node types.NodeID) int64 { return r.recvBytes[node] }
+
+// TotalSentBytes sums SentBytes over all nodes.
+func (r *Runner) TotalSentBytes() int64 {
+	var total int64
+	for _, b := range r.sentBytes {
+		total += b
+	}
+	return total
+}
+
+// SentMessages returns how many messages of the given kind were sent.
+func (r *Runner) SentMessages(kind types.Kind) int64 { return r.sentMsgs[kind] }
+
+// DroppedMessages returns how many messages the network or adversary dropped.
+func (r *Runner) DroppedMessages() int64 { return r.dropped }
+
+// Events returns the number of processed events.
+func (r *Runner) Events() int { return r.events }
+
+// env implements types.Env for a single machine.
+type env struct {
+	r    *Runner
+	self types.NodeID
+}
+
+func (e *env) Now() types.Time { return e.r.now }
+
+func (e *env) Send(to types.NodeID, msg types.Message) {
+	e.r.send(e.self, to, msg)
+}
+
+func (e *env) Broadcast(msg types.Message) {
+	for _, id := range e.r.order {
+		e.r.send(e.self, id, msg)
+	}
+}
+
+func (e *env) SetTimer(id types.TimerID, d types.Duration) {
+	e.r.push(event{at: e.r.now + types.Time(d), node: e.self, timer: true, timerID: id})
+}
+
+func (e *env) Decide(slot types.Slot, val types.Value) {
+	slots := e.r.decisions[e.self]
+	if slots == nil {
+		slots = make(map[types.Slot]Decision)
+		e.r.decisions[e.self] = slots
+	}
+	if _, already := slots[slot]; already {
+		return // decisions are final; repeated Decide calls are ignored
+	}
+	slots[slot] = Decision{Val: val, At: e.r.now}
+}
+
+func (r *Runner) send(from, to types.NodeID, msg types.Message) {
+	size := int64(types.EncodedSize(msg))
+	r.sentBytes[from] += size
+	r.sentMsgs[msg.Kind()]++
+	if _, known := r.machines[to]; !known {
+		r.dropped++
+		return
+	}
+
+	var extra types.Duration
+	if r.cfg.Adversary != nil {
+		v := r.cfg.Adversary.Intercept(from, to, msg, r.now)
+		if v.Drop {
+			r.dropped++
+			return
+		}
+		if v.Replace != nil {
+			msg = v.Replace
+		}
+		extra = v.ExtraDelay
+	}
+
+	at := r.now
+	if to != from { // self-delivery is immediate: nodes count their own votes
+		if r.now < r.cfg.GST {
+			if r.rng.Float64() < r.cfg.DropBeforeGST {
+				r.dropped++
+				return
+			}
+			if r.cfg.GST > at {
+				at = r.cfg.GST
+			}
+		}
+		at += types.Time(r.cfg.Delay.Delay(r.rng, from, to))
+	}
+	at += types.Time(extra)
+
+	r.recvBytes[to] += int64(types.EncodedSize(msg))
+	r.push(event{at: at, node: to, from: from, msg: msg})
+}
+
+func (r *Runner) push(ev event) {
+	ev.seq = r.seq
+	r.seq++
+	heap.Push(&r.queue, ev)
+}
+
+// event is either a message delivery or a timer fire for one node.
+type event struct {
+	at   types.Time
+	seq  uint64
+	node types.NodeID
+
+	timer   bool
+	timerID types.TimerID
+
+	from types.NodeID
+	msg  types.Message
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,110 @@
+// Package trace provides lightweight structured tracing of protocol runs.
+// Tracers are optional: protocol cores emit events only when one is wired
+// in, and the zero-cost nil tracer is the default.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"tetrabft/internal/types"
+)
+
+// Event is one protocol occurrence.
+type Event struct {
+	Time types.Time
+	Node types.NodeID
+	Type string // e.g. "enter-view", "propose", "vote-1", "decide"
+	View types.View
+	Slot types.Slot
+	Val  types.Value
+	Note string
+}
+
+// String formats the event for human consumption.
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%-4d node=%d %-12s view=%d", e.Time, e.Node, e.Type, e.View)
+	if e.Slot != 0 {
+		s += fmt.Sprintf(" slot=%d", e.Slot)
+	}
+	if e.Val != "" {
+		val := string(e.Val)
+		if len(val) > 8 {
+			val = fmt.Sprintf("%x", val[:4])
+		}
+		s += fmt.Sprintf(" val=%q", val)
+	}
+	if e.Note != "" {
+		s += " " + e.Note
+	}
+	return s
+}
+
+// Tracer receives events.
+type Tracer interface {
+	Emit(Event)
+}
+
+// Log is a Tracer that collects events in memory. Safe for concurrent use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Tracer = (*Log)(nil)
+
+// Emit implements Tracer.
+func (l *Log) Emit(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of the collected events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Filter returns the collected events of one type.
+func (l *Log) Filter(typ string) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, e := range l.events {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Writer is a Tracer that prints each event to an io.Writer as it happens.
+type Writer struct {
+	W io.Writer
+}
+
+var _ Tracer = Writer{}
+
+// Emit implements Tracer.
+func (w Writer) Emit(e Event) {
+	fmt.Fprintln(w.W, e.String())
+}
+
+// Multi fans events out to several tracers.
+func Multi(tracers ...Tracer) Tracer { return multi(tracers) }
+
+type multi []Tracer
+
+// Emit implements Tracer.
+func (m multi) Emit(e Event) {
+	for _, t := range m {
+		if t != nil {
+			t.Emit(e)
+		}
+	}
+}

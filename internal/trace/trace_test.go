@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tetrabft/internal/types"
+)
+
+func TestLogCollectsAndFilters(t *testing.T) {
+	log := &Log{}
+	log.Emit(Event{Time: 1, Node: 0, Type: "propose", View: 0, Val: "a"})
+	log.Emit(Event{Time: 2, Node: 1, Type: "vote-1", View: 0, Val: "a"})
+	log.Emit(Event{Time: 3, Node: 1, Type: "propose", View: 1, Val: "b"})
+
+	if got := len(log.Events()); got != 3 {
+		t.Fatalf("Events() = %d, want 3", got)
+	}
+	proposals := log.Filter("propose")
+	if len(proposals) != 2 || proposals[1].View != 1 {
+		t.Fatalf("Filter(propose) = %v", proposals)
+	}
+	if got := log.Filter("nothing"); len(got) != 0 {
+		t.Fatalf("Filter(nothing) = %v", got)
+	}
+}
+
+func TestLogEventsReturnsCopy(t *testing.T) {
+	log := &Log{}
+	log.Emit(Event{Type: "a"})
+	events := log.Events()
+	events[0].Type = "mutated"
+	if log.Events()[0].Type != "a" {
+		t.Error("mutating the returned slice changed the log")
+	}
+}
+
+func TestLogConcurrentEmit(t *testing.T) {
+	log := &Log{}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				log.Emit(Event{Node: types.NodeID(n), Type: "spin"})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := len(log.Events()); got != 800 {
+		t.Errorf("Events() = %d, want 800", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Time: 7, Node: 2, Type: "vote-1", View: 3, Slot: 4, Val: "xy", Note: "note"}
+	s := e.String()
+	for _, want := range []string{"t=7", "node=2", "vote-1", "view=3", "slot=4", `val="xy"`, "note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	// Long binary values are rendered as a hex prefix.
+	long := Event{Type: "x", Val: types.Value("0123456789abcdef")}
+	if !strings.Contains(long.String(), "30313233") {
+		t.Errorf("long value not hex-abbreviated: %q", long.String())
+	}
+}
+
+func TestWriterEmits(t *testing.T) {
+	var sb strings.Builder
+	w := Writer{W: &sb}
+	w.Emit(Event{Time: 1, Node: 0, Type: "decide", Val: "v"})
+	if !strings.Contains(sb.String(), "decide") {
+		t.Errorf("writer output %q", sb.String())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := &Log{}, &Log{}
+	m := Multi(a, nil, b) // nil members are tolerated
+	m.Emit(Event{Type: "x"})
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Error("multi tracer did not fan out")
+	}
+}

@@ -1,0 +1,365 @@
+// Package transport runs protocol state machines over real TCP
+// connections, turning the same types.Machine implementations that the
+// simulator drives into deployable processes.
+//
+// The paper's model assumes authenticated point-to-point channels (not
+// authenticated messages): each connection starts with a hello frame naming
+// the sender, standing in for the channel authentication a production
+// deployment would get from mTLS or a fixed mesh. Framing is 4-byte
+// big-endian length + the shared wire encoding of internal/types.
+//
+// Concurrency model: one event loop goroutine owns the Machine (deliveries
+// and timer fires are serialized through one channel, so Machines stay
+// single-threaded as required); one reader goroutine per inbound
+// connection; one writer goroutine per peer with reconnect-and-retry. All
+// goroutines are owned by the Runtime and joined by Close.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tetrabft/internal/types"
+)
+
+// maxFrame bounds a single wire frame (defense against bogus lengths).
+const maxFrame = 1 << 20
+
+// Config parameterizes a runtime.
+type Config struct {
+	// ListenAddr is the TCP address to listen on (e.g. "127.0.0.1:0").
+	ListenAddr string
+	// TickDuration maps one virtual tick (types.Duration unit) to wall
+	// time. Default 1ms: a node configured with Δ = 10 ticks times out
+	// after 90ms of real time.
+	TickDuration time.Duration
+	// OnDecide observes decisions (called from the event loop goroutine).
+	OnDecide func(slot types.Slot, val types.Value)
+}
+
+// Runtime hosts one Machine over TCP.
+type Runtime struct {
+	machine types.Machine
+	cfg     Config
+	ln      net.Listener
+	started time.Time
+
+	events chan event
+	done   chan struct{}
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	peers  map[types.NodeID]*peer
+	timers []*time.Timer
+
+	closeOnce sync.Once
+}
+
+type event struct {
+	timer   bool
+	timerID types.TimerID
+	from    types.NodeID
+	msg     types.Message
+}
+
+type peer struct {
+	addr  string
+	queue chan []byte
+}
+
+// New creates a runtime and starts listening; call SetPeers then Run.
+func New(machine types.Machine, cfg Config) (*Runtime, error) {
+	if cfg.TickDuration <= 0 {
+		cfg.TickDuration = time.Millisecond
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	return &Runtime{
+		machine: machine,
+		cfg:     cfg,
+		ln:      ln,
+		events:  make(chan event, 4096),
+		done:    make(chan struct{}),
+		peers:   make(map[types.NodeID]*peer),
+	}, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (r *Runtime) Addr() string { return r.ln.Addr().String() }
+
+// SetPeers declares the full membership (self may be included; it is
+// served locally). Must be called before Run.
+func (r *Runtime) SetPeers(addrs map[types.NodeID]string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for id, addr := range addrs {
+		if id == r.machine.ID() {
+			continue
+		}
+		r.peers[id] = &peer{addr: addr, queue: make(chan []byte, 1024)}
+	}
+}
+
+// Run starts the accept loop, peer writers and the event loop. It returns
+// immediately; Close shuts everything down.
+func (r *Runtime) Run() {
+	r.started = time.Now()
+	r.wg.Add(1)
+	go r.acceptLoop()
+	r.mu.Lock()
+	for _, p := range r.peers {
+		r.wg.Add(1)
+		go r.writeLoop(p)
+	}
+	r.mu.Unlock()
+	r.wg.Add(1)
+	go r.eventLoop()
+}
+
+// Close stops the runtime and waits for every goroutine to exit.
+func (r *Runtime) Close() {
+	r.closeOnce.Do(func() {
+		close(r.done)
+		r.ln.Close()
+		r.mu.Lock()
+		for _, t := range r.timers {
+			t.Stop()
+		}
+		r.timers = nil
+		r.mu.Unlock()
+	})
+	r.wg.Wait()
+}
+
+func (r *Runtime) eventLoop() {
+	defer r.wg.Done()
+	env := &env{r: r}
+	r.machine.Start(env)
+	env.drainSelf()
+	for {
+		select {
+		case <-r.done:
+			return
+		case ev := <-r.events:
+			if ev.timer {
+				r.machine.Tick(env, ev.timerID)
+			} else {
+				r.machine.Deliver(env, ev.from, ev.msg)
+			}
+			env.drainSelf()
+		}
+	}
+}
+
+func (r *Runtime) acceptLoop() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.ln.Accept()
+		if err != nil {
+			select {
+			case <-r.done:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		r.wg.Add(1)
+		go r.readLoop(conn)
+	}
+}
+
+func (r *Runtime) readLoop(conn net.Conn) {
+	defer r.wg.Done()
+	defer conn.Close()
+	// Close the connection promptly on shutdown so the blocking reads
+	// below unblock.
+	stop := make(chan struct{})
+	defer close(stop)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		select {
+		case <-r.done:
+			conn.Close()
+		case <-stop:
+		}
+	}()
+
+	// Hello frame: the peer's declared identity (the "authenticated
+	// channel" stand-in; see the package comment).
+	var hello [8]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return
+	}
+	from := types.NodeID(binary.BigEndian.Uint64(hello[:]))
+
+	for {
+		payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		msg, err := types.Decode(payload)
+		if err != nil {
+			continue // garbage from this peer; keep the channel open
+		}
+		select {
+		case r.events <- event{from: from, msg: msg}:
+		case <-r.done:
+			return
+		}
+	}
+}
+
+func (r *Runtime) writeLoop(p *peer) {
+	defer r.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	backoff := 10 * time.Millisecond
+	for {
+		select {
+		case <-r.done:
+			return
+		case frame := <-p.queue:
+			for conn == nil {
+				c, err := net.Dial("tcp", p.addr)
+				if err != nil {
+					select {
+					case <-r.done:
+						return
+					case <-time.After(backoff):
+					}
+					if backoff < time.Second {
+						backoff *= 2
+					}
+					continue
+				}
+				conn = c
+				backoff = 10 * time.Millisecond
+				var hello [8]byte
+				binary.BigEndian.PutUint64(hello[:], uint64(r.machine.ID()))
+				if _, err := conn.Write(hello[:]); err != nil {
+					conn.Close()
+					conn = nil
+				}
+			}
+			if err := writeFrame(conn, frame); err != nil {
+				conn.Close()
+				conn = nil
+				// The frame is lost; the protocol's retransmission and
+				// view-change machinery tolerates loss (partial synchrony).
+			}
+		}
+	}
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(lenBuf[:])
+	if size > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	payload := make([]byte, size)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+func writeFrame(conn net.Conn, payload []byte) error {
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(payload)))
+	if _, err := conn.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// env implements types.Env for the hosted machine. Self-deliveries are
+// queued locally and drained by the event loop right after the current
+// handler returns, matching the simulator's immediate self-delivery.
+type env struct {
+	r    *Runtime
+	self []event
+}
+
+func (e *env) Now() types.Time {
+	return types.Time(time.Since(e.r.started) / e.r.cfg.TickDuration)
+}
+
+func (e *env) Send(to types.NodeID, msg types.Message) {
+	if to == e.r.machine.ID() {
+		e.self = append(e.self, event{from: to, msg: msg})
+		return
+	}
+	e.r.mu.Lock()
+	p, ok := e.r.peers[to]
+	e.r.mu.Unlock()
+	if !ok {
+		return // unknown peer: drop, as the simulator does
+	}
+	select {
+	case p.queue <- types.Encode(msg):
+	default:
+		// Backpressure overflow: drop. The protocols tolerate loss and
+		// retransmit through their timeout paths.
+	}
+}
+
+func (e *env) Broadcast(msg types.Message) {
+	e.r.mu.Lock()
+	ids := make([]types.NodeID, 0, len(e.r.peers))
+	for id := range e.r.peers {
+		ids = append(ids, id)
+	}
+	e.r.mu.Unlock()
+	for _, id := range ids {
+		e.Send(id, msg)
+	}
+	e.Send(e.r.machine.ID(), msg)
+}
+
+func (e *env) SetTimer(id types.TimerID, d types.Duration) {
+	r := e.r
+	timer := time.AfterFunc(time.Duration(d)*r.cfg.TickDuration, func() {
+		select {
+		case r.events <- event{timer: true, timerID: id}:
+		case <-r.done:
+		}
+	})
+	r.mu.Lock()
+	r.timers = append(r.timers, timer)
+	r.mu.Unlock()
+}
+
+func (e *env) Decide(slot types.Slot, val types.Value) {
+	if e.r.cfg.OnDecide != nil {
+		e.r.cfg.OnDecide(slot, val)
+	}
+}
+
+// drainSelf delivers queued self-messages until none remain.
+func (e *env) drainSelf() {
+	for len(e.self) > 0 {
+		ev := e.self[0]
+		e.self = e.self[1:]
+		e.r.machine.Deliver(e, ev.from, ev.msg)
+	}
+}

@@ -1,0 +1,155 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	blk := Block{Slot: 7, Parent: Block{Slot: 6}.ID(), Payload: []byte("txns")}
+	msgs := []Message{
+		Proposal{View: 0, Val: "a"},
+		Proposal{View: 12, Val: ""},
+		VoteMsg{Phase: 1, View: 3, Val: "x"},
+		VoteMsg{Phase: 4, View: 0, Val: "longer value with spaces"},
+		SuggestMsg{View: 5, Vote2: Vote(3, "a"), PrevVote2: Vote(1, "b"), Vote3: Vote(2, "a")},
+		SuggestMsg{View: 5},
+		ProofMsg{View: 9, Vote1: Vote(8, "v"), PrevVote1: VoteRef{}, Vote4: Vote(0, "w")},
+		ViewChange{View: 4},
+		MSPropose{View: 1, Block: blk},
+		MSVote{Slot: 9, View: 2, Block: blk.ID()},
+		MSViewChange{Slot: 3, View: 1},
+		MSSuggest{Slot: 2, View: 1, Vote2: Vote(0, "p")},
+		MSProof{Slot: 2, View: 1, Vote1: Vote(0, "p"), Vote4: Vote(0, "p")},
+		GenericVote{Proto: ProtoPBFT, Phase: 2, View: 1, Slot: 0, Val: "q"},
+		Evidence{Proto: ProtoPBFT, Phase: 1, View: 2, Val: "r",
+			Evidence: []VoteRef{Vote(0, "a"), Vote(1, "b"), {}}},
+		Evidence{Proto: ProtoITHS, Phase: 9, View: 0, Val: ""},
+	}
+	for _, m := range msgs {
+		data := Encode(m)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip mismatch: sent %#v got %#v", m, got)
+		}
+		if EncodedSize(m) != len(data) {
+			t.Errorf("EncodedSize(%v) = %d, want %d", m, EncodedSize(m), len(data))
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0},                  // kind 0 unknown
+		{99},                 // unknown kind
+		{byte(KindProposal)}, // truncated
+		{byte(KindVote), 1},  // truncated
+		append(Encode(Proposal{View: 1, Val: "x"}), 0xFF), // trailing
+	}
+	for i, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("case %d: Decode(%v) succeeded, want error", i, data)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncations(t *testing.T) {
+	msgs := []Message{
+		SuggestMsg{View: 5, Vote2: Vote(3, "abc"), PrevVote2: Vote(1, "b"), Vote3: Vote(2, "a")},
+		MSPropose{View: 1, Block: Block{Slot: 2, Payload: []byte("p")}},
+		Evidence{Proto: ProtoPBFT, Phase: 1, View: 2, Val: "r", Evidence: []VoteRef{Vote(0, "a")}},
+	}
+	for _, m := range msgs {
+		full := Encode(m)
+		for cut := 1; cut < len(full); cut++ {
+			if got, err := Decode(full[:cut]); err == nil && reflect.DeepEqual(got, m) {
+				t.Errorf("truncated %v to %d bytes still decoded to original", m, cut)
+			}
+		}
+	}
+}
+
+// quickRef builds an arbitrary VoteRef from fuzz inputs.
+func quickRef(valid bool, view int16, val string) VoteRef {
+	if !valid {
+		return VoteRef{}
+	}
+	return VoteRef{Valid: true, View: View(abs16(view)), Val: Value(val)}
+}
+
+func abs16(v int16) int64 {
+	if v < 0 {
+		return -int64(v)
+	}
+	return int64(v)
+}
+
+func TestQuickProposalRoundTrip(t *testing.T) {
+	f := func(view int32, val string) bool {
+		m := Proposal{View: View(view), Val: Value(val)}
+		got, err := Decode(Encode(m))
+		return err == nil && got == Message(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSuggestRoundTrip(t *testing.T) {
+	f := func(view int16, v2ok bool, v2v int16, v2s string, pvok bool, pvv int16, pvs string, v3ok bool, v3v int16, v3s string) bool {
+		m := SuggestMsg{
+			View:      View(abs16(view)),
+			Vote2:     quickRef(v2ok, v2v, v2s),
+			PrevVote2: quickRef(pvok, pvv, pvs),
+			Vote3:     quickRef(v3ok, v3v, v3s),
+		}
+		got, err := Decode(Encode(m))
+		return err == nil && reflect.DeepEqual(got, Message(m))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickEvidenceRoundTrip(t *testing.T) {
+	f := func(view int16, val string, n uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		refs := make([]VoteRef, 0, n%16)
+		for i := 0; i < int(n%16); i++ {
+			refs = append(refs, quickRef(rng.Intn(2) == 0, int16(rng.Intn(100)), string(rune('a'+rng.Intn(26)))))
+		}
+		m := Evidence{Proto: ProtoPBFT, Phase: 1, View: View(abs16(view)), Val: Value(val), Evidence: refs}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			return false
+		}
+		ge, ok := got.(Evidence)
+		if !ok {
+			return false
+		}
+		if len(refs) == 0 {
+			return len(ge.Evidence) == 0 && ge.Val == m.Val && ge.View == m.View
+		}
+		return reflect.DeepEqual(ge, m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,64 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockIDDeterministic(t *testing.T) {
+	b := Block{Slot: 3, Parent: ZeroBlockID, Payload: []byte("hello")}
+	if b.ID() != b.ID() {
+		t.Fatal("Block.ID is not deterministic")
+	}
+	other := Block{Slot: 3, Parent: ZeroBlockID, Payload: []byte("hellp")}
+	if b.ID() == other.ID() {
+		t.Fatal("different payloads produced the same block ID")
+	}
+	diffSlot := Block{Slot: 4, Parent: ZeroBlockID, Payload: []byte("hello")}
+	if b.ID() == diffSlot.ID() {
+		t.Fatal("different slots produced the same block ID")
+	}
+}
+
+func TestBlockIDValueRoundTrip(t *testing.T) {
+	f := func(slot int16, payload []byte) bool {
+		id := Block{Slot: Slot(slot), Payload: payload}.ID()
+		got, ok := BlockIDFromValue(id.Value())
+		return ok && got == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockIDFromValueRejectsBadLength(t *testing.T) {
+	if _, ok := BlockIDFromValue("short"); ok {
+		t.Error("BlockIDFromValue accepted a short value")
+	}
+	if _, ok := BlockIDFromValue(""); ok {
+		t.Error("BlockIDFromValue accepted an empty value")
+	}
+}
+
+func TestVoteRefString(t *testing.T) {
+	if got := (VoteRef{}).String(); got != "⊥" {
+		t.Errorf("empty VoteRef String = %q", got)
+	}
+	if got := Vote(3, "a").String(); got != `(v=3,"a")` {
+		t.Errorf("Vote(3, a).String() = %q", got)
+	}
+}
+
+func TestKindStringsAreUnique(t *testing.T) {
+	seen := make(map[string]Kind)
+	for k := KindProposal; k <= KindEvidence; k++ {
+		s := k.String()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, s)
+		}
+		seen[s] = k
+	}
+	if (Kind(200)).String() == "" {
+		t.Error("unknown kind produced empty string")
+	}
+}

@@ -1,0 +1,149 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"tetrabft/internal/core"
+	"tetrabft/internal/types"
+)
+
+func TestPersistLoadRoundTrip(t *testing.T) {
+	w, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := w.Load(); err != nil || found {
+		t.Fatalf("fresh WAL: found=%v err=%v", found, err)
+	}
+	want := core.PersistentState{
+		View:      7,
+		HighestVC: 8,
+		Votes: core.VoteState{
+			Vote1: types.Vote(7, "abc"),
+			Vote2: types.Vote(6, "abc"),
+			Vote3: types.Vote(6, "abc"),
+			Vote4: types.Vote(5, "abc"),
+		},
+	}
+	if err := w.Persist(want); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := w.Load()
+	if err != nil || !found {
+		t.Fatalf("Load: found=%v err=%v", found, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %+v want %+v", got, want)
+	}
+}
+
+func TestSizeStaysConstantAcrossViews(t *testing.T) {
+	w, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSize int64
+	var votes core.VoteState
+	for v := types.View(1); v <= 200; v++ {
+		val := types.Value("value-A")
+		if v%2 == 0 {
+			val = "value-B"
+		}
+		for phase := uint8(1); phase <= 4; phase++ {
+			votes.Record(phase, v, val)
+		}
+		if err := w.Persist(core.PersistentState{View: v, HighestVC: v, Votes: votes}); err != nil {
+			t.Fatal(err)
+		}
+		size, err := w.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size > maxSize {
+			maxSize = size
+		}
+	}
+	if maxSize > 128 {
+		t.Errorf("on-disk footprint grew to %d bytes over 200 views; Table 1 requires constant storage", maxSize)
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Persist(core.PersistentState{View: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "state.bin"), []byte{0xFF, 0xFE, 0x01}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Load(); err == nil {
+		t.Error("corrupt snapshot loaded without error")
+	}
+}
+
+func TestCrashRecoveryWithNode(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{ID: 1, Nodes: 4, InitialValue: "x", Persist: w}
+	node, err := core.NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &captureEnv{}
+	node.Start(env)
+	node.Deliver(env, 0, types.Proposal{View: 0, Val: "x"})
+	if node.Halted() {
+		t.Fatal("node halted with a healthy WAL")
+	}
+
+	// "Crash": rebuild from disk.
+	state, found, err := w.Load()
+	if err != nil || !found {
+		t.Fatalf("Load after crash: found=%v err=%v", found, err)
+	}
+	restored, err := core.Restore(cfg, state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := &captureEnv{}
+	restored.Start(env2)
+	restored.Deliver(env2, 0, types.Proposal{View: 0, Val: "y"})
+	for _, m := range env2.broadcasts {
+		if vm, ok := m.(types.VoteMsg); ok && vm.Phase == 1 {
+			t.Fatalf("restored node double-voted: %v", vm)
+		}
+	}
+}
+
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root; permission bits are not enforced")
+	}
+	parent := t.TempDir()
+	if err := os.Chmod(parent, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(filepath.Join(parent, "sub")); err == nil {
+		t.Error("Open succeeded in an unwritable parent")
+	}
+}
+
+type captureEnv struct {
+	broadcasts []types.Message
+}
+
+func (e *captureEnv) Now() types.Time                        { return 0 }
+func (e *captureEnv) Send(types.NodeID, types.Message)       {}
+func (e *captureEnv) Broadcast(m types.Message)              { e.broadcasts = append(e.broadcasts, m) }
+func (e *captureEnv) SetTimer(types.TimerID, types.Duration) {}
+func (e *captureEnv) Decide(types.Slot, types.Value)         {}

@@ -1,0 +1,214 @@
+// Package tetrabft is a from-scratch Go implementation of TetraBFT
+// (Yu, Losa, Wang — PODC 2024): an unauthenticated, optimistically
+// responsive, partially synchronous Byzantine fault tolerant consensus
+// protocol with optimal resilience (n ≥ 3f+1), constant persistent storage,
+// O(n²) communication per view and a good-case latency of 5 message delays
+// — plus its pipelined multi-shot extension that finalizes one block per
+// message delay.
+//
+// The package is a façade over the implementation packages:
+//
+//   - NewNode / Restore — single-shot consensus (Section 3 of the paper);
+//   - NewChain — multi-shot, pipelined blockchain replication (Section 6);
+//   - NewSim — the deterministic discrete-event network simulator used by
+//     the paper-reproduction experiments;
+//   - NewRuntime — a real TCP runtime for deployments;
+//   - OpenWAL — crash-durable storage of the constant-size node state;
+//   - NewMempool / NewKV / NewChainStore — ledger substrate.
+//
+// Quick start (see examples/quickstart for the full program):
+//
+//	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 1})
+//	for i := 0; i < 4; i++ {
+//		n, _ := tetrabft.NewNode(tetrabft.Config{
+//			ID: tetrabft.NodeID(i), Nodes: 4, InitialValue: "hello",
+//		})
+//		s.Add(n)
+//	}
+//	_ = s.Run(0, nil)
+//	d, _ := s.Decision(0, 0) // decided after exactly 5 message delays
+package tetrabft
+
+import (
+	"tetrabft/internal/blockchain"
+	"tetrabft/internal/core"
+	"tetrabft/internal/multishot"
+	"tetrabft/internal/quorum"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/trace"
+	"tetrabft/internal/transport"
+	"tetrabft/internal/types"
+	"tetrabft/internal/wal"
+)
+
+// Core vocabulary, shared by every component.
+type (
+	// NodeID identifies a consensus node (0..n-1).
+	NodeID = types.NodeID
+	// View is a view (round) number.
+	View = types.View
+	// Slot is a position in the replicated log (1-based; 0 = single-shot).
+	Slot = types.Slot
+	// Value is an opaque consensus value.
+	Value = types.Value
+	// Time is virtual time in ticks (one tick = one message delay in the
+	// latency experiments).
+	Time = types.Time
+	// Duration is a span of virtual time.
+	Duration = types.Duration
+	// Message is any wire message.
+	Message = types.Message
+	// Machine is a deterministic protocol state machine.
+	Machine = types.Machine
+	// Env is the effect interface machines act through.
+	Env = types.Env
+	// Block is a blockchain block.
+	Block = types.Block
+	// BlockID is a block's hash-pointer identity.
+	BlockID = types.BlockID
+)
+
+// Single-shot consensus (the paper's primary contribution, Section 3).
+type (
+	// Config parameterizes a TetraBFT node.
+	Config = core.Config
+	// Node is a single-shot TetraBFT node.
+	Node = core.Node
+	// PersistentState is the constant-size durable state of a node.
+	PersistentState = core.PersistentState
+	// Persister stores durable state (see OpenWAL for the disk version).
+	Persister = core.Persister
+)
+
+// NewNode builds a fresh single-shot TetraBFT node starting in view 0.
+func NewNode(cfg Config) (*Node, error) { return core.NewNode(cfg) }
+
+// Restore rebuilds a node from persisted state after a crash.
+func Restore(cfg Config, state PersistentState) (*Node, error) {
+	return core.Restore(cfg, state)
+}
+
+// Multi-shot pipelined replication (Section 6).
+type (
+	// ChainConfig parameterizes a multi-shot node.
+	ChainConfig = multishot.Config
+	// ChainNode is a pipelined multi-shot TetraBFT node.
+	ChainNode = multishot.Node
+)
+
+// NewChain builds a multi-shot (blockchain) TetraBFT node.
+func NewChain(cfg ChainConfig) (*ChainNode, error) { return multishot.NewNode(cfg) }
+
+// Deterministic simulation.
+type (
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sim.Config
+	// Sim is the deterministic discrete-event network runner.
+	Sim = sim.Runner
+	// DelayModel produces per-message network delays.
+	DelayModel = sim.DelayModel
+	// ConstantDelay delays every message by a fixed amount.
+	ConstantDelay = sim.ConstantDelay
+	// UniformDelay draws delays uniformly from [Min, Max].
+	UniformDelay = sim.UniformDelay
+	// Adversary inspects and manipulates in-flight traffic.
+	Adversary = sim.Adversary
+	// Verdict is an adversary's ruling on one message.
+	Verdict = sim.Verdict
+	// Decision records one node's decision for one slot.
+	Decision = sim.Decision
+)
+
+// NewSim creates a deterministic simulator.
+func NewSim(cfg SimConfig) *Sim { return sim.New(cfg) }
+
+// Real networking.
+type (
+	// RuntimeConfig parameterizes a TCP runtime.
+	RuntimeConfig = transport.Config
+	// Runtime hosts one Machine over TCP.
+	Runtime = transport.Runtime
+)
+
+// NewRuntime creates a TCP runtime hosting machine; call SetPeers then Run.
+func NewRuntime(machine Machine, cfg RuntimeConfig) (*Runtime, error) {
+	return transport.New(machine, cfg)
+}
+
+// Durable storage.
+type (
+	// WAL stores a node's constant-size durable state on disk.
+	WAL = wal.WAL
+)
+
+// OpenWAL creates (or reuses) the durable store rooted at dir.
+func OpenWAL(dir string) (*WAL, error) { return wal.Open(dir) }
+
+// Ledger substrate.
+type (
+	// Tx is an opaque transaction.
+	Tx = blockchain.Tx
+	// Mempool is a bounded FIFO of pending transactions.
+	Mempool = blockchain.Mempool
+	// ChainStore validates and records the finalized chain.
+	ChainStore = blockchain.Store
+	// KV is the replicated key-value state machine.
+	KV = blockchain.KV
+)
+
+// NewMempool creates a mempool (limit <= 0 means 4096).
+func NewMempool(limit int) *Mempool { return blockchain.NewMempool(limit) }
+
+// NewChainStore creates an empty chain store.
+func NewChainStore() *ChainStore { return blockchain.NewStore() }
+
+// NewKV creates an empty replicated key-value store.
+func NewKV() *KV { return blockchain.NewKV() }
+
+// SetTx builds a "set key = value" transaction.
+func SetTx(key, value string) Tx { return blockchain.SetTx(key, value) }
+
+// DelTx builds a "delete key" transaction.
+func DelTx(key string) Tx { return blockchain.DelTx(key) }
+
+// EncodePayload packs transactions into a block payload.
+func EncodePayload(txs []Tx) []byte { return blockchain.EncodePayload(txs) }
+
+// DecodePayload unpacks a block payload.
+func DecodePayload(p []byte) ([]Tx, error) { return blockchain.DecodePayload(p) }
+
+// Quorum systems.
+type (
+	// QuorumSystem answers quorum and blocking-set questions.
+	QuorumSystem = quorum.System
+	// Threshold is the classic n ≥ 3f+1 threshold system.
+	Threshold = quorum.Threshold
+	// Slices is a heterogeneous (FBA-style) quorum-slice system, per the
+	// paper's observation that TetraBFT transfers to heterogeneous trust.
+	Slices = quorum.Slices
+	// NodeSet is a set of node identities (used in slice definitions).
+	NodeSet = quorum.Set
+)
+
+// NewThreshold builds a threshold quorum system for n nodes.
+func NewThreshold(n int) (Threshold, error) { return quorum.NewThreshold(n) }
+
+// NewSlices builds a heterogeneous quorum-slice system.
+func NewSlices(slices map[NodeID][]NodeSet) (*Slices, error) {
+	return quorum.NewSlices(slices)
+}
+
+// QuorumSet builds a node set for slice definitions.
+func QuorumSet(nodes ...NodeID) NodeSet { return quorum.NewSet(nodes...) }
+
+// Tracing.
+type (
+	// TraceEvent is one protocol occurrence.
+	TraceEvent = trace.Event
+	// Tracer receives protocol events.
+	Tracer = trace.Tracer
+	// TraceLog collects events in memory.
+	TraceLog = trace.Log
+	// TraceWriter prints events to an io.Writer as they happen.
+	TraceWriter = trace.Writer
+)
