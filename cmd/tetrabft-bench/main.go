@@ -1,12 +1,20 @@
 // Command tetrabft-bench regenerates the paper's tables and figures on the
 // deterministic simulator and prints paper-style rows next to the paper's
 // published values. See EXPERIMENTS.md for the recorded comparison.
+//
+// With -json FILE the command additionally writes a machine-readable perf
+// snapshot (schema "tetrabft-bench/v1"): every experiment's rows plus its
+// wall-clock duration and the host shape. Snapshots are the BENCH_*.json
+// artifacts the ROADMAP's perf methodology compares across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"tetrabft/internal/bench"
 	"tetrabft/internal/types"
@@ -26,84 +34,167 @@ func main() {
 		all      = flag.Bool("all", false, "run every experiment")
 		n        = flag.Int("n", 4, "cluster size for Table 1")
 		effort   = flag.Int("effort", 1, "verification effort multiplier")
+		jsonPath = flag.String("json", "", "write a BENCH_*.json-compatible perf snapshot to this path")
 	)
 	flag.Parse()
-	if err := run(*table1, *comm, *storage, *resp, *fig2, *fig3, *verify, *timeout, *ablation, *all, *n, *effort); err != nil {
+	opts := options{
+		table1: *table1, comm: *comm, storage: *storage, resp: *resp,
+		fig2: *fig2, fig3: *fig3, verify: *verify, timeout: *timeout,
+		ablation: *ablation, all: *all, n: *n, effort: *effort, jsonPath: *jsonPath,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, all bool, n, effort int) error {
-	any := table1 || comm || storage || resp || fig2 || fig3 || verify || timeout || ablation
-	if !any {
-		all = true
+type options struct {
+	table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, all bool
+
+	n, effort int
+	jsonPath  string
+}
+
+// snapshot is the perf record serialized by -json.
+type snapshot struct {
+	Schema      string             `json:"schema"`
+	GeneratedAt string             `json:"generated_at"`
+	Host        hostInfo           `json:"host"`
+	Params      map[string]int     `json:"params"`
+	TimingsMS   map[string]float64 `json:"timings_ms"`
+	Results     map[string]any     `json:"results"`
+}
+
+type hostInfo struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+func newSnapshot(opts options) *snapshot {
+	return &snapshot{
+		Schema:      "tetrabft-bench/v1",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Host: hostInfo{
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Params:    map[string]int{"n": opts.n, "effort": opts.effort},
+		TimingsMS: make(map[string]float64),
+		Results:   make(map[string]any),
 	}
-	if all {
-		table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation = true, true, true, true, true, true, true, true, true
+}
+
+// record times one experiment, stores its rows under name, and returns the
+// experiment's error unchanged.
+func (s *snapshot) record(name string, fn func() (any, error)) (any, error) {
+	start := time.Now()
+	rows, err := fn()
+	if err != nil {
+		return nil, err
 	}
-	if table1 {
-		fmt.Printf("── E1: Table 1 latency columns (n=%d, unit delay) ──\n", n)
-		rows, err := bench.Table1(n)
+	if s != nil {
+		s.TimingsMS[name] = float64(time.Since(start).Microseconds()) / 1000
+		s.Results[name] = rows
+	}
+	return rows, nil
+}
+
+func (s *snapshot) write(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func run(opts options) error {
+	anySelected := opts.table1 || opts.comm || opts.storage || opts.resp || opts.fig2 ||
+		opts.fig3 || opts.verify || opts.timeout || opts.ablation
+	if !anySelected {
+		opts.all = true
+	}
+	if opts.all {
+		opts.table1, opts.comm, opts.storage, opts.resp = true, true, true, true
+		opts.fig2, opts.fig3, opts.verify, opts.timeout, opts.ablation = true, true, true, true, true
+	}
+	var snap *snapshot
+	if opts.jsonPath != "" {
+		snap = newSnapshot(opts)
+	}
+	if opts.table1 {
+		fmt.Printf("── E1: Table 1 latency columns (n=%d, unit delay) ──\n", opts.n)
+		res, err := snap.record("table1", func() (any, error) { return bench.Table1(opts.n) })
 		if err != nil {
 			return err
 		}
-		bench.WriteTable1(os.Stdout, rows)
+		bench.WriteTable1(os.Stdout, res.([]bench.Table1Row))
 		fmt.Println()
 	}
-	if comm {
+	if opts.comm {
 		fmt.Println("── E2: communicated bytes per instance (Table 1 communication column) ──")
-		rows, err := bench.CommunicationSweep([]int{4, 7, 10, 13, 16})
+		res, err := snap.record("comm", func() (any, error) {
+			return bench.CommunicationSweep([]int{4, 7, 10, 13, 16})
+		})
 		if err != nil {
 			return err
 		}
-		bench.WriteComm(os.Stdout, rows)
+		bench.WriteComm(os.Stdout, res.([]bench.CommRow))
 		fmt.Println("shape: TetraBFT/IT-HS total ≈ O(n²); PBFT view change ≈ O(n³)")
 		fmt.Println()
 	}
-	if storage {
+	if opts.storage {
 		fmt.Println("── E3: persistent storage after 6 failed views (Table 1 storage column) ──")
-		rows, err := bench.StorageSweep(6)
+		res, err := snap.record("storage", func() (any, error) { return bench.StorageSweep(6) })
 		if err != nil {
 			return err
 		}
-		for _, row := range rows {
+		for _, row := range res.([]bench.StorageRow) {
 			fmt.Printf("%-18s %6d bytes\n", row.Protocol, row.Bytes)
 		}
 		fmt.Println("shape: constant for TetraBFT/IT-HS/bounded PBFT; growing for unbounded PBFT")
 		fmt.Println()
 	}
-	if resp {
+	if opts.resp {
 		fmt.Println("── E4: post-timeout recovery vs Δ (responsiveness column; δ = 1) ──")
-		rows, err := bench.Responsiveness([]types.Duration{10, 20, 50})
+		res, err := snap.record("resp", func() (any, error) {
+			return bench.Responsiveness([]types.Duration{10, 20, 50})
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-18s %6s %18s\n", "Protocol", "Δ", "Recovery (ticks)")
-		for _, row := range rows {
+		for _, row := range res.([]bench.RespRow) {
 			fmt.Printf("%-18s %6d %18d\n", row.Protocol, row.Delta, row.Recovery)
 		}
 		fmt.Println("shape: responsive protocols are flat in Δ; the blog IT-HS pays Δ")
 		fmt.Println()
 	}
-	if fig2 {
+	if opts.fig2 {
 		fmt.Println("── E5: Figure 2 — pipelined good case ──")
-		res, err := bench.Fig2Pipeline(20)
+		r, err := snap.record("fig2", func() (any, error) { return bench.Fig2Pipeline(20) })
 		if err != nil {
 			return err
 		}
+		res := r.(bench.Fig2Result)
 		fmt.Printf("slots finalized:        %d (first at t=%d, last at t=%d)\n", res.Slots, res.FirstFinalizeAt, res.LastFinalizeAt)
 		fmt.Printf("delays per block:       %.2f (paper: 1)\n", res.MeanInterval)
 		fmt.Printf("single-shot latency:    %d delays (paper: 5)\n", res.SingleShotLatency)
 		fmt.Printf("throughput speedup:     %.2f× (paper: 5×)\n", res.ThroughputSpeedup)
 		fmt.Println()
 	}
-	if fig3 {
+	if opts.fig3 {
 		fmt.Println("── E6/E9: Figure 3 — multi-shot view change ──")
-		res, err := bench.Fig3ViewChange()
+		r, err := snap.record("fig3", func() (any, error) { return bench.Fig3ViewChange() })
 		if err != nil {
 			return err
 		}
+		res := r.(bench.Fig3Result)
 		fmt.Printf("aborted in-flight slots:  %d (paper bound: 5)\n", res.AbortedSlots)
 		fmt.Printf("view-change broadcast at: t=%d\n", res.ViewChangeAt)
 		fmt.Printf("new-view notarization at: t=%d (recovery %d ticks ≤ 5Δ = %d)\n",
@@ -111,12 +202,13 @@ func run(table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, all
 		fmt.Printf("slots finalized overall:  %d\n", res.FinalizedSlots)
 		fmt.Println()
 	}
-	if verify {
+	if opts.verify {
 		fmt.Println("── E7: Section 5 — formal verification reproduction ──")
-		res, err := bench.Verification(effort)
+		r, err := snap.record("verify", func() (any, error) { return bench.Verification(opts.effort) })
 		if err != nil {
 			return err
 		}
+		res := r.(bench.VerificationResult)
 		fmt.Printf("bounded BFS states:        %d (truncated: %v)\n", res.BFSStates, res.BFSTruncated)
 		fmt.Printf("guided-walk states:        %d (paper config: 4 nodes, 1 Byz, 3 values, 5 views)\n", res.WalkStates)
 		fmt.Printf("induction samples/steps:   %d / %d\n", res.InductionSamples, res.InductionSteps)
@@ -124,26 +216,29 @@ func run(table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, all
 		fmt.Printf("violations:                %d (expected: 0)\n", res.Violations)
 		fmt.Println()
 	}
-	if timeout {
+	if opts.timeout {
 		fmt.Println("── E8: Section 3.2 — 9Δ timeout analysis ──")
-		res, err := bench.TimeoutBound(10, 10)
+		r, err := snap.record("timeout", func() (any, error) { return bench.TimeoutBound(10, 10) })
 		if err != nil {
 			return err
 		}
+		res := r.(bench.TimeoutBoundResult)
 		fmt.Printf("seeds: %d, Δ = %d, lossy asynchrony until GST\n", res.Seeds, res.Delta)
 		fmt.Printf("worst post-GST recovery:  %d ticks\n", res.WorstRecovery)
 		fmt.Printf("analysis bound:           %d ticks (9Δ stale timer + 2Δ sync + 7δ view)\n", res.PaperBound)
 		fmt.Printf("all decided: %v, all agreed: %v\n", res.AllDecided, res.AllAgreed)
 		fmt.Println()
 	}
-	if ablation {
+	if opts.ablation {
 		fmt.Println("── Ablation: view-timeout factor around the paper's 9Δ ──")
-		rows, err := bench.AblationTimeout([]int{2, 5, 9, 18})
+		r, err := snap.record("ablation", func() (any, error) {
+			return bench.AblationTimeout([]int{2, 5, 9, 18})
+		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-8s %-28s %-22s\n", "factor", "good case (variance delays)", "crashed-leader case")
-		for _, row := range rows {
+		for _, row := range r.([]bench.AblationRow) {
 			good := "LIVELOCK (views churn, safety holds)"
 			if row.GoodDecided {
 				good = fmt.Sprintf("decided t=%d (max view %d)", row.GoodDecideAt, row.GoodMaxView)
@@ -156,6 +251,12 @@ func run(table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, all
 		}
 		fmt.Println("shape: below 8Δ liveness dies; 9Δ is safe; larger only delays crash recovery")
 		fmt.Println()
+	}
+	if snap != nil {
+		if err := snap.write(opts.jsonPath); err != nil {
+			return fmt.Errorf("writing perf snapshot: %w", err)
+		}
+		fmt.Printf("perf snapshot written to %s\n", opts.jsonPath)
 	}
 	return nil
 }

@@ -1,0 +1,3 @@
+module tetrabft
+
+go 1.24

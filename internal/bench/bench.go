@@ -29,11 +29,18 @@ import (
 	"tetrabft/internal/ithotstuff"
 	"tetrabft/internal/liconsensus"
 	"tetrabft/internal/multishot"
+	"tetrabft/internal/par"
 	"tetrabft/internal/pbft"
 	"tetrabft/internal/sim"
 	"tetrabft/internal/trace"
 	"tetrabft/internal/types"
 )
+
+// Every sweep in this package is embarrassingly parallel: each measurement
+// owns its own seeded sim.Runner, so runs share no state. The sweeps fan
+// their independent runs out over par.Map's GOMAXPROCS-bounded pool and
+// assemble rows by job index, which keeps the emitted tables byte-identical
+// with a sequential execution (asserted by TestSweepsDeterministic).
 
 // Protocol names a measured protocol.
 type Protocol string
@@ -167,30 +174,51 @@ func Table1(n int) ([]Table1Row, error) {
 		{proto: LiEtAl, responsive: "non-responsive", paperGood: 6, paperVC: 6},
 		{proto: TetraBFT, responsive: "responsive", paperGood: 5, paperVC: 7, hasVC: true},
 	}
-	rows := make([]Table1Row, 0, len(specs))
-	for _, spec := range specs {
-		good, err := decideTime(spec.proto, n, delta, false)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s good case: %w", spec.proto, err)
-		}
-		row := Table1Row{
-			Protocol:        spec.proto,
-			Responsive:      spec.responsive,
-			GoodCaseDelays:  good,
-			PaperGoodCase:   spec.paperGood,
-			PaperViewChange: spec.paperVC,
-		}
+	// One job per (protocol, scenario) measurement so the slow view-change
+	// runs overlap with the good-case runs.
+	type job struct {
+		specIdx int
+		silent  bool
+	}
+	var jobs []job
+	for i, spec := range specs {
+		jobs = append(jobs, job{specIdx: i})
 		if spec.hasVC {
-			at, err := decideTime(spec.proto, n, delta, true)
-			if err != nil {
-				return nil, fmt.Errorf("bench: %s view change: %w", spec.proto, err)
-			}
-			timeout := int64(9 * delta)
-			row.ViewChangeDelays = at - timeout - spec.deadWait
-		} else {
-			row.ViewChangeDelays = -1
+			jobs = append(jobs, job{specIdx: i, silent: true})
 		}
-		rows = append(rows, row)
+	}
+	times, err := par.Map(jobs, func(_ int, j job) (int64, error) {
+		spec := specs[j.specIdx]
+		at, err := decideTime(spec.proto, n, delta, j.silent)
+		if err != nil {
+			scenario := "good case"
+			if j.silent {
+				scenario = "view change"
+			}
+			return 0, fmt.Errorf("bench: %s %s: %w", spec.proto, scenario, err)
+		}
+		return at, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(specs))
+	for i, spec := range specs {
+		rows[i] = Table1Row{
+			Protocol:         spec.proto,
+			Responsive:       spec.responsive,
+			ViewChangeDelays: -1,
+			PaperGoodCase:    spec.paperGood,
+			PaperViewChange:  spec.paperVC,
+		}
+	}
+	for k, j := range jobs {
+		if j.silent {
+			timeout := int64(9 * delta)
+			rows[j.specIdx].ViewChangeDelays = times[k] - timeout - specs[j.specIdx].deadWait
+		} else {
+			rows[j.specIdx].GoodCaseDelays = times[k]
+		}
 	}
 	return rows, nil
 }
@@ -237,45 +265,43 @@ type CommRow struct {
 // additionally through a view change for PBFT (whose evidence-carrying
 // view-change messages produce the O(n³) worst case).
 func CommunicationSweep(sizes []int) ([]CommRow, error) {
-	var rows []CommRow
+	type job struct {
+		proto    Protocol
+		n        int
+		scenario string
+	}
+	var jobs []job
 	for _, n := range sizes {
 		for _, proto := range []Protocol{TetraBFT, ITHS, PBFTBounded} {
-			r := sim.New(sim.Config{Seed: 1})
-			if _, err := cluster(r, proto, n, 10, false); err != nil {
-				return nil, err
-			}
-			if err := r.Run(4000, nil); err != nil {
-				return nil, err
-			}
-			rows = append(rows, CommRow{
-				Protocol:     proto,
-				N:            n,
-				Scenario:     "good-case",
-				TotalBytes:   r.TotalSentBytes(),
-				PerNodeBytes: r.TotalSentBytes() / int64(n),
-			})
+			jobs = append(jobs, job{proto: proto, n: n, scenario: "good-case"})
 		}
 		// Worst-case view change: the view-0 instance reaches the prepared
 		// state (so PBFT view-change messages carry full O(n) evidence)
 		// but the final phase is suppressed, forcing the view change.
 		for _, proto := range []Protocol{TetraBFT, PBFTBounded} {
-			r := sim.New(sim.Config{Seed: 1, Adversary: suppressFinalPhase{}})
-			if _, err := cluster(r, proto, n, 10, false); err != nil {
-				return nil, err
-			}
-			if err := r.Run(4000, nil); err != nil {
-				return nil, err
-			}
-			rows = append(rows, CommRow{
-				Protocol:     proto,
-				N:            n,
-				Scenario:     "view-change",
-				TotalBytes:   r.TotalSentBytes(),
-				PerNodeBytes: r.TotalSentBytes() / int64(n),
-			})
+			jobs = append(jobs, job{proto: proto, n: n, scenario: "view-change"})
 		}
 	}
-	return rows, nil
+	return par.Map(jobs, func(_ int, j job) (CommRow, error) {
+		cfg := sim.Config{Seed: 1}
+		if j.scenario == "view-change" {
+			cfg.Adversary = suppressFinalPhase{}
+		}
+		r := sim.New(cfg)
+		if _, err := cluster(r, j.proto, j.n, 10, false); err != nil {
+			return CommRow{}, err
+		}
+		if err := r.Run(4000, nil); err != nil {
+			return CommRow{}, err
+		}
+		return CommRow{
+			Protocol:     j.proto,
+			N:            j.n,
+			Scenario:     j.scenario,
+			TotalBytes:   r.TotalSentBytes(),
+			PerNodeBytes: r.TotalSentBytes() / int64(j.n),
+		}, nil
+	})
 }
 
 // StorageRow is one protocol's storage measurement.
@@ -291,20 +317,18 @@ type StorageRow struct {
 // PBFT, growing for the unbounded PBFT row.
 func StorageSweep(failedViews int) ([]StorageRow, error) {
 	protos := []Protocol{TetraBFT, ITHS, PBFTBounded, PBFTUnbounded}
-	rows := make([]StorageRow, 0, len(protos))
-	for _, proto := range protos {
+	return par.Map(protos, func(_ int, proto Protocol) (StorageRow, error) {
 		adv := suppressProposals{below: types.View(failedViews)}
 		r := sim.New(sim.Config{Seed: 1, Adversary: adv})
 		probe, err := cluster(r, proto, 4, 10, false)
 		if err != nil {
-			return nil, err
+			return StorageRow{}, err
 		}
 		if err := r.Run(types.Time((failedViews+4)*9*10*4), nil); err != nil {
-			return nil, err
+			return StorageRow{}, err
 		}
-		rows = append(rows, StorageRow{Protocol: proto, Views: failedViews, Bytes: probe()})
-	}
-	return rows, nil
+		return StorageRow{Protocol: proto, Views: failedViews, Bytes: probe()}, nil
+	})
 }
 
 // suppressFinalPhase drops the decision-completing phase of view 0 in both
@@ -370,7 +394,12 @@ type RespRow struct {
 // message delays; the non-responsive blog IT-HS pays a full Δ of dead
 // waiting (Section 1.2's practical argument for responsiveness).
 func Responsiveness(deltas []types.Duration) ([]RespRow, error) {
-	var rows []RespRow
+	type job struct {
+		delta  types.Duration
+		proto  Protocol
+		delays int64
+	}
+	var jobs []job
 	for _, delta := range deltas {
 		for _, spec := range []struct {
 			proto  Protocol
@@ -381,19 +410,21 @@ func Responsiveness(deltas []types.Duration) ([]RespRow, error) {
 			{ITHSBlog, 5},
 			{PBFTBounded, 7},
 		} {
-			at, err := decideTime(spec.proto, 4, delta, true)
-			if err != nil {
-				return nil, fmt.Errorf("bench: responsiveness %s Δ=%d: %w", spec.proto, delta, err)
-			}
-			rows = append(rows, RespRow{
-				Delta:    delta,
-				Protocol: spec.proto,
-				Recovery: at - int64(9*delta),
-				Delays:   spec.delays,
-			})
+			jobs = append(jobs, job{delta: delta, proto: spec.proto, delays: spec.delays})
 		}
 	}
-	return rows, nil
+	return par.Map(jobs, func(_ int, j job) (RespRow, error) {
+		at, err := decideTime(j.proto, 4, j.delta, true)
+		if err != nil {
+			return RespRow{}, fmt.Errorf("bench: responsiveness %s Δ=%d: %w", j.proto, j.delta, err)
+		}
+		return RespRow{
+			Delta:    j.delta,
+			Protocol: j.proto,
+			Recovery: at - int64(9*j.delta),
+			Delays:   j.delays,
+		}, nil
+	})
 }
 
 // Fig2Result summarizes the pipelining experiment.
@@ -561,36 +592,65 @@ func TimeoutBound(seeds int, delta types.Duration) (TimeoutBoundResult, error) {
 		AllDecided: true,
 		AllAgreed:  true,
 	}
-	for seed := int64(1); seed <= int64(seeds); seed++ {
+	// Each seed is an independent run; measure them in parallel and fold in
+	// seed order so the reported worst case and first error are those a
+	// sequential sweep would produce.
+	type seedOut struct {
+		worst      int64
+		allDecided bool
+		runErr     error
+		agreeErr   error
+	}
+	outs := make([]seedOut, seeds)
+	par.For(seeds, func(i int) {
+		out := &seedOut{allDecided: true}
+		defer func() { outs[i] = *out }()
 		r := sim.New(sim.Config{
-			Seed:          seed,
+			Seed:          int64(i) + 1,
 			GST:           gst,
 			DropBeforeGST: 0.9,
 			Delay:         sim.ConstantDelay{D: 1},
 		})
 		if _, err := cluster(r, TetraBFT, 4, delta, false); err != nil {
-			return res, err
+			out.runErr = err
+			return
 		}
 		if err := r.Run(gst+types.Time(40*int64(delta)), nil); err != nil {
-			return res, err
+			out.runErr = err
+			return
 		}
 		if err := r.AgreementViolation(); err != nil {
-			res.AllAgreed = false
-			return res, err
+			out.agreeErr = err
+			return
 		}
-		for i := types.NodeID(0); i < 4; i++ {
-			d, ok := r.Decision(i, 0)
+		for n := types.NodeID(0); n < 4; n++ {
+			d, ok := r.Decision(n, 0)
 			if !ok {
-				res.AllDecided = false
+				out.allDecided = false
 				continue
 			}
 			rec := int64(d.At) - int64(gst)
 			if rec < 0 {
 				rec = 0 // decided during asynchrony: lucky delivery
 			}
-			if rec > res.WorstRecovery {
-				res.WorstRecovery = rec
+			if rec > out.worst {
+				out.worst = rec
 			}
+		}
+	})
+	for _, out := range outs {
+		if out.runErr != nil {
+			return res, out.runErr
+		}
+		if out.agreeErr != nil {
+			res.AllAgreed = false
+			return res, out.agreeErr
+		}
+		if !out.allDecided {
+			res.AllDecided = false
+		}
+		if out.worst > res.WorstRecovery {
+			res.WorstRecovery = out.worst
 		}
 	}
 	return res, nil

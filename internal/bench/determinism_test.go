@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"tetrabft/internal/types"
+)
+
+// TestSweepsSequentialParallelEquivalent asserts the sweeps emit identical
+// rows on the sequential GOMAXPROCS=1 path and the parallel pool — the
+// cross-core-count half of the determinism contract.
+func TestSweepsSequentialParallelEquivalent(t *testing.T) {
+	type all struct {
+		t1   []Table1Row
+		comm []CommRow
+		tb   TimeoutBoundResult
+	}
+	collect := func() (r all, err error) {
+		if r.t1, err = Table1(4); err != nil {
+			return
+		}
+		if r.comm, err = CommunicationSweep([]int{4, 7}); err != nil {
+			return
+		}
+		r.tb, err = TimeoutBound(6, 10)
+		return
+	}
+	prev := runtime.GOMAXPROCS(1)
+	seq, err := collect()
+	runtime.GOMAXPROCS(4)
+	parl, perr := collect()
+	runtime.GOMAXPROCS(prev)
+	if err != nil || perr != nil {
+		t.Fatal(err, perr)
+	}
+	if !reflect.DeepEqual(seq, parl) {
+		t.Errorf("sequential and parallel sweeps differ:\nseq: %+v\npar: %+v", seq, parl)
+	}
+}
+
+// TestSweepsDeterministic runs every parallelized sweep twice and asserts
+// identical rows: fanning the independent runs over the worker pool must
+// not perturb row order or any measured number.
+func TestSweepsDeterministic(t *testing.T) {
+	t.Run("Table1", func(t *testing.T) {
+		a, err := Table1(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Table1(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("Table1 rows differ across runs:\n%+v\n%+v", a, b)
+		}
+	})
+	t.Run("CommunicationSweep", func(t *testing.T) {
+		a, err := CommunicationSweep([]int{4, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CommunicationSweep([]int{4, 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("CommunicationSweep rows differ across runs:\n%+v\n%+v", a, b)
+		}
+	})
+	t.Run("StorageSweep", func(t *testing.T) {
+		a, err := StorageSweep(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := StorageSweep(6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("StorageSweep rows differ across runs:\n%+v\n%+v", a, b)
+		}
+	})
+	t.Run("Responsiveness", func(t *testing.T) {
+		a, err := Responsiveness([]types.Duration{10, 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Responsiveness([]types.Duration{10, 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("Responsiveness rows differ across runs:\n%+v\n%+v", a, b)
+		}
+	})
+	t.Run("TimeoutBound", func(t *testing.T) {
+		a, err := TimeoutBound(6, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := TimeoutBound(6, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("TimeoutBound results differ across runs:\n%+v\n%+v", a, b)
+		}
+	})
+}

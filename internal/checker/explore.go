@@ -3,6 +3,9 @@ package checker
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
+
+	"tetrabft/internal/par"
 )
 
 // Result summarizes one exploration.
@@ -26,52 +29,186 @@ func (v *Violation) Error() string {
 		v.Property, len(v.Trace), v.Detail, v.Trace)
 }
 
+// Exploration is parallel but deterministic. Every function in this file
+// follows the same discipline: the expensive per-state work (guard
+// evaluation, successor construction, invariant checks) fans out over a
+// GOMAXPROCS pool into per-index slots, and the results are folded
+// sequentially in index order — so counts, truncation points and the
+// reported counterexample never depend on goroutine scheduling.
+
+// bfsChunk bounds how many frontier states are expanded in parallel before
+// folding, which bounds the transient memory for not-yet-deduplicated
+// successor states.
+const bfsChunk = 512
+
+// walkSeed derives a per-walk rng seed from the run seed and the walk index
+// using a splitmix64 finalizer. Each walk owns an independent generator, so
+// walks can run on any worker in any order while the schedule stays a pure
+// function of (seed, index) — and streams for nearby seeds do not overlap
+// the way seed+index would.
+func walkSeed(seed int64, w int) int64 {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + uint64(w)*0xBF58476D1CE4E5B9 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// lowerMin lowers m to v if v is smaller (atomic min).
+func lowerMin(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v >= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // BFS explores the state graph breadth-first up to maxStates unique states
 // and maxDepth transitions deep, checking Consistency in every visited
 // state. It is exhaustive when it returns with Truncated == false — the
 // paper notes full exploration of the Section 5 configuration is out of
 // reach even for TLC, so exhaustive runs use reduced bounds.
+//
+// Frontier levels are expanded in parallel chunk by chunk; the fold walks
+// the chunk in frontier order, so the visit order, all counters and any
+// counterexample are identical to a sequential FIFO search.
 func (sp *Spec) BFS(maxStates, maxDepth int) Result {
 	type entry struct {
 		state *State
+		key   string
 		depth int
+	}
+	type succ struct {
+		action Action
+		key    string
+		state  *State
+	}
+	type expansion struct {
+		consistent bool
+		succs      []succ
 	}
 	init := NewInitState(sp.cfg)
 	res := Result{}
 	seen := map[string][]Action{init.Key(): nil}
-	queue := []entry{{state: init, depth: 0}}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		res.StatesExplored++
-		trace := seen[cur.state.Key()]
-		if !sp.ConsistencyHolds(cur.state) {
-			res.Violation = &Violation{
-				Property: "Consistency",
-				Trace:    trace,
-				Detail:   fmt.Sprintf("decided = %v", sp.Decided(cur.state)),
+	frontier := []entry{{state: init, key: init.Key(), depth: 0}}
+	for len(frontier) > 0 {
+		var next []entry
+		for base := 0; base < len(frontier); base += bfsChunk {
+			chunk := frontier[base:min(base+bfsChunk, len(frontier))]
+			exps := make([]expansion, len(chunk))
+			par.For(len(chunk), func(i int) {
+				e := chunk[i]
+				exps[i].consistent = sp.ConsistencyHolds(e.state)
+				if !exps[i].consistent || e.depth >= maxDepth {
+					return
+				}
+				for _, a := range sp.EnabledActions(e.state, false) {
+					ns := sp.Apply(e.state, a)
+					exps[i].succs = append(exps[i].succs, succ{action: a, key: ns.Key(), state: ns})
+				}
+			})
+			for i, e := range chunk {
+				res.StatesExplored++
+				trace := seen[e.key]
+				if !exps[i].consistent {
+					res.Violation = &Violation{
+						Property: "Consistency",
+						Trace:    trace,
+						Detail:   fmt.Sprintf("decided = %v", sp.Decided(e.state)),
+					}
+					return res
+				}
+				if e.depth >= maxDepth {
+					res.Truncated = true
+					continue
+				}
+				for _, sc := range exps[i].succs {
+					if _, dup := seen[sc.key]; dup {
+						continue
+					}
+					res.Transitions++
+					if len(seen) >= maxStates {
+						res.Truncated = true
+						return res
+					}
+					nextTrace := make([]Action, len(trace), len(trace)+1)
+					copy(nextTrace, trace)
+					seen[sc.key] = append(nextTrace, sc.action)
+					next = append(next, entry{state: sc.state, key: sc.key, depth: e.depth + 1})
+				}
 			}
+		}
+		frontier = next
+	}
+	return res
+}
+
+// walkOut is the per-walk result slot filled by runWalks workers.
+type walkOut struct {
+	states, transitions int
+	violation           *Violation
+}
+
+// runWalks executes independent random schedules in parallel. Each walk w
+// draws from its own rng seeded by walkSeed(seed, w). If a walk violates,
+// walks with higher indices abort early (their counts are discarded by the
+// fold anyway), and the fold reports the lowest-indexed violation with the
+// counts of every walk before it — matching what a sequential loop over the
+// same per-walk schedules would return.
+func (sp *Spec) runWalks(walks, steps int, seed int64, pick func(*rand.Rand, []Action) Action, checkInv bool) Result {
+	outs := make([]walkOut, walks)
+	var minViol atomic.Int64
+	minViol.Store(int64(walks))
+	par.For(walks, func(w int) {
+		out := &outs[w]
+		rng := rand.New(rand.NewSource(walkSeed(seed, w)))
+		s := NewInitState(sp.cfg)
+		var traceOut []Action
+		for i := 0; i < steps; i++ {
+			if minViol.Load() < int64(w) {
+				return
+			}
+			actions := sp.EnabledActions(s, false)
+			if len(actions) == 0 {
+				break
+			}
+			a := pick(rng, actions)
+			s = sp.Apply(s, a)
+			traceOut = append(traceOut, a)
+			out.states++
+			out.transitions++
+			if !sp.ConsistencyHolds(s) {
+				out.violation = &Violation{
+					Property: "Consistency",
+					Trace:    traceOut,
+					Detail:   fmt.Sprintf("decided = %v", sp.Decided(s)),
+				}
+				lowerMin(&minViol, int64(w))
+				return
+			}
+			if checkInv && sp.cfg.Mutation == MutationNone {
+				if err := sp.CheckInvariant(s); err != nil {
+					out.violation = &Violation{
+						Property: "ConsistencyInvariant(reachable)",
+						Trace:    traceOut,
+						Detail:   err.Error(),
+					}
+					lowerMin(&minViol, int64(w))
+					return
+				}
+			}
+		}
+	})
+	res := Result{}
+	for w := range outs {
+		res.StatesExplored += outs[w].states
+		res.Transitions += outs[w].transitions
+		if outs[w].violation != nil {
+			res.Violation = outs[w].violation
 			return res
-		}
-		if cur.depth >= maxDepth {
-			res.Truncated = true
-			continue
-		}
-		for _, a := range sp.EnabledActions(cur.state, false) {
-			next := sp.Apply(cur.state, a)
-			key := next.Key()
-			if _, dup := seen[key]; dup {
-				continue
-			}
-			res.Transitions++
-			if len(seen) >= maxStates {
-				res.Truncated = true
-				return res
-			}
-			nextTrace := make([]Action, len(trace), len(trace)+1)
-			copy(nextTrace, trace)
-			seen[key] = append(nextTrace, a)
-			queue = append(queue, entry{state: next, depth: cur.depth + 1})
 		}
 	}
 	return res
@@ -82,74 +219,16 @@ func (sp *Spec) BFS(maxStates, maxDepth int) Result {
 // always here, that every reachable state satisfies the inductive
 // invariant — reachable states violating it would disprove invariance).
 func (sp *Spec) RandomWalks(walks, steps int, seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
-	res := Result{}
-	for w := 0; w < walks; w++ {
-		s := NewInitState(sp.cfg)
-		var traceOut []Action
-		for i := 0; i < steps; i++ {
-			actions := sp.EnabledActions(s, false)
-			if len(actions) == 0 {
-				break
-			}
-			a := actions[rng.Intn(len(actions))]
-			s = sp.Apply(s, a)
-			traceOut = append(traceOut, a)
-			res.StatesExplored++
-			res.Transitions++
-			if !sp.ConsistencyHolds(s) {
-				res.Violation = &Violation{
-					Property: "Consistency",
-					Trace:    traceOut,
-					Detail:   fmt.Sprintf("decided = %v", sp.Decided(s)),
-				}
-				return res
-			}
-			if sp.cfg.Mutation == MutationNone {
-				if err := sp.CheckInvariant(s); err != nil {
-					res.Violation = &Violation{
-						Property: "ConsistencyInvariant(reachable)",
-						Trace:    traceOut,
-						Detail:   err.Error(),
-					}
-					return res
-				}
-			}
-		}
-	}
-	return res
+	return sp.runWalks(walks, steps, seed, func(rng *rand.Rand, actions []Action) Action {
+		return actions[rng.Intn(len(actions))]
+	}, true)
 }
 
 // GuidedWalks is RandomWalks with a vote-biased scheduler: voting actions
 // are picked with priority, which reaches decision states far more often
 // and is how the mutation tests find agreement violations quickly.
 func (sp *Spec) GuidedWalks(walks, steps int, seed int64) Result {
-	rng := rand.New(rand.NewSource(seed))
-	res := Result{}
-	for w := 0; w < walks; w++ {
-		s := NewInitState(sp.cfg)
-		var traceOut []Action
-		for i := 0; i < steps; i++ {
-			actions := sp.EnabledActions(s, false)
-			if len(actions) == 0 {
-				break
-			}
-			a := pickBiased(rng, actions)
-			s = sp.Apply(s, a)
-			traceOut = append(traceOut, a)
-			res.StatesExplored++
-			res.Transitions++
-			if !sp.ConsistencyHolds(s) {
-				res.Violation = &Violation{
-					Property: "Consistency",
-					Trace:    traceOut,
-					Detail:   fmt.Sprintf("decided = %v", sp.Decided(s)),
-				}
-				return res
-			}
-		}
-	}
-	return res
+	return sp.runWalks(walks, steps, seed, pickBiased, false)
 }
 
 // pickBiased prefers Vote > Propose/StartRound/HavocAdd > other havoc.
@@ -188,12 +267,20 @@ type InductionResult struct {
 	Violation       *Violation
 }
 
+// inductionChunk bounds how many candidate states are generated and checked
+// in parallel before the sequential fold decides which of them count toward
+// the sample quota.
+const inductionChunk = 64
+
 // InductionSample is the sampled analogue of the paper's Apalache check
 // that ConsistencyInvariant is inductive: generate states satisfying the
 // invariant (both synthetic states and reachable states from short walks),
 // apply one enabled action, and verify the invariant still holds.
+//
+// Candidate i is a pure function of (seed, i); candidates are generated and
+// stepped in parallel chunks and consumed in index order until the quota is
+// met, so the accepted sample set is deterministic.
 func (sp *Spec) InductionSample(samples int, seed int64) InductionResult {
-	rng := rand.New(rand.NewSource(seed))
 	res := InductionResult{}
 
 	// Base case: the initial state satisfies the invariant.
@@ -203,36 +290,54 @@ func (sp *Spec) InductionSample(samples int, seed int64) InductionResult {
 		return res
 	}
 
-	for res.SamplesAccepted < samples {
-		var s *State
-		if rng.Intn(2) == 0 {
-			s = sp.randomSyntheticState(rng)
-		} else {
-			s = sp.randomWalkState(rng)
-		}
-		res.SamplesTried++
-		if res.SamplesTried > samples*200 {
-			break // generator starved; report what we have
-		}
-		if sp.CheckInvariant(s) != nil {
-			continue // not an Inv state; irrelevant for induction
-		}
-		res.SamplesAccepted++
-		actions := sp.EnabledActions(s, false)
-		if len(actions) == 0 {
-			continue
-		}
-		// Step every enabled action from this Inv state (stronger than one
-		// random action and still cheap at these instance sizes).
-		for _, a := range actions {
-			next := sp.Apply(s, a)
-			res.StepsChecked++
-			if err := sp.CheckInvariant(next); err != nil {
-				res.Violation = &Violation{
-					Property: "Inv ∧ Next ⇒ Inv'",
-					Trace:    []Action{a},
-					Detail:   fmt.Sprintf("%v from state %s", err, s.Key()),
+	type candOut struct {
+		accepted  bool
+		steps     int
+		violation *Violation
+	}
+	limit := samples * 200 // generator-starvation cutoff, as before
+	for base := 0; res.SamplesAccepted < samples && res.SamplesTried <= limit; base += inductionChunk {
+		outs := make([]candOut, inductionChunk)
+		par.For(inductionChunk, func(i int) {
+			rng := rand.New(rand.NewSource(walkSeed(seed, base+i)))
+			var s *State
+			if rng.Intn(2) == 0 {
+				s = sp.randomSyntheticState(rng)
+			} else {
+				s = sp.randomWalkState(rng)
+			}
+			out := &outs[i]
+			if sp.CheckInvariant(s) != nil {
+				return // not an Inv state; irrelevant for induction
+			}
+			out.accepted = true
+			// Step every enabled action from this Inv state (stronger than one
+			// random action and still cheap at these instance sizes).
+			for _, a := range sp.EnabledActions(s, false) {
+				next := sp.Apply(s, a)
+				out.steps++
+				if err := sp.CheckInvariant(next); err != nil {
+					out.violation = &Violation{
+						Property: "Inv ∧ Next ⇒ Inv'",
+						Trace:    []Action{a},
+						Detail:   fmt.Sprintf("%v from state %s", err, s.Key()),
+					}
+					return
 				}
+			}
+		})
+		for i := 0; i < inductionChunk && res.SamplesAccepted < samples; i++ {
+			res.SamplesTried++
+			if res.SamplesTried > limit {
+				break // generator starved; report what we have
+			}
+			if !outs[i].accepted {
+				continue
+			}
+			res.SamplesAccepted++
+			res.StepsChecked += outs[i].steps
+			if outs[i].violation != nil {
+				res.Violation = outs[i].violation
 				return res
 			}
 		}
@@ -312,16 +417,22 @@ type LivenessResult struct {
 // reached by a bounded adversarial prefix, exhausting the honest actions of
 // a good round must produce a decision. Each run takes `prefix` random
 // steps (havoc included), then greedily applies honest actions to fixpoint
-// and checks that `decided` is non-empty.
+// and checks that `decided` is non-empty. Runs execute in parallel, each on
+// its own (seed, index)-derived rng, and are folded in index order.
 func (sp *Spec) LivenessFixpoint(runs, prefix int, seed int64) LivenessResult {
-	rng := rand.New(rand.NewSource(seed))
 	res := LivenessResult{}
 	if sp.cfg.GoodRound < 0 {
 		res.Violation = &Violation{Property: "Liveness", Detail: "config has no good round"}
 		return res
 	}
-	for i := 0; i < runs; i++ {
-		res.Runs++
+	outs := make([]*Violation, runs)
+	var minViol atomic.Int64
+	minViol.Store(int64(runs))
+	par.For(runs, func(i int) {
+		if minViol.Load() < int64(i) {
+			return // result would be discarded by the fold
+		}
+		rng := rand.New(rand.NewSource(walkSeed(seed, i)))
 		s := NewInitState(sp.cfg)
 		var traceOut []Action
 		for j := 0; j < prefix; j++ {
@@ -344,11 +455,18 @@ func (sp *Spec) LivenessFixpoint(runs, prefix int, seed int64) LivenessResult {
 			traceOut = append(traceOut, a)
 		}
 		if len(sp.Decided(s)) == 0 {
-			res.Violation = &Violation{
+			outs[i] = &Violation{
 				Property: "Liveness",
 				Trace:    traceOut,
 				Detail:   "honest fixpoint reached with no decision",
 			}
+			lowerMin(&minViol, int64(i))
+		}
+	})
+	for _, v := range outs {
+		res.Runs++
+		if v != nil {
+			res.Violation = v
 			return res
 		}
 		res.Decided++

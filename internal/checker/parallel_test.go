@@ -1,0 +1,124 @@
+package checker
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// atGOMAXPROCS runs fn with the given GOMAXPROCS and restores the previous
+// value. par.For consults GOMAXPROCS per call, so this toggles between the
+// sequential fallback (1) and the true parallel path (>1) even on a
+// single-CPU machine.
+func atGOMAXPROCS(n int, fn func()) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// TestSequentialParallelEquivalent pins the documented contract that
+// exploration results are byte-identical for any core count: the
+// GOMAXPROCS=1 path (par.For's plain loop) and the parallel path must
+// produce exactly the same counts and verdicts.
+func TestSequentialParallelEquivalent(t *testing.T) {
+	sp := mustSpec(t, PaperConfig())
+	small := mustSpec(t, Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1})
+	live := mustSpec(t, Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 3, GoodRound: 0})
+	type all struct {
+		bfs   Result
+		walks Result
+		ind   InductionResult
+		liv   LivenessResult
+	}
+	collect := func() (r all) {
+		r.bfs = small.BFS(3000, 8)
+		r.walks = sp.GuidedWalks(20, 50, 5)
+		r.ind = sp.InductionSample(40, 9)
+		r.liv = live.LivenessFixpoint(8, 15, 3)
+		return
+	}
+	var seq, parl all
+	atGOMAXPROCS(1, func() { seq = collect() })
+	atGOMAXPROCS(4, func() { parl = collect() })
+	if !reflect.DeepEqual(seq, parl) {
+		t.Errorf("sequential and parallel exploration differ:\nseq: %+v\npar: %+v", seq, parl)
+	}
+}
+
+// The exploration functions fan per-state and per-walk work over a worker
+// pool; these tests pin the determinism contract: same seed and bounds →
+// identical counts, identical truncation, identical counterexample.
+
+func TestWalksDeterministic(t *testing.T) {
+	sp := mustSpec(t, PaperConfig())
+	a := sp.GuidedWalks(30, 60, 5)
+	b := sp.GuidedWalks(30, 60, 5)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("GuidedWalks not deterministic: %+v vs %+v", a, b)
+	}
+	c := sp.RandomWalks(30, 60, 5)
+	d := sp.RandomWalks(30, 60, 5)
+	if !reflect.DeepEqual(c, d) {
+		t.Errorf("RandomWalks not deterministic: %+v vs %+v", c, d)
+	}
+}
+
+func TestInductionDeterministic(t *testing.T) {
+	sp := mustSpec(t, PaperConfig())
+	a := sp.InductionSample(60, 9)
+	b := sp.InductionSample(60, 9)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("InductionSample not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestLivenessDeterministic(t *testing.T) {
+	sp := mustSpec(t, Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 3, GoodRound: 0})
+	a := sp.LivenessFixpoint(10, 20, 3)
+	b := sp.LivenessFixpoint(10, 20, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("LivenessFixpoint not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestWalksViolationDeterministic asserts that on a buggy spec the parallel
+// walk pool reports the same counterexample (same trace, same counts) every
+// time — i.e. the lowest-indexed violating walk wins regardless of
+// scheduling.
+func TestWalksViolationDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1, Mutation: MutationNoSafetyCheck}
+	sp := mustSpec(t, cfg)
+	var found *Result
+	for seed := int64(0); seed < 40; seed++ {
+		res := sp.GuidedWalks(40, 120, seed)
+		if res.Violation != nil {
+			again := sp.GuidedWalks(40, 120, seed)
+			if !reflect.DeepEqual(res, again) {
+				t.Fatalf("violating run not reproducible:\n%+v\n%+v", res, again)
+			}
+			r := res
+			found = &r
+			break
+		}
+	}
+	if found == nil {
+		t.Fatal("no seed produced a violation on the mutated spec")
+	}
+	if len(found.Violation.Trace) == 0 {
+		t.Error("violation reported with an empty trace")
+	}
+}
+
+// TestBFSTruncationDeterministic drives BFS into the maxStates truncation
+// path (the early return mid-chunk) and asserts counts stay identical.
+func TestBFSTruncationDeterministic(t *testing.T) {
+	cfg := Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1}
+	a := mustSpec(t, cfg).BFS(700, 6)
+	b := mustSpec(t, cfg).BFS(700, 6)
+	if !a.Truncated {
+		t.Fatal("expected the tiny state cap to truncate")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("truncated BFS not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -22,8 +22,7 @@ package checker
 
 import (
 	"fmt"
-	"sort"
-	"strings"
+	"strconv"
 )
 
 // Value is an abstract value index (0..Values-1).
@@ -122,31 +121,41 @@ func (s *State) Clone() *State {
 	return c
 }
 
-// Key returns a canonical fingerprint for state deduplication.
+// Key returns a canonical fingerprint for state deduplication. It is the
+// single hottest function of the BFS (called once per generated successor),
+// so it packs each vote into one integer, sorts the small packed slice
+// in-place, and renders with strconv appends instead of fmt.
 func (s *State) Key() string {
-	var b strings.Builder
+	buf := make([]byte, 0, 16+24*len(s.Votes))
+	var packed [64]uint32
 	for i, vs := range s.Votes {
-		fmt.Fprintf(&b, "r%d=%d|", i, s.Round[i])
-		votes := make([]Vote, 0, len(vs))
+		buf = strconv.AppendInt(buf, int64(s.Round[i]), 10)
+		buf = append(buf, '|')
+		// Pack (round, phase, value) injectively: rounds and values in
+		// these finite instances are far below 2^12, phases are 1..4.
+		pv := packed[:0]
 		for v := range vs {
-			votes = append(votes, v)
+			pv = append(pv, uint32(v.Round+1)<<16|uint32(v.Phase)<<12|uint32(v.Value))
 		}
-		sort.Slice(votes, func(a, c int) bool {
-			if votes[a].Round != votes[c].Round {
-				return votes[a].Round < votes[c].Round
+		// Insertion sort: vote sets are tiny (≤ a few dozen entries).
+		for a := 1; a < len(pv); a++ {
+			for c := a; c > 0 && pv[c] < pv[c-1]; c-- {
+				pv[c], pv[c-1] = pv[c-1], pv[c]
 			}
-			if votes[a].Phase != votes[c].Phase {
-				return votes[a].Phase < votes[c].Phase
-			}
-			return votes[a].Value < votes[c].Value
-		})
-		for _, v := range votes {
-			fmt.Fprintf(&b, "%d.%d.%d,", v.Round, v.Phase, v.Value)
 		}
-		b.WriteByte(';')
+		for _, p := range pv {
+			buf = strconv.AppendUint(buf, uint64(p), 32)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ';')
 	}
-	fmt.Fprintf(&b, "p=%v,%d", s.Proposed, s.Proposal)
-	return b.String()
+	if s.Proposed {
+		buf = append(buf, 'P')
+	} else {
+		buf = append(buf, '-')
+	}
+	buf = strconv.AppendInt(buf, int64(s.Proposal), 10)
+	return string(buf)
 }
 
 // Spec evaluates guards and applies actions for a fixed configuration.
@@ -161,6 +170,13 @@ func NewSpec(cfg Config) (*Spec, error) {
 	}
 	if cfg.Values < 1 || cfg.Rounds < 1 {
 		return nil, fmt.Errorf("checker: need at least 1 value and 1 round")
+	}
+	// State.Key packs each vote into one uint32 (round+1 in bits 16+, phase
+	// in bits 12-15, value in bits 0-11); keep the instance inside those
+	// widths so packed keys stay injective. Explicit-state checking is
+	// hopeless far below these sizes anyway.
+	if cfg.Rounds >= 1<<16-1 || cfg.Values > 1<<12 {
+		return nil, fmt.Errorf("checker: instance too large for key packing (rounds=%d, values=%d)", cfg.Rounds, cfg.Values)
 	}
 	switch {
 	case cfg.Byz == 0:

@@ -14,6 +14,7 @@
 package multishot
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -473,8 +474,8 @@ func (n *Node) blockingClaim(s types.Slot) (types.BlockID, bool) {
 		}
 		set.Add(sender)
 	}
-	for id, set := range counts {
-		if n.qs.IsBlocking(n.cfg.ID, set) {
+	for _, id := range sortedBlockIDs(counts) {
+		if n.qs.IsBlocking(n.cfg.ID, counts[id]) {
 			return id, true
 		}
 	}
@@ -588,24 +589,29 @@ func (n *Node) ancestorNotarized(b types.Block) bool {
 	return ok
 }
 
+// sortedBlockIDs returns m's keys in byte order. Go randomizes map
+// iteration, so every place that picks "some" block from a set must
+// enumerate in a fixed order or same-seed runs diverge (observable as a
+// flaky TestBlockEquivocatingLeader: with an equivocating leader several
+// notarized blocks coexist at a slot and the picked one steered the run).
+func sortedBlockIDs[T any](m map[types.BlockID]T) []types.BlockID {
+	ids := make([]types.BlockID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return bytes.Compare(ids[i][:], ids[j][:]) < 0
+	})
+	return ids
+}
+
 // someNotarized returns a deterministic notarized block at slot s, if any.
 func (n *Node) someNotarized(s types.Slot) (types.BlockID, bool) {
 	st := n.slot(s)
 	if len(st.notarized) == 0 {
 		return types.ZeroBlockID, false
 	}
-	ids := make([]types.BlockID, 0, len(st.notarized))
-	for id := range st.notarized {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		for b := range ids[i] {
-			if ids[i][b] != ids[j][b] {
-				return ids[i][b] < ids[j][b]
-			}
-		}
-		return false
-	})
+	ids := sortedBlockIDs(st.notarized)
 	// Prefer the one notarized in the highest view (latest recovery).
 	best := ids[0]
 	for _, id := range ids[1:] {
@@ -707,7 +713,7 @@ func (n *Node) highestChainStart() (types.Slot, bool) {
 // chainAt reports the block starting a notarized, parent-linked 4-chain at
 // slots k..k+3.
 func (n *Node) chainAt(k types.Slot) (types.BlockID, bool) {
-	for id := range n.slot(k).notarized {
+	for _, id := range sortedBlockIDs(n.slot(k).notarized) {
 		cur := id
 		ok := true
 		for step := types.Slot(1); step <= 3; step++ {
@@ -727,7 +733,7 @@ func (n *Node) chainAt(k types.Slot) (types.BlockID, bool) {
 
 // childNotarizedOf finds a notarized block at slot s whose parent is id.
 func (n *Node) childNotarizedOf(s types.Slot, id types.BlockID) (types.BlockID, bool) {
-	for cand := range n.slot(s).notarized {
+	for _, cand := range sortedBlockIDs(n.slot(s).notarized) {
 		if b, known := n.blocks[cand]; known && b.Parent == id {
 			return cand, true
 		}

@@ -1,0 +1,62 @@
+// Package par provides the tiny deterministic-parallelism toolkit used by
+// the experiment harness and the model checker: fan work out over a
+// GOMAXPROCS-bounded pool, keep results indexed, and fold them in input
+// order so that parallel runs stay byte-identical with sequential ones.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) on up to GOMAXPROCS goroutines and
+// waits for all of them. Iteration order across workers is unspecified, so
+// fn must only write to per-index state; determinism is recovered by the
+// caller folding the indexed results in order.
+func For(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every item on the pool and returns the results in input
+// order. If any invocation fails, Map returns the error of the
+// lowest-indexed failing item (every item still runs), so the reported
+// error does not depend on goroutine scheduling.
+func Map[T, R any](items []T, fn func(i int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	errs := make([]error, len(items))
+	For(len(items), func(i int) {
+		out[i], errs[i] = fn(i, items[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

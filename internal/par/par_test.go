@@ -1,0 +1,61 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000} {
+		var sum atomic.Int64
+		hit := make([]atomic.Bool, n)
+		For(n, func(i int) {
+			sum.Add(int64(i))
+			hit[i].Store(true)
+		})
+		want := int64(n) * int64(n-1) / 2
+		if sum.Load() != want {
+			t.Errorf("n=%d: sum = %d, want %d", n, sum.Load(), want)
+		}
+		for i := range hit {
+			if !hit[i].Load() {
+				t.Errorf("n=%d: index %d never ran", n, i)
+			}
+		}
+	}
+}
+
+func TestMapOrderAndError(t *testing.T) {
+	items := []int{10, 20, 30, 40}
+	out, err := Map(items, func(i, item int) (int, error) { return item * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, item := range items {
+		if out[i] != item*2 {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], item*2)
+		}
+	}
+
+	// The reported error must be the lowest-indexed failure, independent of
+	// which goroutine finishes first.
+	failAt := map[int]bool{1: true, 3: true}
+	_, err = Map(items, func(i, item int) (int, error) {
+		if failAt[i] {
+			return 0, fmt.Errorf("item %d failed", i)
+		}
+		return item, nil
+	})
+	if err == nil || err.Error() != "item 1 failed" {
+		t.Errorf("err = %v, want the index-1 failure", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(nil, func(i int, item struct{}) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Errorf("empty map: out=%v err=%v", out, err)
+	}
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft/internal/types"
+)
+
+// sink absorbs deliveries without reacting; used to drive the raw send/pop
+// cycle in allocation tests and benchmarks.
+type sink struct{ id types.NodeID }
+
+func (s *sink) ID() types.NodeID                               { return s.id }
+func (s *sink) Start(types.Env)                                {}
+func (s *sink) Deliver(types.Env, types.NodeID, types.Message) {}
+func (s *sink) Tick(types.Env, types.TimerID)                  {}
+
+// newSinkRunner builds a runner with n no-op machines and returns it with
+// node 0's env.
+func newSinkRunner(n int) (*Runner, *env) {
+	r := New(Config{Seed: 1})
+	for i := 0; i < n; i++ {
+		r.Add(&sink{id: types.NodeID(i)})
+	}
+	return r, r.envs[0]
+}
+
+// TestSendZeroAllocs pins the hot path at zero allocations per send: size
+// accounting is analytic and the event queue is value-typed, so a steady
+// send/pop cycle must never touch the heap.
+func TestSendZeroAllocs(t *testing.T) {
+	r, env := newSinkRunner(4)
+	msg := types.Message(types.VoteMsg{Phase: 2, View: 3, Val: "val-0"})
+	// Warm the queue so append never grows mid-measurement.
+	env.Send(1, msg)
+	r.queue.pop()
+	allocs := testing.AllocsPerRun(1000, func() {
+		env.Send(1, msg)
+		r.queue.pop()
+	})
+	if allocs != 0 {
+		t.Errorf("send/pop cycle allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestBroadcastZeroAllocs pins a full n-receiver broadcast (sized once) at
+// zero allocations.
+func TestBroadcastZeroAllocs(t *testing.T) {
+	r, env := newSinkRunner(7)
+	msg := types.Message(types.Proposal{View: 1, Val: "val-0"})
+	env.Broadcast(msg)
+	for r.queue.len() > 0 {
+		r.queue.pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		env.Broadcast(msg)
+		for r.queue.len() > 0 {
+			r.queue.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("broadcast/drain cycle allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestEventQueueOrdering cross-checks the 4-ary heap against the (at, seq)
+// total order on an adversarial interleaving.
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	var seq uint64
+	push := func(at types.Time) {
+		q.push(event{at: at, seq: seq})
+		seq++
+	}
+	// Descending, ascending, duplicates, interleaved pops.
+	for i := 50; i > 0; i-- {
+		push(types.Time(i))
+	}
+	for i := 0; i < 50; i++ {
+		push(types.Time(i % 7))
+	}
+	prevAt, prevSeq := types.Time(-1), uint64(0)
+	for q.len() > 0 {
+		ev := q.pop()
+		if ev.at < prevAt || (ev.at == prevAt && ev.seq <= prevSeq && prevAt >= 0) {
+			t.Fatalf("pop order violated: (%d,%d) after (%d,%d)", ev.at, ev.seq, prevAt, prevSeq)
+		}
+		prevAt, prevSeq = ev.at, ev.seq
+	}
+}
+
+// fingerprint summarizes everything observable about a finished run; two
+// same-seed runs must produce identical fingerprints (the byte-identical
+// determinism guarantee the perf work must preserve).
+func fingerprint(r *Runner, n int) string {
+	s := fmt.Sprintf("events=%d dropped=%d total=%d;", r.Events(), r.DroppedMessages(), r.TotalSentBytes())
+	for i := 0; i < n; i++ {
+		id := types.NodeID(i)
+		d, ok := r.Decision(id, 0)
+		s += fmt.Sprintf("n%d sent=%d recv=%d dec=%v@%d/%v;", i, r.SentBytes(id), r.RecvBytes(id), d.Val, d.At, ok)
+	}
+	return s
+}
+
+// TestSameSeedByteIdentical runs the same seeded configuration twice and
+// asserts decisions, byte counters and event counts are identical.
+func TestSameSeedByteIdentical(t *testing.T) {
+	run := func() string {
+		r := New(Config{Seed: 99, Delay: UniformDelay{Min: 1, Max: 9}, GST: 20, DropBeforeGST: 0.4})
+		newPingCluster(r, 6, nil)
+		if err := r.Run(0, nil); err != nil {
+			t.Fatal(err)
+		}
+		return fingerprint(r, 6)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same-seed fingerprints differ:\n%s\n%s", a, b)
+	}
+}
+
+func BenchmarkSend(b *testing.B) {
+	r, env := newSinkRunner(4)
+	msg := types.Message(types.VoteMsg{Phase: 2, View: 3, Val: "val-0"})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Send(1, msg)
+		r.queue.pop()
+	}
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r, env := newSinkRunner(n)
+			msg := types.Message(types.Proposal{View: 1, Val: "val-0"})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.Broadcast(msg)
+				for r.queue.len() > 0 {
+					r.queue.pop()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPingCluster measures a full end-to-end simulation run.
+func BenchmarkPingCluster(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := New(Config{Seed: 1})
+		newPingCluster(r, 16, nil)
+		if err := r.Run(0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

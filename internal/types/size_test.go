@@ -1,0 +1,142 @@
+package types
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sizeCases covers every message kind, including the varint boundary views
+// (63/64 is where zig-zag crosses a byte) and empty/long values.
+func sizeCases() []Message {
+	long := Value(bytes.Repeat([]byte("x"), 300))
+	var parent BlockID
+	for i := range parent {
+		parent[i] = byte(i)
+	}
+	refs := []VoteRef{
+		{},
+		Vote(0, ""),
+		Vote(63, "a"),
+		Vote(64, long),
+		{Valid: true, View: NoView, Val: "neg"},
+	}
+	return []Message{
+		Proposal{View: 0, Val: ""},
+		Proposal{View: 63, Val: "v"},
+		Proposal{View: 64, Val: long},
+		Proposal{View: NoView, Val: "neg"},
+		VoteMsg{Phase: 1, View: 0, Val: "x"},
+		VoteMsg{Phase: 4, View: 1 << 20, Val: long},
+		SuggestMsg{View: 5, Vote2: refs[1], PrevVote2: refs[0], Vote3: refs[3]},
+		SuggestMsg{View: 1 << 40, Vote2: refs[4], PrevVote2: refs[2], Vote3: refs[0]},
+		ProofMsg{View: 7, Vote1: refs[3], PrevVote1: refs[1], Vote4: refs[2]},
+		ViewChange{View: 0},
+		ViewChange{View: 1 << 30},
+		MSPropose{View: 2, Block: Block{Slot: 9, Parent: parent, Payload: nil}},
+		MSPropose{View: 64, Block: Block{Slot: 1 << 35, Parent: parent, Payload: []byte(long)}},
+		MSVote{Slot: 1, View: 0, Block: parent},
+		MSVote{Slot: 1 << 50, View: 63, Block: BlockID{}},
+		MSViewChange{Slot: 4, View: 2},
+		MSSuggest{Slot: 6, View: 3, Vote2: refs[2], PrevVote2: refs[4], Vote3: refs[1]},
+		MSProof{Slot: 8, View: 4, Vote1: refs[0], PrevVote1: refs[3], Vote4: refs[4]},
+		MSFinal{Block: Block{Slot: 11, Parent: parent, Payload: []byte("payload")}},
+		GenericVote{Proto: ProtoPBFT, Phase: 3, View: 12, Slot: 0, Val: "gv"},
+		GenericVote{Proto: ProtoRBC, Phase: 1, View: 0, Slot: 1 << 45, Val: long},
+		Evidence{Proto: ProtoPBFT, Phase: 7, View: 2, Val: "ev", Evidence: nil},
+		Evidence{Proto: ProtoITHS, Phase: 2, View: 64, Val: long, Evidence: refs},
+	}
+}
+
+// TestEncodedSizeMatchesEncode is the differential test backing the
+// analytic EncodedSize: it must agree with len(Encode(m)) for every kind.
+func TestEncodedSizeMatchesEncode(t *testing.T) {
+	covered := make(map[Kind]bool)
+	for _, m := range sizeCases() {
+		covered[m.Kind()] = true
+		if got, want := EncodedSize(m), len(Encode(m)); got != want {
+			t.Errorf("%s %+v: EncodedSize = %d, len(Encode) = %d", m.Kind(), m, got, want)
+		}
+	}
+	for k := KindProposal; k <= KindEvidence; k++ {
+		if !covered[k] {
+			t.Errorf("kind %s not covered by the differential size test", k)
+		}
+	}
+}
+
+// TestAppendEncodeMatchesEncode asserts AppendEncode extends the given
+// buffer with exactly Encode's bytes.
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	prefix := []byte("prefix")
+	for _, m := range sizeCases() {
+		want := Encode(m)
+		got := AppendEncode(append([]byte(nil), prefix...), m)
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("%s: AppendEncode clobbered the prefix", m.Kind())
+		}
+		if !bytes.Equal(got[len(prefix):], want) {
+			t.Errorf("%s: AppendEncode appended %x, Encode produced %x", m.Kind(), got[len(prefix):], want)
+		}
+	}
+}
+
+// FuzzEncodedSize fuzzes the field space of the ref-carrying messages,
+// where the analytic size has the most branches.
+func FuzzEncodedSize(f *testing.F) {
+	f.Add(int64(0), int64(0), "", true, false, "a", uint8(1))
+	f.Add(int64(-1), int64(1<<40), "value", false, true, "", uint8(4))
+	f.Add(int64(63), int64(64), "boundary", true, true, "x", uint8(2))
+	f.Fuzz(func(t *testing.T, view, slot int64, val string, valid1, valid2 bool, refVal string, phase uint8) {
+		r1 := VoteRef{Valid: valid1, View: View(view), Val: Value(refVal)}
+		r2 := VoteRef{Valid: valid2, View: View(slot), Val: Value(val)}
+		msgs := []Message{
+			Proposal{View: View(view), Val: Value(val)},
+			VoteMsg{Phase: phase, View: View(view), Val: Value(val)},
+			SuggestMsg{View: View(view), Vote2: r1, PrevVote2: r2, Vote3: r1},
+			ProofMsg{View: View(view), Vote1: r2, PrevVote1: r1, Vote4: r2},
+			MSSuggest{Slot: Slot(slot), View: View(view), Vote2: r2, PrevVote2: r1, Vote3: r2},
+			MSProof{Slot: Slot(slot), View: View(view), Vote1: r1, PrevVote1: r2, Vote4: r1},
+			GenericVote{Proto: ProtoLi, Phase: phase, View: View(view), Slot: Slot(slot), Val: Value(val)},
+			Evidence{Proto: ProtoPBFT, Phase: phase, View: View(view), Val: Value(val), Evidence: []VoteRef{r1, r2}},
+		}
+		for _, m := range msgs {
+			if got, want := EncodedSize(m), len(Encode(m)); got != want {
+				t.Errorf("%s %+v: EncodedSize = %d, len(Encode) = %d", m.Kind(), m, got, want)
+			}
+		}
+	})
+}
+
+// TestEncodedSizeZeroAllocs pins the analytic size computation at zero
+// allocations — the property the simulator hot path depends on.
+func TestEncodedSizeZeroAllocs(t *testing.T) {
+	msgs := []Message{
+		Proposal{View: 3, Val: "val-1"},
+		VoteMsg{Phase: 2, View: 3, Val: "val-1"},
+		SuggestMsg{View: 4, Vote2: Vote(3, "v"), Vote3: Vote(2, "w")},
+		Evidence{Proto: ProtoPBFT, Phase: 5, View: 1, Val: "e", Evidence: []VoteRef{Vote(0, "q")}},
+	}
+	for _, m := range msgs {
+		m := m
+		if allocs := testing.AllocsPerRun(100, func() { _ = EncodedSize(m) }); allocs != 0 {
+			t.Errorf("%s: EncodedSize allocates %.1f times per call, want 0", m.Kind(), allocs)
+		}
+	}
+}
+
+func BenchmarkEncodedSize(b *testing.B) {
+	m := Message(VoteMsg{Phase: 2, View: 7, Val: "val-123"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = EncodedSize(m)
+	}
+}
+
+func BenchmarkAppendEncode(b *testing.B) {
+	m := Message(VoteMsg{Phase: 2, View: 7, Val: "val-123"})
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+}

@@ -27,6 +27,21 @@
 //	}
 //	_ = s.Run(0, nil)
 //	d, _ := s.Decision(0, 0) // decided after exactly 5 message delays
+//
+// # Performance
+//
+// The simulator hot path is allocation-free: byte accounting uses the
+// analytic types.EncodedSize (field widths, not serialization) and the
+// event queue is an inlined value-typed 4-ary heap, so a send or an
+// n-receiver broadcast costs zero heap allocations (pinned by
+// testing.AllocsPerRun regression tests in internal/sim). The experiment
+// sweeps in internal/bench and the model-checker exploration in
+// internal/checker fan independent runs out over a GOMAXPROCS-bounded
+// worker pool while staying byte-identical with sequential execution: same
+// seed, same decisions, same byte counts, same explored-state counts,
+// regardless of core count. `tetrabft-bench -json FILE` records a perf
+// snapshot (experiment rows plus wall-clock timings) for tracking the
+// trajectory across commits.
 package tetrabft
 
 import (
