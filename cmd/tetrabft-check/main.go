@@ -36,6 +36,13 @@ func main() {
 }
 
 func run(nodes, faulty, values, rounds, good int, mode string, states, depth, walks, steps, samples int, seed int64) error {
+	// Validate the mode up front: a typo'd -mode must not fall through to
+	// "all checked properties hold" after running zero checks.
+	switch mode {
+	case "bfs", "walks", "induction", "liveness", "all":
+	default:
+		return fmt.Errorf("unknown -mode %q (accepted: bfs, walks, induction, liveness, all)", mode)
+	}
 	cfg := checker.Config{
 		Nodes: nodes, Faulty: faulty, Values: values, Rounds: rounds,
 		GoodRound: checker.Round(good),

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny runs the given mode on a minimal instance (fast enough for every
+// mode to execute for real).
+func tiny(mode string, good int) error {
+	return run(4, 1, 2, 2, good, mode, 2000, 6, 10, 20, 10, 1)
+}
+
+// TestUnknownModeRejected pins the -mode bugfix: an unknown mode must fail
+// loudly instead of running zero checks and reporting success.
+func TestUnknownModeRejected(t *testing.T) {
+	for _, mode := range []string{"bfss", "BFS", "", "walk", "all "} {
+		err := tiny(mode, 0)
+		if err == nil {
+			t.Fatalf("mode %q accepted; it runs zero checks", mode)
+		}
+		if !strings.Contains(err.Error(), "accepted:") {
+			t.Errorf("mode %q error does not list the accepted values: %v", mode, err)
+		}
+	}
+}
+
+// TestKnownModesRun executes each accepted mode on a tiny instance.
+func TestKnownModesRun(t *testing.T) {
+	for _, mode := range []string{"bfs", "walks", "induction", "liveness", "all"} {
+		if err := tiny(mode, 0); err != nil {
+			t.Errorf("mode %q failed: %v", mode, err)
+		}
+	}
+	// Liveness with the proposer disabled is skipped, not a failure.
+	if err := tiny("liveness", -1); err != nil {
+		t.Errorf("liveness without a good round should be skipped cleanly: %v", err)
+	}
+}
+
+// TestInvalidConfigRejected: spec validation errors still surface.
+func TestInvalidConfigRejected(t *testing.T) {
+	if err := run(3, 1, 2, 2, 0, "bfs", 100, 4, 1, 1, 1, 1); err == nil {
+		t.Error("n=3f accepted")
+	}
+}

@@ -68,11 +68,10 @@ func (sp *Spec) Enabled(s *State, a Action) bool {
 		if sp.IsByz(a.Node) {
 			return false
 		}
-		// DoVote precondition: never voted this (round, phase) before.
-		for vt := range s.Votes[a.Node] {
-			if vt.Round == a.Round && vt.Phase == a.Phase {
-				return false
-			}
+		// DoVote precondition: never voted this (round, phase) before —
+		// any set bit in the (round, phase) value group means a duplicate.
+		if sp.valueBits(s, a.Node, a.Round, a.Phase) != 0 {
+			return false
 		}
 		switch a.Phase {
 		case 1:
@@ -96,10 +95,10 @@ func (sp *Spec) Enabled(s *State, a Action) bool {
 		}
 
 	case ActHavocAddVote:
-		return sp.IsByz(a.Node) && !s.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}]
+		return sp.IsByz(a.Node) && !s.HasVote(a.Node, Vote{Round: a.Round, Phase: a.Phase, Value: a.Value})
 
 	case ActHavocRemoveVote:
-		return sp.IsByz(a.Node) && s.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}]
+		return sp.IsByz(a.Node) && s.HasVote(a.Node, Vote{Round: a.Round, Phase: a.Phase, Value: a.Value})
 
 	case ActHavocRound:
 		return sp.IsByz(a.Node) && s.Round[a.Node] != a.Round
@@ -119,14 +118,14 @@ func (sp *Spec) Apply(s *State, a Action) *State {
 		next.Proposed = true
 		next.Proposal = a.Value
 	case ActVote:
-		next.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}] = true
+		next.SetVote(a.Node, Vote{Round: a.Round, Phase: a.Phase, Value: a.Value})
 		if a.Phase >= 2 {
 			next.Round[a.Node] = a.Round
 		}
 	case ActHavocAddVote:
-		next.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}] = true
+		next.SetVote(a.Node, Vote{Round: a.Round, Phase: a.Phase, Value: a.Value})
 	case ActHavocRemoveVote:
-		delete(next.Votes[a.Node], Vote{Round: a.Round, Phase: a.Phase, Value: a.Value})
+		next.ClearVote(a.Node, Vote{Round: a.Round, Phase: a.Phase, Value: a.Value})
 	case ActHavocRound:
 		next.Round[a.Node] = a.Round
 	}

@@ -19,7 +19,10 @@ func TestNewSpecValidation(t *testing.T) {
 		{Nodes: 0, Faulty: 0, Values: 2, Rounds: 2},  // no nodes
 		{Nodes: 4, Faulty: 1, Values: 0, Rounds: 2},  // no values
 		{Nodes: 4, Faulty: 1, Values: 2, Rounds: 0},  // no rounds
-		{Nodes: 4, Faulty: -1, Values: 2, Rounds: 2}, // negative f
+		{Nodes: 4, Faulty: -1, Values: 2, Rounds: 2},  // negative f
+		{Nodes: 17, Faulty: 5, Values: 2, Rounds: 2},  // beyond quorum enumeration
+		{Nodes: 4, Faulty: 1, Values: 65, Rounds: 2},  // value group exceeds a word
+		{Nodes: 4, Faulty: 1, Values: 2, Rounds: 200}, // beyond the word budget
 	}
 	for _, cfg := range bad {
 		if _, err := NewSpec(cfg); err == nil {
@@ -41,13 +44,13 @@ func TestInitSatisfiesInvariant(t *testing.T) {
 func TestStateCloneAndKey(t *testing.T) {
 	sp := mustSpec(t, PaperConfig())
 	s := NewInitState(sp.Config())
-	s.Votes[0][Vote{Round: 1, Phase: 2, Value: 1}] = true
+	s.SetVote(0, Vote{Round: 1, Phase: 2, Value: 1})
 	s.Round[0] = 1
 	c := s.Clone()
 	if c.Key() != s.Key() {
 		t.Fatal("clone has a different key")
 	}
-	c.Votes[0][Vote{Round: 2, Phase: 1, Value: 0}] = true
+	c.SetVote(0, Vote{Round: 2, Phase: 1, Value: 0})
 	if c.Key() == s.Key() {
 		t.Fatal("mutating the clone changed the original's key")
 	}
@@ -78,6 +81,12 @@ func TestRandomWalksPaperConfig(t *testing.T) {
 	}
 	if res.StatesExplored == 0 {
 		t.Fatal("no states explored")
+	}
+	// Each non-empty walk visits its initial state plus one state per
+	// transition; the initial state always has enabled actions, so all 40
+	// walks are non-empty.
+	if res.StatesExplored != res.Transitions+40 {
+		t.Errorf("states = %d, want transitions+walks = %d", res.StatesExplored, res.Transitions+40)
 	}
 }
 
@@ -258,7 +267,7 @@ func TestInvariantConjunctsCatchBadStates(t *testing.T) {
 			name:     "future vote",
 			conjunct: "NoFutureVote",
 			state: build(func(s *State) {
-				s.Votes[0][Vote{Round: 2, Phase: 1, Value: 0}] = true
+				s.SetVote(0, Vote{Round: 2, Phase: 1, Value: 0})
 				s.Round[0] = 1
 			}),
 		},
@@ -267,8 +276,8 @@ func TestInvariantConjunctsCatchBadStates(t *testing.T) {
 			conjunct: "OneValuePerPhasePerRound",
 			state: build(func(s *State) {
 				s.Round[0] = 1
-				s.Votes[0][Vote{Round: 1, Phase: 1, Value: 0}] = true
-				s.Votes[0][Vote{Round: 1, Phase: 1, Value: 1}] = true
+				s.SetVote(0, Vote{Round: 1, Phase: 1, Value: 0})
+				s.SetVote(0, Vote{Round: 1, Phase: 1, Value: 1})
 			}),
 		},
 		{
@@ -276,7 +285,7 @@ func TestInvariantConjunctsCatchBadStates(t *testing.T) {
 			conjunct: "VoteHasQuorumInPreviousPhase",
 			state: build(func(s *State) {
 				s.Round[0] = 0
-				s.Votes[0][Vote{Round: 0, Phase: 2, Value: 0}] = true
+				s.SetVote(0, Vote{Round: 0, Phase: 2, Value: 0})
 			}),
 		},
 		{
@@ -288,10 +297,10 @@ func TestInvariantConjunctsCatchBadStates(t *testing.T) {
 				for p := 0; p < 3; p++ {
 					s.Round[p] = 1
 					for phase := 1; phase <= 4; phase++ {
-						s.Votes[p][Vote{Round: 0, Phase: phase, Value: 0}] = true
+						s.SetVote(p, Vote{Round: 0, Phase: phase, Value: 0})
 					}
 				}
-				s.Votes[0][Vote{Round: 1, Phase: 1, Value: 1}] = true
+				s.SetVote(0, Vote{Round: 1, Phase: 1, Value: 1})
 			}),
 		},
 	}
@@ -340,8 +349,8 @@ func TestNoPrevVoteMutationHurtsLiveness(t *testing.T) {
 	// Node 0 voted phase 1 for value 0 at round 1 and value 1 at round 2:
 	// the bracket makes *any* value claimable safe at round 1.
 	s.Round[0] = 2
-	s.Votes[0][Vote{Round: 1, Phase: 1, Value: 0}] = true
-	s.Votes[0][Vote{Round: 2, Phase: 1, Value: 1}] = true
+	s.SetVote(0, Vote{Round: 1, Phase: 1, Value: 0})
+	s.SetVote(0, Vote{Round: 2, Phase: 1, Value: 1})
 	if !full.ClaimsSafeAt(s, 2, 3, 1, 0, 1) {
 		t.Error("full spec: bracketed claim for unvoted value 2 should hold")
 	}
@@ -358,17 +367,40 @@ func TestDecidedRequiresHonestQuorumCore(t *testing.T) {
 	sp := mustSpec(t, PaperConfig())
 	s := NewInitState(sp.Config())
 	// Only the Byzantine node (3) plus one honest vote: not decided.
-	s.Votes[3][Vote{Round: 0, Phase: 4, Value: 0}] = true
-	s.Votes[0][Vote{Round: 0, Phase: 4, Value: 0}] = true
+	s.SetVote(3, Vote{Round: 0, Phase: 4, Value: 0})
+	s.SetVote(0, Vote{Round: 0, Phase: 4, Value: 0})
 	s.Round[0] = 0
 	if len(sp.Decided(s)) != 0 {
 		t.Error("decided with only 1 honest phase-4 vote")
 	}
 	// Two honest phase-4 votes (n−2f = 2) decide.
-	s.Votes[1][Vote{Round: 0, Phase: 4, Value: 0}] = true
+	s.SetVote(1, Vote{Round: 0, Phase: 4, Value: 0})
 	s.Round[1] = 0
 	if len(sp.Decided(s)) != 1 {
 		t.Error("not decided with n−2f honest phase-4 votes plus Byzantine help")
+	}
+}
+
+// TestReplayRejectsOutOfRangeDecide: a decide event carrying a value
+// outside the instance must be rejected as "value out of range" rather
+// than falling through to the generic not-in-decided-set divergence.
+func TestReplayRejectsOutOfRangeDecide(t *testing.T) {
+	sp := mustSpec(t, Config{Nodes: 4, Faulty: 1, Byz: NoByz, Values: 2, Rounds: 2, GoodRound: -1})
+	for _, v := range []Value{-1, 2, 99} {
+		err := sp.Replay([]ConformanceEvent{{Node: 0, Type: "decide", Round: 0, Value: v}})
+		ce, ok := err.(*ConformanceError)
+		if !ok {
+			t.Fatalf("decide value %d: got %v, want *ConformanceError", v, err)
+		}
+		if ce.Why != "value out of range" {
+			t.Errorf("decide value %d: Why = %q, want \"value out of range\"", v, ce.Why)
+		}
+	}
+	// An in-range but undecided value still reports the decided-set check.
+	err := sp.Replay([]ConformanceEvent{{Node: 0, Type: "decide", Round: 0, Value: 1}})
+	ce, ok := err.(*ConformanceError)
+	if !ok || ce.Why != "decision not in the spec's decided set" {
+		t.Errorf("in-range undecided value: got %v", err)
 	}
 }
 

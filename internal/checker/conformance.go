@@ -70,6 +70,9 @@ func (sp *Spec) Replay(events []ConformanceEvent) error {
 			}
 			s = sp.Apply(s, a)
 		case "decide":
+			if ev.Value < 0 || ev.Value >= Value(sp.cfg.Values) {
+				return &ConformanceError{Index: i, Event: ev, Why: "value out of range"}
+			}
 			justified := false
 			for _, v := range sp.Decided(s) {
 				if v == ev.Value {

@@ -18,6 +18,28 @@ func TestDeepBFS(t *testing.T) {
 		res.StatesExplored, res.Transitions, res.Truncated)
 }
 
+// TestDeepBFSMatchesOracle pins the tentpole acceptance bound: on the
+// reference instance at the 250k-state sizing, the bitset BFS reports
+// state/transition counts identical to the map-backed oracle.
+func TestDeepBFSMatchesOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration; run without -short")
+	}
+	cfg := Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1}
+	res := mustSpec(t, cfg).BFS(250000, 16)
+	oracle, err := newMapSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ores := oracle.BFS(250000, 16)
+	if res.StatesExplored != ores.StatesExplored || res.Transitions != ores.Transitions || res.Truncated != ores.Truncated {
+		t.Errorf("bitset %+v != oracle %+v", res, ores)
+	}
+	if res.Violation != nil || ores.Violation != nil {
+		t.Errorf("violations: bitset=%v oracle=%v", res.Violation, ores.Violation)
+	}
+}
+
 func TestDeepWalksPaperConfig(t *testing.T) {
 	if testing.Short() {
 		t.Skip("deep exploration; run without -short")

@@ -1,0 +1,207 @@
+package checker
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Differential harness: the bitset Spec and the map-backed oracle
+// (oracle_test.go) are driven through identical schedules and must agree
+// on everything observable — counts, truncation, verdicts, counterexample
+// traces — across BFS, random/guided walks, induction sampling and the
+// liveness fixpoint, for the correct spec and for every Mutation*.
+
+// toMapState converts a bitset state to the oracle representation.
+func toMapState(s *State, cfg Config) *mapState {
+	m := newMapInitState(cfg)
+	copy(m.Round, s.Round)
+	m.Proposed = s.Proposed
+	m.Proposal = s.Proposal
+	for p := 0; p < cfg.Nodes; p++ {
+		for _, vt := range s.VotesOf(p) {
+			m.Votes[p][vt] = true
+		}
+	}
+	return m
+}
+
+// sameViolation compares violations structurally: presence, property and
+// trace. Detail strings may embed representation-specific state renderings
+// (Key formats differ by design), so they are not compared.
+func sameViolation(t *testing.T, what string, a, b *Violation) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("%s: violation presence differs: bitset=%v oracle=%v", what, a, b)
+	}
+	if a == nil {
+		return
+	}
+	if a.Property != b.Property {
+		t.Errorf("%s: property %q vs %q", what, a.Property, b.Property)
+	}
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Errorf("%s: traces differ:\nbitset: %v\noracle: %v", what, a.Trace, b.Trace)
+	}
+}
+
+func diffConfigs() []struct {
+	name string
+	cfg  Config
+} {
+	return []struct {
+		name string
+		cfg  Config
+	}{
+		{"small", Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1}},
+		{"paper", PaperConfig()},
+		{"good-round", Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 3, GoodRound: 0}},
+		{"no-byz", Config{Nodes: 4, Faulty: 1, Byz: NoByz, Values: 2, Rounds: 2, GoodRound: -1}},
+		{"mutation-no-safety", Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1, Mutation: MutationNoSafetyCheck}},
+		{"mutation-small-quorum", Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1, Mutation: MutationSmallQuorum}},
+		{"mutation-no-prev-vote", Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1, Mutation: MutationNoPrevVote}},
+	}
+}
+
+func TestDifferentialExploration(t *testing.T) {
+	for _, tc := range diffConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			bit := mustSpec(t, tc.cfg)
+			oracle, err := newMapSpec(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			b := bit.BFS(2500, 7)
+			o := oracle.BFS(2500, 7)
+			if b.StatesExplored != o.StatesExplored || b.Transitions != o.Transitions || b.Truncated != o.Truncated {
+				t.Errorf("BFS counts differ: bitset=%+v oracle=%+v", b, o)
+			}
+			sameViolation(t, "BFS", b.Violation, o.Violation)
+
+			b = bit.GuidedWalks(15, 40, 5)
+			o = oracle.GuidedWalks(15, 40, 5)
+			if b.StatesExplored != o.StatesExplored || b.Transitions != o.Transitions {
+				t.Errorf("GuidedWalks counts differ: bitset=%+v oracle=%+v", b, o)
+			}
+			sameViolation(t, "GuidedWalks", b.Violation, o.Violation)
+
+			b = bit.RandomWalks(10, 30, 7)
+			o = oracle.RandomWalks(10, 30, 7)
+			if b.StatesExplored != o.StatesExplored || b.Transitions != o.Transitions {
+				t.Errorf("RandomWalks counts differ: bitset=%+v oracle=%+v", b, o)
+			}
+			sameViolation(t, "RandomWalks", b.Violation, o.Violation)
+
+			bi := bit.InductionSample(25, 9)
+			oi := oracle.InductionSample(25, 9)
+			if bi.SamplesTried != oi.SamplesTried || bi.SamplesAccepted != oi.SamplesAccepted || bi.StepsChecked != oi.StepsChecked {
+				t.Errorf("InductionSample counts differ: bitset=%+v oracle=%+v", bi, oi)
+			}
+			sameViolation(t, "InductionSample", bi.Violation, oi.Violation)
+
+			if tc.cfg.GoodRound >= 0 {
+				bl := bit.LivenessFixpoint(6, 10, 3)
+				ol := oracle.LivenessFixpoint(6, 10, 3)
+				if bl.Runs != ol.Runs || bl.Decided != ol.Decided {
+					t.Errorf("LivenessFixpoint differs: bitset=%+v oracle=%+v", bl, ol)
+				}
+				sameViolation(t, "LivenessFixpoint", bl.Violation, ol.Violation)
+			}
+		})
+	}
+}
+
+// TestDifferentialGuards cross-checks the individual predicates on random
+// synthetic states: enabled-action sets, invariant verdicts, decided sets
+// and the safety predicates must agree bit-for-bit with the oracle.
+func TestDifferentialGuards(t *testing.T) {
+	for _, tc := range diffConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			bit := mustSpec(t, tc.cfg)
+			oracle, err := newMapSpec(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := bit.Config()
+			for seed := int64(0); seed < 60; seed++ {
+				rng := rand.New(rand.NewSource(walkSeed(seed, 0)))
+				var s *State
+				if seed%2 == 0 {
+					s = bit.randomSyntheticState(rng)
+				} else {
+					s = bit.randomWalkState(rng)
+				}
+				m := toMapState(s, cfg)
+
+				for _, honestOnly := range []bool{false, true} {
+					ba := bit.EnabledActions(s, honestOnly)
+					oa := oracle.EnabledActions(m, honestOnly)
+					if !reflect.DeepEqual(ba, oa) {
+						t.Fatalf("seed %d: EnabledActions(honestOnly=%v) differ:\nbitset: %v\noracle: %v", seed, honestOnly, ba, oa)
+					}
+				}
+				if !reflect.DeepEqual(bit.Decided(s), oracle.Decided(m)) {
+					t.Fatalf("seed %d: Decided differs: %v vs %v", seed, bit.Decided(s), oracle.Decided(m))
+				}
+				be, oe := bit.CheckInvariant(s), oracle.CheckInvariant(m)
+				if (be == nil) != (oe == nil) {
+					t.Fatalf("seed %d: invariant verdicts differ: bitset=%v oracle=%v", seed, be, oe)
+				}
+				for v := Value(0); v < Value(cfg.Values); v++ {
+					for r := Round(0); r < Round(cfg.Rounds); r++ {
+						for r2 := Round(0); r2 <= r; r2++ {
+							for p := 0; p < cfg.Nodes; p++ {
+								if bit.ClaimsSafeAt(s, v, r, r2, p, 1) != oracle.ClaimsSafeAt(m, v, r, r2, p, 1) {
+									t.Fatalf("seed %d: ClaimsSafeAt(v%d, r%d, r2=%d, p%d) differs", seed, v, r, r2, p)
+								}
+							}
+						}
+						if bit.ExistsQuorumShowingSafe(s, v, r, 4, 1) != oracle.ExistsQuorumShowingSafe(m, v, r, 4, 1) {
+							t.Fatalf("seed %d: ExistsQuorumShowingSafe(v%d, r%d, 4, 1) differs", seed, v, r)
+						}
+						if bit.ExistsQuorumShowingSafe(s, v, r, 3, 2) != oracle.ExistsQuorumShowingSafe(m, v, r, 3, 2) {
+							t.Fatalf("seed %d: ExistsQuorumShowingSafe(v%d, r%d, 3, 2) differs", seed, v, r)
+						}
+						for phase := 1; phase <= 4; phase++ {
+							if bit.Accepted(s, v, r, phase) != oracle.Accepted(m, v, r, phase) {
+								t.Fatalf("seed %d: Accepted(v%d, r%d, ph%d) differs", seed, v, r, phase)
+							}
+						}
+					}
+				}
+				s.release()
+			}
+		})
+	}
+}
+
+// TestDifferentialMutantsCaught proves the bitset representation still
+// catches every safety mutation, with the exact counterexample the oracle
+// finds on the same schedule.
+func TestDifferentialMutantsCaught(t *testing.T) {
+	for _, mut := range []Mutation{MutationNoSafetyCheck, MutationSmallQuorum} {
+		cfg := Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1, Mutation: mut}
+		bit := mustSpec(t, cfg)
+		oracle, err := newMapSpec(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for seed := int64(0); seed < 40 && !found; seed++ {
+			b := bit.GuidedWalks(40, 120, seed)
+			o := oracle.GuidedWalks(40, 120, seed)
+			if b.StatesExplored != o.StatesExplored || b.Transitions != o.Transitions {
+				t.Fatalf("mutation %d seed %d: counts differ: %+v vs %+v", mut, seed, b, o)
+			}
+			sameViolation(t, "mutant walks", b.Violation, o.Violation)
+			found = b.Violation != nil
+		}
+		if !found {
+			t.Errorf("mutation %d: bitset checker never found the planted violation", mut)
+		}
+	}
+	// MutationNoPrevVote weakens liveness, not safety: the bracket
+	// disjunct must disappear identically in both representations
+	// (covered state-by-state in TestDifferentialGuards above).
+}

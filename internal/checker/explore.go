@@ -90,7 +90,7 @@ func (sp *Spec) BFS(maxStates, maxDepth int) Result {
 		consistent bool
 		succs      []succ
 	}
-	init := NewInitState(sp.cfg)
+	init := sp.initState()
 	res := Result{}
 	seen := map[string][]Action{init.Key(): nil}
 	frontier := []entry{{state: init, key: init.Key(), depth: 0}}
@@ -123,22 +123,29 @@ func (sp *Spec) BFS(maxStates, maxDepth int) Result {
 				}
 				if e.depth >= maxDepth {
 					res.Truncated = true
+					e.state.release()
 					continue
 				}
 				for _, sc := range exps[i].succs {
 					if _, dup := seen[sc.key]; dup {
+						sc.state.release()
 						continue
 					}
-					res.Transitions++
+					// Check the cap before counting: a transition whose
+					// target is never admitted to `seen` must not be
+					// counted, so counts match admitted states on
+					// truncated runs (Transitions == len(seen)−1).
 					if len(seen) >= maxStates {
 						res.Truncated = true
 						return res
 					}
+					res.Transitions++
 					nextTrace := make([]Action, len(trace), len(trace)+1)
 					copy(nextTrace, trace)
 					seen[sc.key] = append(nextTrace, sc.action)
 					next = append(next, entry{state: sc.state, key: sc.key, depth: e.depth + 1})
 				}
+				e.state.release()
 			}
 		}
 		frontier = next
@@ -165,7 +172,8 @@ func (sp *Spec) runWalks(walks, steps int, seed int64, pick func(*rand.Rand, []A
 	par.For(walks, func(w int) {
 		out := &outs[w]
 		rng := rand.New(rand.NewSource(walkSeed(seed, w)))
-		s := NewInitState(sp.cfg)
+		s := sp.initState()
+		defer func() { s.release() }()
 		var traceOut []Action
 		for i := 0; i < steps; i++ {
 			if minViol.Load() < int64(w) {
@@ -176,10 +184,14 @@ func (sp *Spec) runWalks(walks, steps int, seed int64, pick func(*rand.Rand, []A
 				break
 			}
 			a := pick(rng, actions)
+			prev := s
 			s = sp.Apply(s, a)
+			prev.release()
 			traceOut = append(traceOut, a)
-			out.states++
 			out.transitions++
+			// A walk visits one more state than it takes transitions (the
+			// initial state); empty walks visit none worth reporting.
+			out.states = out.transitions + 1
 			if !sp.ConsistencyHolds(s) {
 				out.violation = &Violation{
 					Property: "Consistency",
@@ -284,8 +296,10 @@ func (sp *Spec) InductionSample(samples int, seed int64) InductionResult {
 	res := InductionResult{}
 
 	// Base case: the initial state satisfies the invariant.
-	init := NewInitState(sp.cfg)
-	if err := sp.CheckInvariant(init); err != nil {
+	init := sp.initState()
+	err := sp.CheckInvariant(init)
+	init.release()
+	if err != nil {
 		res.Violation = &Violation{Property: "Init ⇒ Inv", Detail: err.Error()}
 		return res
 	}
@@ -306,6 +320,7 @@ func (sp *Spec) InductionSample(samples int, seed int64) InductionResult {
 			} else {
 				s = sp.randomWalkState(rng)
 			}
+			defer s.release()
 			out := &outs[i]
 			if sp.CheckInvariant(s) != nil {
 				return // not an Inv state; irrelevant for induction
@@ -316,7 +331,9 @@ func (sp *Spec) InductionSample(samples int, seed int64) InductionResult {
 			for _, a := range sp.EnabledActions(s, false) {
 				next := sp.Apply(s, a)
 				out.steps++
-				if err := sp.CheckInvariant(next); err != nil {
+				err := sp.CheckInvariant(next)
+				next.release()
+				if err != nil {
 					out.violation = &Violation{
 						Property: "Inv ∧ Next ⇒ Inv'",
 						Trace:    []Action{a},
@@ -351,7 +368,7 @@ func (sp *Spec) InductionSample(samples int, seed int64) InductionResult {
 // quorum backing and VotesSafe are left to the rejection filter.
 func (sp *Spec) randomSyntheticState(rng *rand.Rand) *State {
 	cfg := sp.cfg
-	s := NewInitState(cfg)
+	s := sp.initState()
 	// Choose a common "history value" per round so quorum-backed chains
 	// are likely.
 	roundVal := make([]Value, cfg.Rounds)
@@ -361,11 +378,11 @@ func (sp *Spec) randomSyntheticState(rng *rand.Rand) *State {
 	for p := 0; p < cfg.Nodes; p++ {
 		if sp.IsByz(p) {
 			for i := rng.Intn(4); i > 0; i-- {
-				s.Votes[p][Vote{
+				s.SetVote(p, Vote{
 					Round: Round(rng.Intn(cfg.Rounds)),
 					Phase: rng.Intn(4) + 1,
 					Value: Value(rng.Intn(cfg.Values)),
-				}] = true
+				})
 			}
 			s.Round[p] = Round(rng.Intn(cfg.Rounds+1) - 1)
 			continue
@@ -381,7 +398,7 @@ func (sp *Spec) randomSyntheticState(rng *rand.Rand) *State {
 				val = Value(rng.Intn(cfg.Values))
 			}
 			for phase := 1; phase <= depth; phase++ {
-				s.Votes[p][Vote{Round: r, Phase: phase, Value: val}] = true
+				s.SetVote(p, Vote{Round: r, Phase: phase, Value: val})
 			}
 		}
 	}
@@ -394,14 +411,16 @@ func (sp *Spec) randomSyntheticState(rng *rand.Rand) *State {
 // (reachable states satisfy the invariant if the spec is correct, and they
 // exercise deep, realistic vote structures).
 func (sp *Spec) randomWalkState(rng *rand.Rand) *State {
-	s := NewInitState(sp.cfg)
+	s := sp.initState()
 	steps := rng.Intn(30)
 	for i := 0; i < steps; i++ {
 		actions := sp.EnabledActions(s, false)
 		if len(actions) == 0 {
 			break
 		}
+		prev := s
 		s = sp.Apply(s, pickBiased(rng, actions))
+		prev.release()
 	}
 	return s
 }
@@ -433,7 +452,8 @@ func (sp *Spec) LivenessFixpoint(runs, prefix int, seed int64) LivenessResult {
 			return // result would be discarded by the fold
 		}
 		rng := rand.New(rand.NewSource(walkSeed(seed, i)))
-		s := NewInitState(sp.cfg)
+		s := sp.initState()
+		defer func() { s.release() }()
 		var traceOut []Action
 		for j := 0; j < prefix; j++ {
 			actions := sp.EnabledActions(s, false)
@@ -441,7 +461,9 @@ func (sp *Spec) LivenessFixpoint(runs, prefix int, seed int64) LivenessResult {
 				break
 			}
 			a := pickBiased(rng, actions)
+			prev := s
 			s = sp.Apply(s, a)
+			prev.release()
 			traceOut = append(traceOut, a)
 		}
 		// Drain honest actions to fixpoint.
@@ -451,7 +473,9 @@ func (sp *Spec) LivenessFixpoint(runs, prefix int, seed int64) LivenessResult {
 				break
 			}
 			a := actions[rng.Intn(len(actions))]
+			prev := s
 			s = sp.Apply(s, a)
+			prev.release()
 			traceOut = append(traceOut, a)
 		}
 		if len(sp.Decided(s)) == 0 {

@@ -1,6 +1,9 @@
 package checker
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // This file implements the paper's ConsistencyInvariant (Appendix B), the
 // inductive invariant Apalache verified in about three hours:
@@ -10,6 +13,12 @@ import "fmt"
 //	  ∧ VoteHasQuorumInPreviousPhase ∧ VotesSafe
 //
 // together with the theorem ConsistencyInvariant ⇒ Consistency.
+//
+// The conjuncts run on the bitset vote words: NoFutureVote is a
+// highest-set-bit comparison per node, OneValuePerPhasePerRound a
+// two-bits-set test per value group, and the quorum-backing counts are
+// single-bit probes across nodes. Decoding bits back into Votes happens
+// only on the cold violation paths.
 
 // InvariantViolation describes which conjunct failed (empty = none).
 type InvariantViolation struct {
@@ -44,40 +53,52 @@ func (sp *Spec) CheckInvariant(s *State) error {
 }
 
 // checkNoFutureVote: well-behaved nodes never hold votes beyond their round.
+// Votes at rounds ≤ Round[p] occupy the low (Round[p]+1)·4·|V| bits, so the
+// check is "highest set bit below the limit".
 func (sp *Spec) checkNoFutureVote(s *State) error {
+	l := sp.lay
 	for p := 0; p < sp.cfg.Nodes; p++ {
 		if sp.IsByz(p) {
 			continue
 		}
-		for vt := range s.Votes[p] {
-			if vt.Round > s.Round[p] {
+		limit := (int(s.Round[p]) + 1) * 4 * l.values
+		words := s.nodeWords(p)
+		for w := len(words) - 1; w >= 0; w-- {
+			if words[w] == 0 {
+				continue
+			}
+			top := w*64 + bits.Len64(words[w]) - 1
+			if top >= limit {
 				return InvariantViolation{
 					Conjunct: "NoFutureVote",
-					Detail:   fmt.Sprintf("p%d at round %d holds %+v", p, s.Round[p], vt),
+					Detail:   fmt.Sprintf("p%d at round %d holds %+v", p, s.Round[p], l.voteAt(top)),
 				}
 			}
+			break // highest set bit is below the limit; all others are too
 		}
 	}
 	return nil
 }
 
 // checkOneValuePerPhasePerRound: an honest node votes one value per
-// (round, phase).
+// (round, phase) — i.e. every value group has at most one bit set.
 func (sp *Spec) checkOneValuePerPhasePerRound(s *State) error {
 	for p := 0; p < sp.cfg.Nodes; p++ {
 		if sp.IsByz(p) {
 			continue
 		}
-		seen := make(map[[2]int]Value)
-		for vt := range s.Votes[p] {
-			key := [2]int{int(vt.Round), vt.Phase}
-			if prev, dup := seen[key]; dup && prev != vt.Value {
-				return InvariantViolation{
-					Conjunct: "OneValuePerPhasePerRound",
-					Detail:   fmt.Sprintf("p%d voted v%d and v%d at (r%d, ph%d)", p, prev, vt.Value, vt.Round, vt.Phase),
+		for r := Round(0); r < Round(sp.cfg.Rounds); r++ {
+			for phase := 1; phase <= 4; phase++ {
+				vb := sp.valueBits(s, p, r, phase)
+				if vb&(vb-1) != 0 {
+					v1 := Value(bits.TrailingZeros64(vb))
+					v2 := Value(bits.TrailingZeros64(vb &^ (uint64(1) << uint(v1))))
+					return InvariantViolation{
+						Conjunct: "OneValuePerPhasePerRound",
+						Detail:   fmt.Sprintf("p%d voted v%d and v%d at (r%d, ph%d)", p, v1, v2, r, phase),
+					}
 				}
 			}
-			seen[key] = vt.Value
 		}
 	}
 	return nil
@@ -86,26 +107,31 @@ func (sp *Spec) checkOneValuePerPhasePerRound(s *State) error {
 // checkVoteHasQuorumInPreviousPhase: every honest phase-k>1 vote is backed
 // by a quorum of phase-(k−1) votes (actually-Byzantine members are free).
 func (sp *Spec) checkVoteHasQuorumInPreviousPhase(s *State) error {
+	l := sp.lay
 	honestNeeded := sp.quorumSize() - sp.cfg.Byz
-	for p := 0; p < sp.cfg.Nodes; p++ {
-		if sp.IsByz(p) {
-			continue
-		}
-		for vt := range s.Votes[p] {
-			if vt.Phase <= 1 {
-				continue
-			}
-			prev := Vote{Round: vt.Round, Phase: vt.Phase - 1, Value: vt.Value}
-			count := 0
-			for q := 0; q < sp.cfg.Nodes; q++ {
-				if !sp.IsByz(q) && s.Votes[q][prev] {
-					count++
+	honest := sp.cfg.Nodes - sp.cfg.Byz
+	for p := 0; p < honest; p++ {
+		words := s.nodeWords(p)
+		for w, word := range words {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				vt := l.voteAt(w*64 + b)
+				if vt.Phase <= 1 {
+					continue
 				}
-			}
-			if count < honestNeeded {
-				return InvariantViolation{
-					Conjunct: "VoteHasQuorumInPreviousPhase",
-					Detail:   fmt.Sprintf("p%d's %+v backed by only %d honest prev-phase votes", p, vt, count),
+				pw, pm := l.bitPos(Vote{Round: vt.Round, Phase: vt.Phase - 1, Value: vt.Value})
+				count := 0
+				for q := 0; q < honest; q++ {
+					if s.votes[q*l.wordsPerNode+pw]&pm != 0 {
+						count++
+					}
+				}
+				if count < honestNeeded {
+					return InvariantViolation{
+						Conjunct: "VoteHasQuorumInPreviousPhase",
+						Detail:   fmt.Sprintf("p%d's %+v backed by only %d honest prev-phase votes", p, vt, count),
+					}
 				}
 			}
 		}
@@ -117,15 +143,20 @@ func (sp *Spec) checkVoteHasQuorumInPreviousPhase(s *State) error {
 // earlier round c, some quorum's honest members either voted phase 4 for v
 // at c or can no longer vote at c.
 func (sp *Spec) checkVotesSafe(s *State) error {
-	for p := 0; p < sp.cfg.Nodes; p++ {
-		if sp.IsByz(p) {
-			continue
-		}
-		for vt := range s.Votes[p] {
-			if !sp.safeAt(s, vt.Round, vt.Value) {
-				return InvariantViolation{
-					Conjunct: "VotesSafe",
-					Detail:   fmt.Sprintf("p%d's %+v is not SafeAt", p, vt),
+	l := sp.lay
+	honest := sp.cfg.Nodes - sp.cfg.Byz
+	for p := 0; p < honest; p++ {
+		words := s.nodeWords(p)
+		for w, word := range words {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				vt := l.voteAt(w*64 + b)
+				if !sp.safeAt(s, vt.Round, vt.Value) {
+					return InvariantViolation{
+						Conjunct: "VotesSafe",
+						Detail:   fmt.Sprintf("p%d's %+v is not SafeAt", p, vt),
+					}
 				}
 			}
 		}
@@ -146,28 +177,19 @@ func (sp *Spec) safeAt(s *State, r Round, v Value) bool {
 // for v at c, or is past c without a phase-4 vote at c. Actually-Byzantine
 // members satisfy the predicate for free.
 func (sp *Spec) noneOtherChoosableAt(s *State, c Round, v Value) bool {
+	l := sp.lay
 	honestNeeded := sp.quorumSize() - sp.cfg.Byz
+	honest := sp.cfg.Nodes - sp.cfg.Byz
+	w, m := l.bitPos(Vote{Round: c, Phase: 4, Value: v})
 	count := 0
-	for p := 0; p < sp.cfg.Nodes; p++ {
-		if sp.IsByz(p) {
-			continue
-		}
-		if s.Votes[p][Vote{Round: c, Phase: 4, Value: v}] {
+	for p := 0; p < honest; p++ {
+		if s.votes[p*l.wordsPerNode+w]&m != 0 {
 			count++
 			continue
 		}
-		if s.Round[p] > c && !sp.votedPhase4At(s, p, c) {
+		if s.Round[p] > c && sp.valueBits(s, p, c, 4) == 0 {
 			count++
 		}
 	}
 	return count >= honestNeeded
-}
-
-func (sp *Spec) votedPhase4At(s *State, p int, c Round) bool {
-	for v := Value(0); v < Value(sp.cfg.Values); v++ {
-		if s.Votes[p][Vote{Round: c, Phase: 4, Value: v}] {
-			return true
-		}
-	}
-	return false
 }

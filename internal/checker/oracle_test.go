@@ -1,0 +1,797 @@
+package checker
+
+// The map-backed state representation that shipped before the bitset
+// rewrite, kept alive verbatim as a differential-testing oracle: the same
+// guards, invariant and exploration schedules over map[Vote]bool vote
+// sets. differential_test.go drives this oracle and the bitset Spec
+// through identical BFS/walk/induction/liveness schedules and asserts
+// equal results. The two intentional counting fixes (walk states =
+// transitions+1, BFS cap checked before counting a transition) are
+// mirrored here so both representations implement the same contract.
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync/atomic"
+
+	"tetrabft/internal/par"
+)
+
+// mapState is the old State: vote sets as per-node map[Vote]bool.
+type mapState struct {
+	Votes    []map[Vote]bool
+	Round    []Round
+	Proposed bool
+	Proposal Value
+}
+
+func newMapInitState(cfg Config) *mapState {
+	s := &mapState{
+		Votes: make([]map[Vote]bool, cfg.Nodes),
+		Round: make([]Round, cfg.Nodes),
+	}
+	for i := range s.Votes {
+		s.Votes[i] = make(map[Vote]bool)
+		s.Round[i] = -1
+	}
+	return s
+}
+
+func (s *mapState) Clone() *mapState {
+	c := &mapState{
+		Votes:    make([]map[Vote]bool, len(s.Votes)),
+		Round:    make([]Round, len(s.Round)),
+		Proposed: s.Proposed,
+		Proposal: s.Proposal,
+	}
+	copy(c.Round, s.Round)
+	for i, vs := range s.Votes {
+		c.Votes[i] = make(map[Vote]bool, len(vs))
+		for v := range vs {
+			c.Votes[i][v] = true
+		}
+	}
+	return c
+}
+
+// Key is the old sort-and-strconv fingerprint (only injectivity matters;
+// the rendering need not match the bitset Key).
+func (s *mapState) Key() string {
+	buf := make([]byte, 0, 16+24*len(s.Votes))
+	var packed [64]uint32
+	for i, vs := range s.Votes {
+		buf = strconv.AppendInt(buf, int64(s.Round[i]), 10)
+		buf = append(buf, '|')
+		pv := packed[:0]
+		for v := range vs {
+			pv = append(pv, uint32(v.Round+1)<<16|uint32(v.Phase)<<12|uint32(v.Value))
+		}
+		for a := 1; a < len(pv); a++ {
+			for c := a; c > 0 && pv[c] < pv[c-1]; c-- {
+				pv[c], pv[c-1] = pv[c-1], pv[c]
+			}
+		}
+		for _, p := range pv {
+			buf = strconv.AppendUint(buf, uint64(p), 32)
+			buf = append(buf, ',')
+		}
+		buf = append(buf, ';')
+	}
+	if s.Proposed {
+		buf = append(buf, 'P')
+	} else {
+		buf = append(buf, '-')
+	}
+	buf = strconv.AppendInt(buf, int64(s.Proposal), 10)
+	return string(buf)
+}
+
+// mapSpec evaluates the spec over mapStates.
+type mapSpec struct {
+	cfg Config
+}
+
+func newMapSpec(cfg Config) (*mapSpec, error) {
+	// Reuse the real constructor for validation and Byz normalization.
+	sp, err := NewSpec(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &mapSpec{cfg: sp.Config()}, nil
+}
+
+func (sp *mapSpec) IsByz(p int) bool { return p >= sp.cfg.Nodes-sp.cfg.Byz }
+
+func (sp *mapSpec) quorumSize() int {
+	if sp.cfg.Mutation == MutationSmallQuorum {
+		return sp.cfg.Faulty + 1
+	}
+	return sp.cfg.Nodes - sp.cfg.Faulty
+}
+
+func (sp *mapSpec) blockingSize() int { return sp.cfg.Faulty + 1 }
+
+func (sp *mapSpec) ClaimsSafeAt(s *mapState, v Value, r, r2 Round, p, phase int) bool {
+	if r2 == 0 {
+		return true
+	}
+	for vt1 := range s.Votes[p] {
+		if vt1.Phase != phase || vt1.Round >= r || vt1.Round < r2 {
+			continue
+		}
+		if vt1.Value == v {
+			return true
+		}
+		if sp.cfg.Mutation == MutationNoPrevVote {
+			continue
+		}
+		for vt2 := range s.Votes[p] {
+			if vt2.Phase == phase && vt2.Round >= r2 && vt2.Round < vt1.Round && vt2.Value != vt1.Value {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (sp *mapSpec) ShowsSafeAt(s *mapState, q uint, v Value, r Round, phaseA, phaseB int) bool {
+	if r == 0 {
+		return true
+	}
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if q&(1<<p) != 0 && s.Round[p] < r {
+			return false
+		}
+	}
+	clean := true
+	for p := 0; p < sp.cfg.Nodes && clean; p++ {
+		if q&(1<<p) == 0 {
+			continue
+		}
+		for vt := range s.Votes[p] {
+			if vt.Phase == phaseA && vt.Round < r {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		return true
+	}
+	for r2 := Round(0); r2 < r; r2++ {
+		ok := true
+		for p := 0; p < sp.cfg.Nodes && ok; p++ {
+			if q&(1<<p) == 0 {
+				continue
+			}
+			for vt := range s.Votes[p] {
+				if vt.Phase != phaseA || vt.Round >= r {
+					continue
+				}
+				if vt.Round > r2 || (vt.Round == r2 && vt.Value != v) {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		claimers := 0
+		for p := 0; p < sp.cfg.Nodes; p++ {
+			if sp.ClaimsSafeAt(s, v, r, r2, p, phaseB) {
+				claimers++
+			}
+		}
+		if claimers >= sp.blockingSize() {
+			return true
+		}
+	}
+	return false
+}
+
+func (sp *mapSpec) ExistsQuorumShowingSafe(s *mapState, v Value, r Round, phaseA, phaseB int) bool {
+	if r == 0 {
+		return true
+	}
+	for _, q := range sp.quorums() {
+		if sp.ShowsSafeAt(s, q, v, r, phaseA, phaseB) {
+			return true
+		}
+	}
+	return false
+}
+
+func (sp *mapSpec) Accepted(s *mapState, v Value, r Round, phase int) bool {
+	count := 0
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if s.Votes[p][Vote{Round: r, Phase: phase, Value: v}] {
+			count++
+		}
+	}
+	return count >= sp.quorumSize()
+}
+
+func (sp *mapSpec) Decided(s *mapState) []Value {
+	honestNeeded := sp.quorumSize() - sp.cfg.Byz
+	var out []Value
+	for v := Value(0); v < Value(sp.cfg.Values); v++ {
+		for r := Round(0); r < Round(sp.cfg.Rounds); r++ {
+			count := 0
+			for p := 0; p < sp.cfg.Nodes; p++ {
+				if !sp.IsByz(p) && s.Votes[p][Vote{Round: r, Phase: 4, Value: v}] {
+					count++
+				}
+			}
+			if count >= honestNeeded {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (sp *mapSpec) ConsistencyHolds(s *mapState) bool {
+	return len(sp.Decided(s)) <= 1
+}
+
+func (sp *mapSpec) quorums() []uint {
+	var out []uint
+	n := sp.cfg.Nodes
+	need := sp.quorumSize()
+	for mask := uint(0); mask < 1<<n; mask++ {
+		c := 0
+		for m := mask; m != 0; m &= m - 1 {
+			c++
+		}
+		if c >= need {
+			out = append(out, mask)
+		}
+	}
+	return out
+}
+
+func (sp *mapSpec) Enabled(s *mapState, a Action) bool {
+	cfg := sp.cfg
+	switch a.Kind {
+	case ActStartRound:
+		if sp.IsByz(a.Node) {
+			return false
+		}
+		if cfg.GoodRound > -1 && a.Round > cfg.GoodRound {
+			return false
+		}
+		return s.Round[a.Node] < a.Round
+
+	case ActPropose:
+		if cfg.GoodRound < 0 || s.Proposed {
+			return false
+		}
+		return sp.ExistsQuorumShowingSafe(s, a.Value, cfg.GoodRound, 3, 2)
+
+	case ActVote:
+		if sp.IsByz(a.Node) {
+			return false
+		}
+		for vt := range s.Votes[a.Node] {
+			if vt.Round == a.Round && vt.Phase == a.Phase {
+				return false
+			}
+		}
+		switch a.Phase {
+		case 1:
+			if a.Round != s.Round[a.Node] {
+				return false
+			}
+			if a.Round == cfg.GoodRound && (!s.Proposed || a.Value != s.Proposal) {
+				return false
+			}
+			if cfg.Mutation == MutationNoSafetyCheck {
+				return true
+			}
+			return sp.ExistsQuorumShowingSafe(s, a.Value, a.Round, 4, 1)
+		case 2, 3, 4:
+			if s.Round[a.Node] > a.Round {
+				return false
+			}
+			return sp.Accepted(s, a.Value, a.Round, a.Phase-1)
+		default:
+			return false
+		}
+
+	case ActHavocAddVote:
+		return sp.IsByz(a.Node) && !s.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}]
+
+	case ActHavocRemoveVote:
+		return sp.IsByz(a.Node) && s.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}]
+
+	case ActHavocRound:
+		return sp.IsByz(a.Node) && s.Round[a.Node] != a.Round
+
+	default:
+		return false
+	}
+}
+
+func (sp *mapSpec) Apply(s *mapState, a Action) *mapState {
+	next := s.Clone()
+	switch a.Kind {
+	case ActStartRound:
+		next.Round[a.Node] = a.Round
+	case ActPropose:
+		next.Proposed = true
+		next.Proposal = a.Value
+	case ActVote:
+		next.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}] = true
+		if a.Phase >= 2 {
+			next.Round[a.Node] = a.Round
+		}
+	case ActHavocAddVote:
+		next.Votes[a.Node][Vote{Round: a.Round, Phase: a.Phase, Value: a.Value}] = true
+	case ActHavocRemoveVote:
+		delete(next.Votes[a.Node], Vote{Round: a.Round, Phase: a.Phase, Value: a.Value})
+	case ActHavocRound:
+		next.Round[a.Node] = a.Round
+	}
+	return next
+}
+
+func (sp *mapSpec) EnabledActions(s *mapState, honestOnly bool) []Action {
+	cfg := sp.cfg
+	var out []Action
+	tryAdd := func(a Action) {
+		if sp.Enabled(s, a) {
+			out = append(out, a)
+		}
+	}
+	for p := 0; p < cfg.Nodes; p++ {
+		for r := Round(0); r < Round(cfg.Rounds); r++ {
+			tryAdd(Action{Kind: ActStartRound, Node: p, Round: r})
+		}
+	}
+	for v := Value(0); v < Value(cfg.Values); v++ {
+		tryAdd(Action{Kind: ActPropose, Value: v})
+	}
+	for p := 0; p < cfg.Nodes; p++ {
+		for r := Round(0); r < Round(cfg.Rounds); r++ {
+			for v := Value(0); v < Value(cfg.Values); v++ {
+				for phase := 1; phase <= 4; phase++ {
+					tryAdd(Action{Kind: ActVote, Node: p, Value: v, Round: r, Phase: phase})
+				}
+			}
+		}
+	}
+	if honestOnly {
+		return out
+	}
+	for p := cfg.Nodes - cfg.Byz; p < cfg.Nodes; p++ {
+		for r := Round(0); r < Round(cfg.Rounds); r++ {
+			tryAdd(Action{Kind: ActHavocRound, Node: p, Round: r})
+			for v := Value(0); v < Value(cfg.Values); v++ {
+				for phase := 1; phase <= 4; phase++ {
+					tryAdd(Action{Kind: ActHavocAddVote, Node: p, Value: v, Round: r, Phase: phase})
+					tryAdd(Action{Kind: ActHavocRemoveVote, Node: p, Value: v, Round: r, Phase: phase})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---- invariant over mapStates ----
+
+func (sp *mapSpec) CheckInvariant(s *mapState) error {
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		for vt := range s.Votes[p] {
+			if vt.Round > s.Round[p] {
+				return InvariantViolation{
+					Conjunct: "NoFutureVote",
+					Detail:   fmt.Sprintf("p%d at round %d holds %+v", p, s.Round[p], vt),
+				}
+			}
+		}
+	}
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		seen := make(map[[2]int]Value)
+		for vt := range s.Votes[p] {
+			key := [2]int{int(vt.Round), vt.Phase}
+			if prev, dup := seen[key]; dup && prev != vt.Value {
+				return InvariantViolation{
+					Conjunct: "OneValuePerPhasePerRound",
+					Detail:   fmt.Sprintf("p%d voted v%d and v%d at (r%d, ph%d)", p, prev, vt.Value, vt.Round, vt.Phase),
+				}
+			}
+			seen[key] = vt.Value
+		}
+	}
+	honestNeeded := sp.quorumSize() - sp.cfg.Byz
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		for vt := range s.Votes[p] {
+			if vt.Phase <= 1 {
+				continue
+			}
+			prev := Vote{Round: vt.Round, Phase: vt.Phase - 1, Value: vt.Value}
+			count := 0
+			for q := 0; q < sp.cfg.Nodes; q++ {
+				if !sp.IsByz(q) && s.Votes[q][prev] {
+					count++
+				}
+			}
+			if count < honestNeeded {
+				return InvariantViolation{
+					Conjunct: "VoteHasQuorumInPreviousPhase",
+					Detail:   fmt.Sprintf("p%d's %+v backed by only %d honest prev-phase votes", p, vt, count),
+				}
+			}
+		}
+	}
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		for vt := range s.Votes[p] {
+			if !sp.safeAt(s, vt.Round, vt.Value) {
+				return InvariantViolation{
+					Conjunct: "VotesSafe",
+					Detail:   fmt.Sprintf("p%d's %+v is not SafeAt", p, vt),
+				}
+			}
+		}
+	}
+	if !sp.ConsistencyHolds(s) {
+		return InvariantViolation{Conjunct: "Consistency", Detail: fmt.Sprintf("decided = %v", sp.Decided(s))}
+	}
+	return nil
+}
+
+func (sp *mapSpec) safeAt(s *mapState, r Round, v Value) bool {
+	for c := Round(0); c < r; c++ {
+		if !sp.noneOtherChoosableAt(s, c, v) {
+			return false
+		}
+	}
+	return true
+}
+
+func (sp *mapSpec) noneOtherChoosableAt(s *mapState, c Round, v Value) bool {
+	honestNeeded := sp.quorumSize() - sp.cfg.Byz
+	count := 0
+	for p := 0; p < sp.cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			continue
+		}
+		if s.Votes[p][Vote{Round: c, Phase: 4, Value: v}] {
+			count++
+			continue
+		}
+		if s.Round[p] > c && !sp.votedPhase4At(s, p, c) {
+			count++
+		}
+	}
+	return count >= honestNeeded
+}
+
+func (sp *mapSpec) votedPhase4At(s *mapState, p int, c Round) bool {
+	for v := Value(0); v < Value(sp.cfg.Values); v++ {
+		if s.Votes[p][Vote{Round: c, Phase: 4, Value: v}] {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- exploration over mapStates (same schedules as explore.go) ----
+
+func (sp *mapSpec) BFS(maxStates, maxDepth int) Result {
+	type entry struct {
+		state *mapState
+		key   string
+		depth int
+	}
+	type succ struct {
+		action Action
+		key    string
+		state  *mapState
+	}
+	type expansion struct {
+		consistent bool
+		succs      []succ
+	}
+	init := newMapInitState(sp.cfg)
+	res := Result{}
+	seen := map[string][]Action{init.Key(): nil}
+	frontier := []entry{{state: init, key: init.Key(), depth: 0}}
+	for len(frontier) > 0 {
+		var next []entry
+		for base := 0; base < len(frontier); base += bfsChunk {
+			chunk := frontier[base:min(base+bfsChunk, len(frontier))]
+			exps := make([]expansion, len(chunk))
+			par.For(len(chunk), func(i int) {
+				e := chunk[i]
+				exps[i].consistent = sp.ConsistencyHolds(e.state)
+				if !exps[i].consistent || e.depth >= maxDepth {
+					return
+				}
+				for _, a := range sp.EnabledActions(e.state, false) {
+					ns := sp.Apply(e.state, a)
+					exps[i].succs = append(exps[i].succs, succ{action: a, key: ns.Key(), state: ns})
+				}
+			})
+			for i, e := range chunk {
+				res.StatesExplored++
+				trace := seen[e.key]
+				if !exps[i].consistent {
+					res.Violation = &Violation{
+						Property: "Consistency",
+						Trace:    trace,
+						Detail:   fmt.Sprintf("decided = %v", sp.Decided(e.state)),
+					}
+					return res
+				}
+				if e.depth >= maxDepth {
+					res.Truncated = true
+					continue
+				}
+				for _, sc := range exps[i].succs {
+					if _, dup := seen[sc.key]; dup {
+						continue
+					}
+					if len(seen) >= maxStates {
+						res.Truncated = true
+						return res
+					}
+					res.Transitions++
+					nextTrace := make([]Action, len(trace), len(trace)+1)
+					copy(nextTrace, trace)
+					seen[sc.key] = append(nextTrace, sc.action)
+					next = append(next, entry{state: sc.state, key: sc.key, depth: e.depth + 1})
+				}
+			}
+		}
+		frontier = next
+	}
+	return res
+}
+
+func (sp *mapSpec) runWalks(walks, steps int, seed int64, pick func(*rand.Rand, []Action) Action, checkInv bool) Result {
+	outs := make([]walkOut, walks)
+	var minViol atomic.Int64
+	minViol.Store(int64(walks))
+	par.For(walks, func(w int) {
+		out := &outs[w]
+		rng := rand.New(rand.NewSource(walkSeed(seed, w)))
+		s := newMapInitState(sp.cfg)
+		var traceOut []Action
+		for i := 0; i < steps; i++ {
+			if minViol.Load() < int64(w) {
+				return
+			}
+			actions := sp.EnabledActions(s, false)
+			if len(actions) == 0 {
+				break
+			}
+			a := pick(rng, actions)
+			s = sp.Apply(s, a)
+			traceOut = append(traceOut, a)
+			out.transitions++
+			out.states = out.transitions + 1
+			if !sp.ConsistencyHolds(s) {
+				out.violation = &Violation{
+					Property: "Consistency",
+					Trace:    traceOut,
+					Detail:   fmt.Sprintf("decided = %v", sp.Decided(s)),
+				}
+				lowerMin(&minViol, int64(w))
+				return
+			}
+			if checkInv && sp.cfg.Mutation == MutationNone {
+				if err := sp.CheckInvariant(s); err != nil {
+					out.violation = &Violation{
+						Property: "ConsistencyInvariant(reachable)",
+						Trace:    traceOut,
+						Detail:   err.Error(),
+					}
+					lowerMin(&minViol, int64(w))
+					return
+				}
+			}
+		}
+	})
+	res := Result{}
+	for w := range outs {
+		res.StatesExplored += outs[w].states
+		res.Transitions += outs[w].transitions
+		if outs[w].violation != nil {
+			res.Violation = outs[w].violation
+			return res
+		}
+	}
+	return res
+}
+
+func (sp *mapSpec) RandomWalks(walks, steps int, seed int64) Result {
+	return sp.runWalks(walks, steps, seed, func(rng *rand.Rand, actions []Action) Action {
+		return actions[rng.Intn(len(actions))]
+	}, true)
+}
+
+func (sp *mapSpec) GuidedWalks(walks, steps int, seed int64) Result {
+	return sp.runWalks(walks, steps, seed, pickBiased, false)
+}
+
+func (sp *mapSpec) InductionSample(samples int, seed int64) InductionResult {
+	res := InductionResult{}
+	init := newMapInitState(sp.cfg)
+	if err := sp.CheckInvariant(init); err != nil {
+		res.Violation = &Violation{Property: "Init ⇒ Inv", Detail: err.Error()}
+		return res
+	}
+	type candOut struct {
+		accepted  bool
+		steps     int
+		violation *Violation
+	}
+	limit := samples * 200
+	for base := 0; res.SamplesAccepted < samples && res.SamplesTried <= limit; base += inductionChunk {
+		outs := make([]candOut, inductionChunk)
+		par.For(inductionChunk, func(i int) {
+			rng := rand.New(rand.NewSource(walkSeed(seed, base+i)))
+			var s *mapState
+			if rng.Intn(2) == 0 {
+				s = sp.randomSyntheticState(rng)
+			} else {
+				s = sp.randomWalkState(rng)
+			}
+			out := &outs[i]
+			if sp.CheckInvariant(s) != nil {
+				return
+			}
+			out.accepted = true
+			for _, a := range sp.EnabledActions(s, false) {
+				next := sp.Apply(s, a)
+				out.steps++
+				if err := sp.CheckInvariant(next); err != nil {
+					out.violation = &Violation{
+						Property: "Inv ∧ Next ⇒ Inv'",
+						Trace:    []Action{a},
+						Detail:   fmt.Sprintf("%v from state %s", err, s.Key()),
+					}
+					return
+				}
+			}
+		})
+		for i := 0; i < inductionChunk && res.SamplesAccepted < samples; i++ {
+			res.SamplesTried++
+			if res.SamplesTried > limit {
+				break
+			}
+			if !outs[i].accepted {
+				continue
+			}
+			res.SamplesAccepted++
+			res.StepsChecked += outs[i].steps
+			if outs[i].violation != nil {
+				res.Violation = outs[i].violation
+				return res
+			}
+		}
+	}
+	return res
+}
+
+func (sp *mapSpec) randomSyntheticState(rng *rand.Rand) *mapState {
+	cfg := sp.cfg
+	s := newMapInitState(cfg)
+	roundVal := make([]Value, cfg.Rounds)
+	for r := range roundVal {
+		roundVal[r] = Value(rng.Intn(cfg.Values))
+	}
+	for p := 0; p < cfg.Nodes; p++ {
+		if sp.IsByz(p) {
+			for i := rng.Intn(4); i > 0; i-- {
+				s.Votes[p][Vote{
+					Round: Round(rng.Intn(cfg.Rounds)),
+					Phase: rng.Intn(4) + 1,
+					Value: Value(rng.Intn(cfg.Values)),
+				}] = true
+			}
+			s.Round[p] = Round(rng.Intn(cfg.Rounds+1) - 1)
+			continue
+		}
+		s.Round[p] = Round(rng.Intn(cfg.Rounds+1) - 1)
+		for r := Round(0); r <= s.Round[p] && r < Round(cfg.Rounds); r++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			depth := rng.Intn(5)
+			val := roundVal[r]
+			if rng.Intn(4) == 0 {
+				val = Value(rng.Intn(cfg.Values))
+			}
+			for phase := 1; phase <= depth; phase++ {
+				s.Votes[p][Vote{Round: r, Phase: phase, Value: val}] = true
+			}
+		}
+	}
+	s.Proposed = rng.Intn(2) == 0
+	s.Proposal = Value(rng.Intn(cfg.Values))
+	return s
+}
+
+func (sp *mapSpec) randomWalkState(rng *rand.Rand) *mapState {
+	s := newMapInitState(sp.cfg)
+	steps := rng.Intn(30)
+	for i := 0; i < steps; i++ {
+		actions := sp.EnabledActions(s, false)
+		if len(actions) == 0 {
+			break
+		}
+		s = sp.Apply(s, pickBiased(rng, actions))
+	}
+	return s
+}
+
+func (sp *mapSpec) LivenessFixpoint(runs, prefix int, seed int64) LivenessResult {
+	res := LivenessResult{}
+	if sp.cfg.GoodRound < 0 {
+		res.Violation = &Violation{Property: "Liveness", Detail: "config has no good round"}
+		return res
+	}
+	outs := make([]*Violation, runs)
+	var minViol atomic.Int64
+	minViol.Store(int64(runs))
+	par.For(runs, func(i int) {
+		if minViol.Load() < int64(i) {
+			return
+		}
+		rng := rand.New(rand.NewSource(walkSeed(seed, i)))
+		s := newMapInitState(sp.cfg)
+		var traceOut []Action
+		for j := 0; j < prefix; j++ {
+			actions := sp.EnabledActions(s, false)
+			if len(actions) == 0 {
+				break
+			}
+			a := pickBiased(rng, actions)
+			s = sp.Apply(s, a)
+			traceOut = append(traceOut, a)
+		}
+		for {
+			actions := sp.EnabledActions(s, true)
+			if len(actions) == 0 {
+				break
+			}
+			a := actions[rng.Intn(len(actions))]
+			s = sp.Apply(s, a)
+			traceOut = append(traceOut, a)
+		}
+		if len(sp.Decided(s)) == 0 {
+			outs[i] = &Violation{
+				Property: "Liveness",
+				Trace:    traceOut,
+				Detail:   "honest fixpoint reached with no decision",
+			}
+			lowerMin(&minViol, int64(i))
+		}
+	})
+	for _, v := range outs {
+		res.Runs++
+		if v != nil {
+			res.Violation = v
+			return res
+		}
+		res.Decided++
+	}
+	return res
+}

@@ -56,10 +56,18 @@ func TestWalksDeterministic(t *testing.T) {
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("GuidedWalks not deterministic: %+v vs %+v", a, b)
 	}
+	// 30 non-empty walks each contribute their initial state on top of
+	// one state per transition (the walk-counting contract).
+	if a.StatesExplored != a.Transitions+30 {
+		t.Errorf("GuidedWalks states = %d, want transitions+walks = %d", a.StatesExplored, a.Transitions+30)
+	}
 	c := sp.RandomWalks(30, 60, 5)
 	d := sp.RandomWalks(30, 60, 5)
 	if !reflect.DeepEqual(c, d) {
 		t.Errorf("RandomWalks not deterministic: %+v vs %+v", c, d)
+	}
+	if c.StatesExplored != c.Transitions+30 {
+		t.Errorf("RandomWalks states = %d, want transitions+walks = %d", c.StatesExplored, c.Transitions+30)
 	}
 }
 
@@ -117,6 +125,12 @@ func TestBFSTruncationDeterministic(t *testing.T) {
 	b := mustSpec(t, cfg).BFS(700, 6)
 	if !a.Truncated {
 		t.Fatal("expected the tiny state cap to truncate")
+	}
+	// On a truncated run every counted transition admitted a state to
+	// `seen` (the cap is checked before counting): maxStates states minus
+	// the initial one.
+	if a.Transitions != 700-1 {
+		t.Errorf("truncated BFS counted %d transitions, want %d (admitted states − init)", a.Transitions, 700-1)
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("truncated BFS not deterministic: %+v vs %+v", a, b)

@@ -1,0 +1,125 @@
+package checker
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Allocation pins and benchmarks for the bitset state representation. The
+// bitset rewrite exists because Clone dominated the BFS profile (~40%)
+// when votes were map-backed; these tests keep the hot paths honest.
+
+// busyState returns a paper-config state with a realistic vote load.
+func busyState(tb testing.TB, sp *Spec) *State {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(walkSeed(42, 0)))
+	return sp.randomSyntheticState(rng)
+}
+
+// TestCloneAllocsBound: a Clone released back to the pool is allocation-
+// free in steady state; an unreleased Clone costs at most the state
+// struct plus its two backing slices.
+func TestCloneAllocsBound(t *testing.T) {
+	sp := mustSpec(t, PaperConfig())
+	s := busyState(t, sp)
+	defer s.release()
+	if got := testing.AllocsPerRun(200, func() {
+		c := s.Clone()
+		c.release()
+	}); got > 0 {
+		t.Errorf("Clone+release allocates %.1f/op, want 0 (pooled)", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		keep := s.Clone()
+		_ = keep
+	}); got > 3 {
+		t.Errorf("unpooled Clone allocates %.1f/op, want ≤ 3 (state + votes + rounds)", got)
+	}
+}
+
+// TestKeyAllocsBound: the fixed-width binary fingerprint costs only the
+// returned string (the scratch buffer stays on the stack for instances
+// inside keyStackBytes).
+func TestKeyAllocsBound(t *testing.T) {
+	sp := mustSpec(t, PaperConfig())
+	s := busyState(t, sp)
+	defer s.release()
+	if got := testing.AllocsPerRun(200, func() {
+		_ = s.Key()
+	}); got > 1 {
+		t.Errorf("Key allocates %.1f/op, want ≤ 1 (the string)", got)
+	}
+}
+
+// TestKeyInjectiveOnDistinctStates spot-checks the fingerprint: distinct
+// random states must key differently, clones identically.
+func TestKeyInjectiveOnDistinctStates(t *testing.T) {
+	sp := mustSpec(t, PaperConfig())
+	seen := make(map[string]string)
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(walkSeed(seed, 1)))
+		s := sp.randomSyntheticState(rng)
+		k := s.Key()
+		oracle := toMapState(s, sp.Config()).Key()
+		if prevOracle, dup := seen[k]; dup && prevOracle != oracle {
+			t.Fatalf("distinct states share key %q", k)
+		}
+		seen[k] = oracle
+		c := s.Clone()
+		if c.Key() != k {
+			t.Fatal("clone keys differently")
+		}
+		c.release()
+		s.release()
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	sp, _ := NewSpec(PaperConfig())
+	s := busyState(b, sp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := s.Clone()
+		c.release()
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	sp, _ := NewSpec(PaperConfig())
+	s := busyState(b, sp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Key()
+	}
+}
+
+// BenchmarkBFS is the reference-instance search (the CI sizing of the
+// Section 5 reproduction) — the headline number for the bitset rewrite.
+func BenchmarkBFS(b *testing.B) {
+	sp, _ := NewSpec(Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := sp.BFS(30000, 12)
+		if res.Violation != nil {
+			b.Fatal(res.Violation)
+		}
+	}
+}
+
+// BenchmarkBFSOracle is the same search on the map-backed oracle, kept so
+// `go test -bench BFS` prints the before/after pair in one run.
+func BenchmarkBFSOracle(b *testing.B) {
+	sp, err := newMapSpec(Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := sp.BFS(30000, 12)
+		if res.Violation != nil {
+			b.Fatal(res.Violation)
+		}
+	}
+}

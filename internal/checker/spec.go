@@ -18,11 +18,23 @@
 //
 // Deliberately broken spec variants (Mutation*) are used by tests to prove
 // the checker actually catches safety bugs.
+//
+// # State representation
+//
+// A node's vote set is a packed bitset: vote (round, phase, value) lives at
+// bit (round·4 + phase−1)·|V| + value of a per-node []uint64 word group
+// (the paper's instance needs 5·4·3 = 60 bits — one word per node). Clone
+// is a flat copy into a pooled allocation, Key is a fixed-width binary
+// fingerprint, and the hot guards (Accepted, Decided, ClaimsSafeAt,
+// ShowsSafeAt, the duplicate-vote check) are mask-and-popcount loops over
+// masks precomputed on Spec. The old map-backed representation survives in
+// oracle_test.go as a differential-testing oracle.
 package checker
 
 import (
 	"fmt"
-	"strconv"
+	"math/bits"
+	"sync"
 )
 
 // Value is an abstract value index (0..Values-1).
@@ -82,88 +94,199 @@ func PaperConfig() Config {
 	return Config{Nodes: 4, Faulty: 1, Values: 3, Rounds: 5, GoodRound: 0}
 }
 
-// State is one global state of the abstract spec.
-type State struct {
-	Votes    []map[Vote]bool // per node
-	Round    []Round         // per node; -1 initially
-	Proposed bool
-	Proposal Value
+// maxVoteWords is the per-node vote bitset budget: Rounds·4·Values bits
+// must fit in this many 64-bit words. Explicit-state checking is hopeless
+// far below this bound anyway (the paper's instance uses 60 bits).
+const maxVoteWords = 8
+
+// layout fixes the injective (round, phase, value) → bit mapping for one
+// configuration and owns the State allocation pool. All States descending
+// from the same Spec (or NewInitState call) share one layout.
+type layout struct {
+	nodes        int
+	values       int
+	rounds       int
+	wordsPerNode int
+	valueMask    uint64 // low `values` bits
+	pool         sync.Pool
 }
 
-// NewInitState builds the initial state: no votes, all rounds -1.
-func NewInitState(cfg Config) *State {
-	s := &State{
-		Votes: make([]map[Vote]bool, cfg.Nodes),
-		Round: make([]Round, cfg.Nodes),
+func newLayout(cfg Config) *layout {
+	l := &layout{nodes: cfg.Nodes, values: cfg.Values, rounds: cfg.Rounds}
+	bitsPerNode := cfg.Rounds * 4 * cfg.Values
+	l.wordsPerNode = (bitsPerNode + 63) / 64
+	if l.wordsPerNode < 1 {
+		l.wordsPerNode = 1
 	}
-	for i := range s.Votes {
-		s.Votes[i] = make(map[Vote]bool)
+	l.valueMask = ^uint64(0) >> (64 - uint(cfg.Values))
+	l.pool.New = func() any {
+		return &State{
+			votes: make([]uint64, l.nodes*l.wordsPerNode),
+			Round: make([]Round, l.nodes),
+			lay:   l,
+		}
+	}
+	return l
+}
+
+// bitPos maps a vote to its (word-within-node, bit mask) position.
+func (l *layout) bitPos(v Vote) (word int, mask uint64) {
+	b := (int(v.Round)*4+v.Phase-1)*l.values + int(v.Value)
+	return b >> 6, 1 << (uint(b) & 63)
+}
+
+// voteAt decodes a node-relative bit index back into a Vote.
+func (l *layout) voteAt(bit int) Vote {
+	rp := bit / l.values
+	return Vote{Round: Round(rp / 4), Phase: rp%4 + 1, Value: Value(bit % l.values)}
+}
+
+// State is one global state of the abstract spec. Vote sets are packed
+// bitsets (see the package comment); use HasVote/SetVote/ClearVote and
+// VotesOf to access them.
+type State struct {
+	votes    []uint64 // Nodes × wordsPerNode words, flat
+	Round    []Round  // per node; -1 initially
+	Proposed bool
+	Proposal Value
+	lay      *layout
+}
+
+// NewInitState builds the initial state: no votes, all rounds -1. States
+// built here carry their own layout/pool; exploration uses Spec.initState
+// so all states of a run share the Spec's pool.
+func NewInitState(cfg Config) *State {
+	return newLayout(cfg).initState()
+}
+
+// initState gets a zeroed state from the layout's pool.
+func (l *layout) initState() *State {
+	s := l.pool.Get().(*State)
+	clear(s.votes)
+	for i := range s.Round {
 		s.Round[i] = -1
 	}
+	s.Proposed = false
+	s.Proposal = 0
 	return s
 }
 
-// Clone deep-copies the state.
-func (s *State) Clone() *State {
-	c := &State{
-		Votes:    make([]map[Vote]bool, len(s.Votes)),
-		Round:    make([]Round, len(s.Round)),
-		Proposed: s.Proposed,
-		Proposal: s.Proposal,
-	}
-	copy(c.Round, s.Round)
-	for i, vs := range s.Votes {
-		c.Votes[i] = make(map[Vote]bool, len(vs))
-		for v := range vs {
-			c.Votes[i][v] = true
+// initState builds the initial state on the Spec's shared layout.
+func (sp *Spec) initState() *State { return sp.lay.initState() }
+
+// nodeWords returns node p's vote words (a view, not a copy).
+func (s *State) nodeWords(p int) []uint64 {
+	w := s.lay.wordsPerNode
+	return s.votes[p*w : (p+1)*w]
+}
+
+// HasVote reports whether node p holds vote v.
+func (s *State) HasVote(p int, v Vote) bool {
+	w, m := s.lay.bitPos(v)
+	return s.votes[p*s.lay.wordsPerNode+w]&m != 0
+}
+
+// SetVote adds vote v to node p's set.
+func (s *State) SetVote(p int, v Vote) {
+	w, m := s.lay.bitPos(v)
+	s.votes[p*s.lay.wordsPerNode+w] |= m
+}
+
+// ClearVote removes vote v from node p's set.
+func (s *State) ClearVote(p int, v Vote) {
+	w, m := s.lay.bitPos(v)
+	s.votes[p*s.lay.wordsPerNode+w] &^= m
+}
+
+// VotesOf enumerates node p's votes in bit order (round-major). Used by
+// cold paths (violation rendering, tests); hot guards work on the words
+// directly.
+func (s *State) VotesOf(p int) []Vote {
+	var out []Vote
+	for w, word := range s.nodeWords(p) {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << uint(b)
+			out = append(out, s.lay.voteAt(w*64+b))
 		}
+	}
+	return out
+}
+
+// VoteCount returns |votes(p)|.
+func (s *State) VoteCount(p int) int {
+	c := 0
+	for _, word := range s.nodeWords(p) {
+		c += bits.OnesCount64(word)
 	}
 	return c
 }
 
-// Key returns a canonical fingerprint for state deduplication. It is the
-// single hottest function of the BFS (called once per generated successor),
-// so it packs each vote into one integer, sorts the small packed slice
-// in-place, and renders with strconv appends instead of fmt.
+// Clone deep-copies the state: a flat copy into a pooled allocation.
+func (s *State) Clone() *State {
+	c := s.lay.pool.Get().(*State)
+	copy(c.votes, s.votes)
+	copy(c.Round, s.Round)
+	c.Proposed = s.Proposed
+	c.Proposal = s.Proposal
+	return c
+}
+
+// release returns the state to its layout's pool for reuse by Clone and
+// initState. Callers must not touch s afterwards; exploration releases
+// only states it owns exclusively (deduplicated successors, superseded
+// walk states).
+func (s *State) release() { s.lay.pool.Put(s) }
+
+// keyStackBytes bounds the Key fingerprint size renderable from a stack
+// buffer (the paper config needs 4·(1+8)+2 = 38 bytes).
+const keyStackBytes = 168
+
+// Key returns a canonical fingerprint for state deduplication. With the
+// bitset representation it is a fixed-width binary string — one round byte
+// plus wordsPerNode little-endian words per node, then the proposal — with
+// no sorting or strconv: the bit layout is already canonical.
 func (s *State) Key() string {
-	buf := make([]byte, 0, 16+24*len(s.Votes))
-	var packed [64]uint32
-	for i, vs := range s.Votes {
-		buf = strconv.AppendInt(buf, int64(s.Round[i]), 10)
-		buf = append(buf, '|')
-		// Pack (round, phase, value) injectively: rounds and values in
-		// these finite instances are far below 2^12, phases are 1..4.
-		pv := packed[:0]
-		for v := range vs {
-			pv = append(pv, uint32(v.Round+1)<<16|uint32(v.Phase)<<12|uint32(v.Value))
+	w := s.lay.wordsPerNode
+	size := len(s.Round)*(1+8*w) + 2
+	var arr [keyStackBytes]byte
+	var buf []byte
+	if size <= keyStackBytes {
+		buf = arr[:0]
+	} else {
+		buf = make([]byte, 0, size)
+	}
+	for p, r := range s.Round {
+		buf = append(buf, byte(r+1))
+		for _, word := range s.votes[p*w : (p+1)*w] {
+			buf = append(buf,
+				byte(word), byte(word>>8), byte(word>>16), byte(word>>24),
+				byte(word>>32), byte(word>>40), byte(word>>48), byte(word>>56))
 		}
-		// Insertion sort: vote sets are tiny (≤ a few dozen entries).
-		for a := 1; a < len(pv); a++ {
-			for c := a; c > 0 && pv[c] < pv[c-1]; c-- {
-				pv[c], pv[c-1] = pv[c-1], pv[c]
-			}
-		}
-		for _, p := range pv {
-			buf = strconv.AppendUint(buf, uint64(p), 32)
-			buf = append(buf, ',')
-		}
-		buf = append(buf, ';')
 	}
 	if s.Proposed {
-		buf = append(buf, 'P')
+		buf = append(buf, 1)
 	} else {
-		buf = append(buf, '-')
+		buf = append(buf, 0)
 	}
-	buf = strconv.AppendInt(buf, int64(s.Proposal), 10)
+	buf = append(buf, byte(s.Proposal))
 	return string(buf)
 }
 
 // Spec evaluates guards and applies actions for a fixed configuration.
+// The constructor precomputes the quorum list and per-(phase, round)
+// bit masks the hot guards run on.
 type Spec struct {
 	cfg Config
+	lay *layout
+	qs  []uint // all quorums (bitmasks over nodes), enumerated once
+	// phasePrefix[phase-1][r] masks that phase's votes at rounds < r
+	// (r ranges 0..Rounds). Prefix differences give any round interval.
+	phasePrefix [4][][]uint64
 }
 
-// NewSpec builds a Spec, validating the configuration.
+// NewSpec builds a Spec, validating that the instance fits the bitset
+// word budget.
 func NewSpec(cfg Config) (*Spec, error) {
 	if cfg.Nodes < 1 || cfg.Faulty < 0 || 3*cfg.Faulty >= cfg.Nodes {
 		return nil, fmt.Errorf("checker: invalid n=%d f=%d", cfg.Nodes, cfg.Faulty)
@@ -171,12 +294,18 @@ func NewSpec(cfg Config) (*Spec, error) {
 	if cfg.Values < 1 || cfg.Rounds < 1 {
 		return nil, fmt.Errorf("checker: need at least 1 value and 1 round")
 	}
-	// State.Key packs each vote into one uint32 (round+1 in bits 16+, phase
-	// in bits 12-15, value in bits 0-11); keep the instance inside those
-	// widths so packed keys stay injective. Explicit-state checking is
-	// hopeless far below these sizes anyway.
-	if cfg.Rounds >= 1<<16-1 || cfg.Values > 1<<12 {
-		return nil, fmt.Errorf("checker: instance too large for key packing (rounds=%d, values=%d)", cfg.Rounds, cfg.Values)
+	// The bitset layout needs Rounds·4·Values bits per node inside
+	// maxVoteWords words, and the guards extract per-(round, phase) value
+	// groups as single uint64 fields, so Values must fit one word. Quorums
+	// are bitmasks over nodes enumerated eagerly (2^Nodes candidates), so
+	// Nodes must stay small too. Explicit-state checking is hopeless far
+	// below these sizes anyway.
+	if cfg.Nodes > 16 {
+		return nil, fmt.Errorf("checker: instance too large for quorum enumeration (nodes=%d, max 16)", cfg.Nodes)
+	}
+	if cfg.Values > 64 || cfg.Rounds*4*cfg.Values > maxVoteWords*64 {
+		return nil, fmt.Errorf("checker: instance too large for the bitset vote layout (rounds=%d, values=%d, budget=%d words/node)",
+			cfg.Rounds, cfg.Values, maxVoteWords)
 	}
 	switch {
 	case cfg.Byz == 0:
@@ -186,7 +315,26 @@ func NewSpec(cfg Config) (*Spec, error) {
 	case cfg.Byz < 0 || cfg.Byz > cfg.Faulty:
 		return nil, fmt.Errorf("checker: actual Byzantine count %d outside the fault budget %d", cfg.Byz, cfg.Faulty)
 	}
-	return &Spec{cfg: cfg}, nil
+	sp := &Spec{cfg: cfg, lay: newLayout(cfg)}
+	need := sp.quorumSize()
+	for mask := uint(0); mask < 1<<cfg.Nodes; mask++ {
+		if bits.OnesCount(mask) >= need {
+			sp.qs = append(sp.qs, mask)
+		}
+	}
+	for ph := 0; ph < 4; ph++ {
+		sp.phasePrefix[ph] = make([][]uint64, cfg.Rounds+1)
+		acc := make([]uint64, sp.lay.wordsPerNode)
+		sp.phasePrefix[ph][0] = append([]uint64(nil), acc...)
+		for r := 0; r < cfg.Rounds; r++ {
+			for val := 0; val < cfg.Values; val++ {
+				w, m := sp.lay.bitPos(Vote{Round: Round(r), Phase: ph + 1, Value: Value(val)})
+				acc[w] |= m
+			}
+			sp.phasePrefix[ph][r+1] = append([]uint64(nil), acc...)
+		}
+	}
+	return sp, nil
 }
 
 // Config returns the checked configuration.
@@ -206,27 +354,47 @@ func (sp *Spec) quorumSize() int {
 // blockingSize returns the blocking-set cardinality (f+1).
 func (sp *Spec) blockingSize() int { return sp.cfg.Faulty + 1 }
 
+// valueBits extracts node p's (r, phase) value group: bit v is set iff p
+// holds vote (r, phase, v). The group is at most 64 bits (validated by
+// NewSpec) but may straddle a word boundary.
+func (sp *Spec) valueBits(s *State, p int, r Round, phase int) uint64 {
+	l := sp.lay
+	base := (int(r)*4 + phase - 1) * l.values
+	w := p*l.wordsPerNode + base>>6
+	off := uint(base) & 63
+	bs := s.votes[w] >> off
+	if int(off)+l.values > 64 {
+		bs |= s.votes[w+1] << (64 - off)
+	}
+	return bs & l.valueMask
+}
+
 // ClaimsSafeAt mirrors the TLA+ ClaimsSafeAt(v, r, r2, p, phase): does p's
 // vote history claim value v safe at round r2, judged before round r?
+// The scan walks the per-round value groups in round order, keeping the
+// union of values seen so far to decide the two-vote-bracket disjunct in
+// O(rounds) word operations.
 func (sp *Spec) ClaimsSafeAt(s *State, v Value, r, r2 Round, p, phase int) bool {
 	if r2 == 0 {
 		return true
 	}
-	for vt1 := range s.Votes[p] {
-		if vt1.Phase != phase || vt1.Round >= r || vt1.Round < r2 {
-			continue
-		}
-		if vt1.Value == v {
+	direct := uint64(1) << uint(v)
+	bracket := sp.cfg.Mutation != MutationNoPrevVote
+	var earlier uint64
+	for rr := r2; rr < r; rr++ {
+		vb := sp.valueBits(s, p, rr, phase)
+		if vb&direct != 0 {
 			return true
 		}
-		if sp.cfg.Mutation == MutationNoPrevVote {
-			continue
-		}
-		for vt2 := range s.Votes[p] {
-			if vt2.Phase == phase && vt2.Round >= r2 && vt2.Round < vt1.Round && vt2.Value != vt1.Value {
+		if bracket && vb != 0 && earlier != 0 {
+			// A later vote conflicts with an earlier one iff the earlier
+			// rounds held ≥2 distinct values, or this round holds a value
+			// different from the single earlier one.
+			if earlier&(earlier-1) != 0 || vb&^earlier != 0 {
 				return true
 			}
 		}
+		earlier |= vb
 	}
 	return false
 }
@@ -244,13 +412,15 @@ func (sp *Spec) ShowsSafeAt(s *State, q uint, v Value, r Round, phaseA, phaseB i
 		}
 	}
 	// Case 1: no member of Q voted phaseA before r.
+	beforeR := sp.phasePrefix[phaseA-1][r]
 	clean := true
 	for p := 0; p < sp.cfg.Nodes && clean; p++ {
 		if q&(1<<p) == 0 {
 			continue
 		}
-		for vt := range s.Votes[p] {
-			if vt.Phase == phaseA && vt.Round < r {
+		words := s.nodeWords(p)
+		for w := range words {
+			if words[w]&beforeR[w] != 0 {
 				clean = false
 				break
 			}
@@ -261,20 +431,24 @@ func (sp *Spec) ShowsSafeAt(s *State, q uint, v Value, r Round, phaseA, phaseB i
 	}
 	// Case 2: some r2 < r bounds all phaseA votes, agreeing on v at r2,
 	// and a blocking set claims v safe at r2 with phaseB votes.
+	notV := ^(uint64(1) << uint(v))
 	for r2 := Round(0); r2 < r; r2++ {
+		upToR2 := sp.phasePrefix[phaseA-1][r2+1]
 		ok := true
 		for p := 0; p < sp.cfg.Nodes && ok; p++ {
 			if q&(1<<p) == 0 {
 				continue
 			}
-			for vt := range s.Votes[p] {
-				if vt.Phase != phaseA || vt.Round >= r {
-					continue
-				}
-				if vt.Round > r2 || (vt.Round == r2 && vt.Value != v) {
+			words := s.nodeWords(p)
+			for w := range words {
+				// No phaseA vote at a round in (r2, r).
+				if words[w]&(beforeR[w]&^upToR2[w]) != 0 {
 					ok = false
 					break
 				}
+			}
+			if ok && sp.valueBits(s, p, r2, phaseA)&notV != 0 {
+				ok = false
 			}
 		}
 		if !ok {
@@ -293,13 +467,13 @@ func (sp *Spec) ShowsSafeAt(s *State, q uint, v Value, r Round, phaseA, phaseB i
 	return false
 }
 
-// ExistsQuorumShowingSafe existentially quantifies ShowsSafeAt over all
-// quorums.
+// ExistsQuorumShowingSafe existentially quantifies ShowsSafeAt over the
+// precomputed quorum list.
 func (sp *Spec) ExistsQuorumShowingSafe(s *State, v Value, r Round, phaseA, phaseB int) bool {
 	if r == 0 {
 		return true
 	}
-	for _, q := range sp.quorums() {
+	for _, q := range sp.qs {
 		if sp.ShowsSafeAt(s, q, v, r, phaseA, phaseB) {
 			return true
 		}
@@ -309,9 +483,11 @@ func (sp *Spec) ExistsQuorumShowingSafe(s *State, v Value, r Round, phaseA, phas
 
 // Accepted mirrors TLA+ Accepted: a quorum voted (r, phase, v).
 func (sp *Spec) Accepted(s *State, v Value, r Round, phase int) bool {
+	w, m := sp.lay.bitPos(Vote{Round: r, Phase: phase, Value: v})
+	stride := sp.lay.wordsPerNode
 	count := 0
 	for p := 0; p < sp.cfg.Nodes; p++ {
-		if s.Votes[p][Vote{Round: r, Phase: phase, Value: v}] {
+		if s.votes[p*stride+w]&m != 0 {
 			count++
 		}
 	}
@@ -323,12 +499,15 @@ func (sp *Spec) Accepted(s *State, v Value, r Round, phase int) bool {
 // members contribute for free).
 func (sp *Spec) Decided(s *State) []Value {
 	honestNeeded := sp.quorumSize() - sp.cfg.Byz
+	honest := sp.cfg.Nodes - sp.cfg.Byz
+	stride := sp.lay.wordsPerNode
 	var out []Value
 	for v := Value(0); v < Value(sp.cfg.Values); v++ {
 		for r := Round(0); r < Round(sp.cfg.Rounds); r++ {
+			w, m := sp.lay.bitPos(Vote{Round: r, Phase: 4, Value: v})
 			count := 0
-			for p := 0; p < sp.cfg.Nodes; p++ {
-				if !sp.IsByz(p) && s.Votes[p][Vote{Round: r, Phase: 4, Value: v}] {
+			for p := 0; p < honest; p++ {
+				if s.votes[p*stride+w]&m != 0 {
 					count++
 				}
 			}
@@ -344,26 +523,4 @@ func (sp *Spec) Decided(s *State) []Value {
 // ConsistencyHolds is the checked agreement property.
 func (sp *Spec) ConsistencyHolds(s *State) bool {
 	return len(sp.Decided(s)) <= 1
-}
-
-// quorums enumerates all minimal-or-larger quorums as bitmasks.
-func (sp *Spec) quorums() []uint {
-	var out []uint
-	n := sp.cfg.Nodes
-	need := sp.quorumSize()
-	for mask := uint(0); mask < 1<<n; mask++ {
-		if popcount(mask) >= need {
-			out = append(out, mask)
-		}
-	}
-	return out
-}
-
-func popcount(m uint) int {
-	c := 0
-	for m != 0 {
-		m &= m - 1
-		c++
-	}
-	return c
 }
