@@ -2,112 +2,130 @@
 // discrete-event simulator and prints what happened: decision times (in
 // message delays), per-node traffic, and optionally the full protocol
 // trace.
+//
+// Scenarios come from two equivalent sources: the flags below (quick
+// one-liners), or a declarative JSON spec via -scenario file.json (the
+// full cluster × faults × network × workload matrix; see EXPERIMENTS.md
+// for the spec reference and examples/scenarios/ for ready-made specs).
+// The flags themselves just assemble a spec, so a flag-driven run and its
+// JSON equivalent produce identical output.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"tetrabft/internal/byz"
-	"tetrabft/internal/core"
-	"tetrabft/internal/multishot"
-	"tetrabft/internal/sim"
-	"tetrabft/internal/trace"
+	"tetrabft/internal/scenario"
 	"tetrabft/internal/types"
 )
 
 func main() {
 	var (
-		n         = flag.Int("n", 4, "cluster size")
-		silent    = flag.Int("silent", 0, "number of silent (crashed) nodes, taken from the lowest IDs")
-		multi     = flag.Bool("multi", false, "run multi-shot (pipelined) TetraBFT instead of single-shot")
-		slots     = flag.Int("slots", 10, "finalized slots to target in multi-shot mode")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		delta     = flag.Int64("delta", 10, "network bound Δ in ticks (timeout = 9Δ)")
-		gst       = flag.Int64("gst", 0, "global stabilization time (0 = synchronous from the start)")
-		drop      = flag.Float64("drop", 0.9, "pre-GST message loss probability")
-		showTrace = flag.Bool("trace", false, "print the protocol event trace")
-		horizon   = flag.Int64("horizon", 100000, "simulation horizon in ticks")
+		n            = flag.Int("n", 4, "cluster size")
+		silent       = flag.Int("silent", 0, "number of silent (crashed) nodes, taken from the lowest IDs")
+		multi        = flag.Bool("multi", false, "run multi-shot (pipelined) TetraBFT instead of single-shot")
+		slots        = flag.Int("slots", 10, "finalized slots to target in multi-shot mode")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		delta        = flag.Int64("delta", 10, "network bound Δ in ticks (timeout = 9Δ)")
+		gst          = flag.Int64("gst", 0, "global stabilization time (0 = synchronous from the start)")
+		drop         = flag.Float64("drop", 0.9, "pre-GST message loss probability")
+		showTrace    = flag.Bool("trace", false, "print the protocol event trace")
+		horizon      = flag.Int64("horizon", 100000, "simulation horizon in ticks")
+		scenarioPath = flag.String("scenario", "", "run a declarative JSON scenario spec instead of the flags")
 	)
 	flag.Parse()
-	if err := run(*n, *silent, *multi, *slots, *seed, *delta, *gst, *drop, *showTrace, *horizon); err != nil {
+
+	var sc scenario.Scenario
+	if *scenarioPath != "" {
+		// The spec file is the whole run; silently dropping other
+		// explicitly-set flags would mislead.
+		var clash []string
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name != "scenario" {
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			fmt.Fprintf(os.Stderr, "tetrabft-sim: -scenario cannot be combined with %s (the spec file declares the whole run)\n", strings.Join(clash, " "))
+			os.Exit(1)
+		}
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tetrabft-sim:", err)
+			os.Exit(1)
+		}
+		sc, err = scenario.Parse(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tetrabft-sim:", err)
+			os.Exit(1)
+		}
+	} else {
+		sc = fromFlags(*n, *silent, *multi, *slots, *seed, *delta, *gst, *drop, *showTrace, *horizon)
+	}
+	if err := run(sc); err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n, silent int, multi bool, slots int, seed, delta, gst int64, drop float64, showTrace bool, horizon int64) error {
-	if silent >= n {
-		return fmt.Errorf("all %d nodes silent", n)
+// fromFlags assembles the declarative spec the flag set describes.
+func fromFlags(n, silent int, multi bool, slots int, seed, delta, gst int64, drop float64, showTrace bool, horizon int64) scenario.Scenario {
+	sc := scenario.Scenario{
+		Protocol: scenario.TetraBFT,
+		Nodes:    n,
+		Seed:     seed,
+		Delta:    delta,
+		Network:  scenario.NetworkSpec{GST: gst, DropBeforeGST: drop},
+		Workload: scenario.WorkloadSpec{ValuePattern: "value-of-node-%d"},
+		Stop:     scenario.StopSpec{Horizon: horizon},
+		Collect:  scenario.CollectSpec{Trace: showTrace},
 	}
-	log := &trace.Log{}
-	var tracer trace.Tracer
-	if showTrace {
-		tracer = trace.Multi(log, trace.Writer{W: os.Stdout})
-	} else {
-		tracer = log
+	if multi {
+		sc.Protocol = scenario.TetraBFTMulti
+		sc.Workload = scenario.WorkloadSpec{MaxSlot: int64(slots + 3)}
+		sc.Collect.Chain = true
 	}
-	r := sim.New(sim.Config{
-		Seed:          seed,
-		GST:           types.Time(gst),
-		DropBeforeGST: drop,
-	})
-	var chains []*multishot.Node
-	for i := 0; i < n; i++ {
-		if i < silent {
-			r.Add(byz.Silent{NodeID: types.NodeID(i)})
-			continue
-		}
-		if multi {
-			node, err := multishot.NewNode(multishot.Config{
-				ID: types.NodeID(i), Nodes: n, Delta: types.Duration(delta),
-				MaxSlot: types.Slot(slots + 3), Tracer: tracer,
-			})
-			if err != nil {
-				return err
-			}
-			chains = append(chains, node)
-			r.Add(node)
-			continue
-		}
-		node, err := core.NewNode(core.Config{
-			ID: types.NodeID(i), Nodes: n, Delta: types.Duration(delta),
-			InitialValue: types.Value(fmt.Sprintf("value-of-node-%d", i)),
-			Tracer:       tracer,
-		})
-		if err != nil {
-			return err
-		}
-		r.Add(node)
+	for i := 0; i < silent; i++ {
+		sc.Faults = append(sc.Faults, scenario.FaultSpec{Type: scenario.FaultSilent, Node: types.NodeID(i)})
 	}
+	return sc
+}
 
-	if err := r.Run(types.Time(horizon), nil); err != nil {
+func run(sc scenario.Scenario) error {
+	res, err := scenario.Run(sc)
+	if err != nil {
+		// A failed run still returns what it collected; the trace leading
+		// up to an agreement violation is exactly what one wants to see.
+		if res != nil {
+			for _, ev := range res.Trace {
+				fmt.Println(ev.String())
+			}
+		}
 		return err
 	}
-	if err := r.AgreementViolation(); err != nil {
-		return fmt.Errorf("AGREEMENT VIOLATION: %w", err)
+	for _, ev := range res.Trace {
+		fmt.Println(ev.String())
 	}
 
-	fmt.Printf("simulation finished at t=%d (%d events)\n", r.Now(), r.Events())
-	if multi {
-		for _, node := range chains {
-			fmt.Printf("node %d finalized %d slots\n", node.ID(), node.FinalizedSlot())
+	fmt.Printf("simulation finished at t=%d (%d events)\n", res.FinishedAt, res.Events)
+	if len(res.Finalized) > 0 { // multi-shot
+		for _, f := range res.Finalized {
+			fmt.Printf("node %d finalized %d slots\n", f.Node, f.Slot)
 		}
-		if len(chains) > 0 {
-			for _, b := range chains[0].FinalizedChain() {
-				fmt.Printf("  slot %2d  block %s  (%d-byte payload)\n", b.Slot, b.ID(), len(b.Payload))
-			}
+		for _, b := range res.Chain {
+			fmt.Printf("  slot %2d  block %s  (%d-byte payload)\n", b.Slot, b.ID(), len(b.Payload))
 		}
 	} else {
-		for i := 0; i < n; i++ {
-			if d, ok := r.Decision(types.NodeID(i), 0); ok {
-				fmt.Printf("node %d decided %q at t=%d (message delays)\n", i, d.Val, d.At)
+		for _, tr := range res.Traffic {
+			if d, ok := res.Decision(tr.Node, 0); ok {
+				fmt.Printf("node %d decided %q at t=%d (message delays)\n", tr.Node, d.Value, d.At)
 			} else {
-				fmt.Printf("node %d did not decide\n", i)
+				fmt.Printf("node %d did not decide\n", tr.Node)
 			}
 		}
 	}
-	fmt.Printf("traffic: %d total bytes sent, %d messages dropped\n", r.TotalSentBytes(), r.DroppedMessages())
+	fmt.Printf("traffic: %d total bytes sent, %d messages dropped\n", res.TotalSentBytes, res.Dropped)
 	return nil
 }

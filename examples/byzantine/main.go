@@ -1,7 +1,8 @@
 // Byzantine: the paper's Figure 3 scenario — a crashed leader stalls the
 // pipeline, the 9Δ view timers fire, a per-slot view change aborts the
 // in-flight blocks (at most 5) and the chain recovers and keeps growing,
-// with full agreement throughout.
+// with full agreement throughout. The whole setup is one declarative
+// fault-schedule entry in the scenario spec.
 package main
 
 import (
@@ -9,8 +10,6 @@ import (
 	"log"
 
 	"tetrabft"
-	"tetrabft/internal/byz"
-	"tetrabft/internal/types"
 )
 
 func main() {
@@ -20,47 +19,28 @@ func main() {
 }
 
 func run() error {
-	const (
-		n       = 4
-		maxSlot = 12
-	)
-
-	traceLog := &tetrabft.TraceLog{}
-	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 7})
-	var honest []*tetrabft.ChainNode
-	for i := 0; i < n; i++ {
-		if i == 3 {
-			// Node 3 has crashed: it leads every 4th slot, so the pipeline
-			// stalls whenever its turn comes.
-			s.Add(byz.Silent{NodeID: types.NodeID(i)})
-			fmt.Println("node 3 is crashed (it leads slots 3, 7, 11, ...)")
-			continue
-		}
-		node, err := tetrabft.NewChain(tetrabft.ChainConfig{
-			ID:      tetrabft.NodeID(i),
-			Nodes:   n,
-			Delta:   10, // Δ = 10 ticks ⇒ view timeout 9Δ = 90
-			MaxSlot: maxSlot,
-			Tracer:  traceLog,
-		})
-		if err != nil {
-			return err
-		}
-		honest = append(honest, node)
-		s.Add(node)
-	}
-
-	if err := s.Run(5000, nil); err != nil {
+	// Node 3 has crashed: it leads every 4th slot, so the pipeline stalls
+	// whenever its turn comes.
+	fmt.Println("node 3 is crashed (it leads slots 3, 7, 11, ...)")
+	res, err := tetrabft.RunScenario(tetrabft.Scenario{
+		Name:     "figure-3",
+		Protocol: tetrabft.ScenarioTetraBFTMulti,
+		Nodes:    4,
+		Seed:     7,
+		Delta:    10, // Δ = 10 ticks ⇒ view timeout 9Δ = 90
+		Faults:   []tetrabft.FaultSpec{{Type: tetrabft.FaultSilent, Node: 3}},
+		Workload: tetrabft.WorkloadSpec{MaxSlot: 12},
+		Stop:     tetrabft.StopSpec{Horizon: 5000},
+		Collect:  tetrabft.CollectSpec{Trace: true, Chain: true},
+	})
+	if err != nil {
 		return err
-	}
-	if err := s.AgreementViolation(); err != nil {
-		return fmt.Errorf("agreement violated: %w", err)
 	}
 
 	fmt.Println("\nwhat happened (node 0's protocol events):")
 	interesting := map[string]bool{"view-change": true, "enter-view": true, "adopt-final": true}
 	shown := 0
-	for _, ev := range traceLog.Events() {
+	for _, ev := range res.Trace {
 		if ev.Node != 0 {
 			continue
 		}
@@ -75,14 +55,13 @@ func run() error {
 	}
 
 	fmt.Println("\noutcome:")
-	for _, node := range honest {
-		fmt.Printf("  node %d finalized %d slots\n", node.ID(), node.FinalizedSlot())
+	for _, f := range res.Finalized {
+		fmt.Printf("  node %d finalized %d slots\n", f.Node, f.Slot)
 	}
-	chain := honest[0].FinalizedChain()
-	if len(chain) == 0 {
+	if len(res.Chain) == 0 {
 		return fmt.Errorf("nothing finalized")
 	}
-	fmt.Printf("\nthe chain survived %d leader crashes and kept growing ✓\n", countEpisodes(chain))
+	fmt.Printf("\nthe chain survived %d leader crashes and kept growing ✓\n", countEpisodes(res.Chain))
 	return nil
 }
 

@@ -4,9 +4,9 @@
 // heterogeneous trust models (Stellar, XRP Ledger) where quorum
 // certificates cannot work.
 //
-// Five organizations declare their own slices. Because every pair of
-// resulting quorums intersects in enough honest organizations, the
-// unchanged TetraBFT rules stay safe and live.
+// Five organizations declare their own slices — right inside the scenario
+// spec. Because every pair of resulting quorums intersects in enough
+// honest organizations, the unchanged TetraBFT rules stay safe and live.
 package main
 
 import (
@@ -27,52 +27,45 @@ func run() error {
 	// two); organizations 3 and 4 are satellites that each trust the core
 	// majority plus the other satellite.
 	core2of3 := [][]tetrabft.NodeID{{0, 1}, {0, 2}, {1, 2}}
-	slices := map[tetrabft.NodeID][]tetrabft.NodeSet{}
+	var slices []tetrabft.SliceSpec
 	for _, member := range []tetrabft.NodeID{0, 1, 2} {
+		var ss [][]tetrabft.NodeID
 		for _, pair := range core2of3 {
-			slices[member] = append(slices[member], tetrabft.QuorumSet(member, pair[0], pair[1]))
+			ss = append(ss, []tetrabft.NodeID{member, pair[0], pair[1]})
 		}
+		slices = append(slices, tetrabft.SliceSpec{Node: member, Slices: ss})
 	}
 	for _, satellite := range []tetrabft.NodeID{3, 4} {
 		other := tetrabft.NodeID(7 - satellite) // 3 ↔ 4
+		var ss [][]tetrabft.NodeID
 		for _, pair := range core2of3 {
-			slices[satellite] = append(slices[satellite],
-				tetrabft.QuorumSet(satellite, pair[0], pair[1]),
-				tetrabft.QuorumSet(satellite, other, pair[0], pair[1]),
+			ss = append(ss,
+				[]tetrabft.NodeID{satellite, pair[0], pair[1]},
+				[]tetrabft.NodeID{satellite, other, pair[0], pair[1]},
 			)
 		}
-	}
-	sys, err := tetrabft.NewSlices(slices)
-	if err != nil {
-		return err
+		slices = append(slices, tetrabft.SliceSpec{Node: satellite, Slices: ss})
 	}
 	fmt.Println("quorum system: 3-org core (2-of-3 slices) + 2 satellites")
 
-	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 3})
-	for _, id := range []tetrabft.NodeID{0, 1, 2, 3, 4} {
-		node, err := tetrabft.NewNode(tetrabft.Config{
-			ID:           id,
-			Quorum:       sys,
-			InitialValue: tetrabft.Value(fmt.Sprintf("ledger-state-from-org-%d", id)),
-		})
-		if err != nil {
-			return err
-		}
-		s.Add(node)
-	}
-	if err := s.Run(3000, nil); err != nil {
-		return err
-	}
-	if err := s.AgreementViolation(); err != nil {
+	res, err := tetrabft.RunScenario(tetrabft.Scenario{
+		Name:     "heterogeneous",
+		Protocol: tetrabft.ScenarioTetraBFT,
+		Quorum:   &tetrabft.QuorumSpec{Slices: slices},
+		Seed:     3,
+		Workload: tetrabft.WorkloadSpec{ValuePattern: "ledger-state-from-org-%d"},
+		Stop:     tetrabft.StopSpec{Horizon: 3000},
+	})
+	if err != nil {
 		return err
 	}
 
-	for _, id := range []tetrabft.NodeID{0, 1, 2, 3, 4} {
-		d, ok := s.Decision(id, 0)
+	for _, tr := range res.Traffic {
+		d, ok := res.Decision(tr.Node, 0)
 		if !ok {
-			return fmt.Errorf("organization %d never decided", id)
+			return fmt.Errorf("organization %d never decided", tr.Node)
 		}
-		fmt.Printf("organization %d decided %q at t=%d\n", id, d.Val, d.At)
+		fmt.Printf("organization %d decided %q at t=%d\n", tr.Node, d.Value, d.At)
 	}
 	fmt.Println("\nheterogeneous trust, no signatures, one decision ✓")
 	return nil

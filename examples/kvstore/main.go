@@ -1,36 +1,18 @@
 // KVStore: a replicated key-value store running over real TCP sockets on
 // localhost — four multi-shot TetraBFT replicas, each with a mempool,
 // finalizing blocks of transactions and applying them to their local state
-// machines. This is the deployment shape of the library (the other
-// examples use the deterministic simulator).
+// machines. The same declarative scenario spec the simulator examples use
+// runs here with Engine: "tcp" — this is the deployment shape of the
+// library.
 package main
 
 import (
 	"fmt"
 	"log"
 	"sort"
-	"sync"
-	"time"
 
 	"tetrabft"
 )
-
-const (
-	nodes   = 4
-	target  = 6 // finalized blocks to wait for
-	maxSlot = target + 3
-)
-
-type replica struct {
-	id      tetrabft.NodeID
-	mempool *tetrabft.Mempool
-	kv      *tetrabft.KV
-	node    *tetrabft.ChainNode
-	runtime *tetrabft.Runtime
-
-	mu        sync.Mutex
-	finalized map[tetrabft.Slot]tetrabft.Value
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -38,95 +20,57 @@ func main() {
 	}
 }
 
+// target is the finalized-block prefix every replica must reach and agree
+// on — the spec's slot target and the convergence check share it.
+const target = 6
+
 func run() error {
-	replicas := make([]*replica, nodes)
-	done := make(chan tetrabft.NodeID, nodes*target)
-
-	for i := 0; i < nodes; i++ {
-		rep := &replica{
-			id:        tetrabft.NodeID(i),
-			mempool:   tetrabft.NewMempool(0),
-			kv:        tetrabft.NewKV(),
-			finalized: make(map[tetrabft.Slot]tetrabft.Value),
-		}
-		node, err := tetrabft.NewChain(tetrabft.ChainConfig{
-			ID:      rep.id,
-			Nodes:   nodes,
-			Delta:   30, // 30 ticks × 1ms: generous for loopback TCP
-			MaxSlot: maxSlot,
-			Payload: rep.mempool.PayloadSource(16),
-		})
-		if err != nil {
-			return err
-		}
-		rep.node = node
-		rt, err := tetrabft.NewRuntime(node, tetrabft.RuntimeConfig{
-			ListenAddr: "127.0.0.1:0",
-			OnDecide: func(slot tetrabft.Slot, val tetrabft.Value) {
-				rep.mu.Lock()
-				rep.finalized[slot] = val
-				rep.mu.Unlock()
-				done <- rep.id
-			},
-		})
-		if err != nil {
-			return err
-		}
-		rep.runtime = rt
-		replicas[i] = rep
-	}
-	defer func() {
-		for _, rep := range replicas {
-			rep.runtime.Close()
-		}
-	}()
-
-	// Wire the mesh.
-	addrs := make(map[tetrabft.NodeID]string, nodes)
-	for _, rep := range replicas {
-		addrs[rep.id] = rep.runtime.Addr()
-		fmt.Printf("replica %d listening on %s\n", rep.id, rep.runtime.Addr())
-	}
-	for _, rep := range replicas {
-		rep.runtime.SetPeers(addrs)
-	}
-
 	// Clients submit transactions to different replicas' mempools.
-	replicas[0].mempool.Submit(tetrabft.SetTx("temperature", "21C"))
-	replicas[1].mempool.Submit(tetrabft.SetTx("humidity", "40%"))
-	replicas[2].mempool.Submit(tetrabft.SetTx("pressure", "1013hPa"))
-	replicas[3].mempool.Submit(tetrabft.SetTx("temperature", "22C"))
-
-	for _, rep := range replicas {
-		rep.runtime.Run()
+	res, err := tetrabft.RunScenario(tetrabft.Scenario{
+		Name:     "kvstore-tcp",
+		Protocol: tetrabft.ScenarioTetraBFTMulti,
+		Engine:   "tcp",
+		Nodes:    4,
+		Delta:    30, // 30 ticks × 1ms: generous for loopback TCP
+		Workload: tetrabft.WorkloadSpec{
+			Slots:       target, // finalized blocks to wait for
+			TxsPerBlock: 16,
+			Transactions: []tetrabft.TxSpec{
+				{Node: 0, Op: "set", Key: "temperature", Value: "21C"},
+				{Node: 1, Op: "set", Key: "humidity", Value: "40%"},
+				{Node: 2, Op: "set", Key: "pressure", Value: "1013hPa"},
+				{Node: 3, Op: "set", Key: "temperature", Value: "22C"},
+			},
+		},
+		Stop:    tetrabft.StopSpec{WallClockMS: 30000},
+		Collect: tetrabft.CollectSpec{Chain: true},
+	})
+	if err != nil {
+		return err
 	}
-
-	// Wait for every replica to finalize the target prefix.
-	want := nodes * target
-	deadline := time.After(30 * time.Second)
-	for got := 0; got < want; {
-		select {
-		case <-done:
-			got++
-		case <-deadline:
-			return fmt.Errorf("timed out after %d of %d finalizations", got, want)
-		}
-	}
+	fmt.Printf("4 replicas converged over real TCP in %d ms\n", res.FinishedAt)
 
 	// Apply every replica's finalized chain to its local state machine and
 	// confirm they all agree.
 	fmt.Println("\nreplicated state on every node:")
 	var reference string
-	for _, rep := range replicas {
-		for _, b := range rep.node.FinalizedChain() {
-			rep.kv.ApplyBlock(b)
+	for _, nc := range res.Chains {
+		kv := tetrabft.NewKV()
+		// Stragglers may have finalized past the target unevenly; compare
+		// the agreed prefix.
+		blocks := nc.Blocks
+		if len(blocks) > target {
+			blocks = blocks[:target]
 		}
-		state := renderState(rep.kv.Snapshot())
-		fmt.Printf("  replica %d: %s\n", rep.id, state)
+		for _, b := range blocks {
+			kv.ApplyBlock(b)
+		}
+		state := renderState(kv.Snapshot())
+		fmt.Printf("  replica %d: %s\n", nc.Node, state)
 		if reference == "" {
 			reference = state
 		} else if state != reference {
-			return fmt.Errorf("replica %d diverged", rep.id)
+			return fmt.Errorf("replica %d diverged", nc.Node)
 		}
 	}
 	fmt.Println("\nall replicas converged over real TCP ✓")

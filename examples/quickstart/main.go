@@ -1,12 +1,11 @@
 // Quickstart: four TetraBFT nodes agree on a value in exactly 5 message
-// delays — the paper's headline good-case latency — inside the
-// deterministic simulator.
+// delays — the paper's headline good-case latency — expressed as one
+// declarative scenario spec run on the deterministic simulator.
 package main
 
 import (
 	"fmt"
 	"log"
-	"os"
 
 	"tetrabft"
 )
@@ -18,39 +17,30 @@ func main() {
 }
 
 func run() error {
-	const n = 4
-
-	// A collecting + printing tracer shows the protocol's phases live.
-	tracer := tetrabft.TraceWriter{W: os.Stdout}
-
-	s := tetrabft.NewSim(tetrabft.SimConfig{Seed: 1})
-	for i := 0; i < n; i++ {
-		node, err := tetrabft.NewNode(tetrabft.Config{
-			ID:           tetrabft.NodeID(i),
-			Nodes:        n,
-			InitialValue: tetrabft.Value(fmt.Sprintf("proposal-from-node-%d", i)),
-			Tracer:       tracer,
-		})
-		if err != nil {
-			return err
-		}
-		s.Add(node)
-	}
-
-	if err := s.Run(0, nil); err != nil {
+	// The whole experiment is one spec: cluster, workload, what to collect.
+	res, err := tetrabft.RunScenario(tetrabft.Scenario{
+		Name:     "quickstart",
+		Protocol: tetrabft.ScenarioTetraBFT,
+		Nodes:    4,
+		Workload: tetrabft.WorkloadSpec{ValuePattern: "proposal-from-node-%d"},
+		Collect:  tetrabft.CollectSpec{Trace: true},
+	})
+	if err != nil {
 		return err
 	}
-	if err := s.AgreementViolation(); err != nil {
-		return err
+
+	// The collected trace shows the protocol's phases.
+	for _, ev := range res.Trace {
+		fmt.Println(ev)
 	}
 
 	fmt.Println()
-	for i := 0; i < n; i++ {
-		d, ok := s.Decision(tetrabft.NodeID(i), 0)
+	for _, tr := range res.Traffic {
+		d, ok := res.Decision(tr.Node, 0)
 		if !ok {
-			return fmt.Errorf("node %d never decided", i)
+			return fmt.Errorf("node %d never decided", tr.Node)
 		}
-		fmt.Printf("node %d decided %q after %d message delays\n", i, d.Val, d.At)
+		fmt.Printf("node %d decided %q after %d message delays\n", tr.Node, d.Value, d.At)
 	}
 	fmt.Println("\n(the paper's Table 1: good-case latency of TetraBFT = 5 message delays)")
 	return nil

@@ -3,9 +3,7 @@ package bench
 import (
 	"fmt"
 
-	"tetrabft/internal/byz"
-	"tetrabft/internal/core"
-	"tetrabft/internal/sim"
+	"tetrabft/internal/scenario"
 	"tetrabft/internal/types"
 )
 
@@ -31,68 +29,50 @@ type AblationRow struct {
 //   - far above (e.g. 18Δ), the good case is unaffected but recovery from
 //     a crashed leader doubles, since the timeout is the detection latency.
 func AblationTimeout(factors []int) ([]AblationRow, error) {
-	const (
-		n     = 4
-		delta = types.Duration(10)
-	)
+	const delta = int64(10)
 	rows := make([]AblationRow, 0, len(factors))
 	for _, factor := range factors {
 		row := AblationRow{Factor: factor}
 
 		// Scenario A: honest leader, delays uniform in [5, Δ] (messages
 		// stay within the bound, but a view needs ≈ 7·E[delay] ≈ 50 ticks).
-		r := sim.New(sim.Config{Seed: 1, Delay: sim.UniformDelay{Min: 5, Max: delta}})
-		nodes := make([]*core.Node, 0, n)
-		for i := 0; i < n; i++ {
-			node, err := core.NewNode(core.Config{
-				ID: types.NodeID(i), Nodes: n, Delta: delta, TimeoutFactor: factor,
-				InitialValue: types.Value(fmt.Sprintf("val-%d", i)),
-			})
-			if err != nil {
-				return nil, err
-			}
-			nodes = append(nodes, node)
-			r.Add(node)
+		good, err := scenario.Run(scenario.Scenario{
+			Protocol:      scenario.TetraBFT,
+			Nodes:         4,
+			Seed:          1,
+			Delta:         delta,
+			TimeoutFactor: factor,
+			Network: scenario.NetworkSpec{
+				Delay: &scenario.DelaySpec{Model: scenario.DelayUniform, Min: 5, Max: delta},
+			},
+			Stop: scenario.StopSpec{Horizon: 4000},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation factor %d: %w", factor, err)
 		}
-		if err := r.Run(4000, nil); err != nil {
-			return nil, err
-		}
-		if err := r.AgreementViolation(); err != nil {
-			return nil, fmt.Errorf("bench: ablation factor %d broke agreement: %w", factor, err)
-		}
-		if d, ok := r.Decision(0, 0); ok {
+		if d, ok := good.Decision(0, 0); ok {
 			row.GoodDecided = true
-			row.GoodDecideAt = int64(d.At)
+			row.GoodDecideAt = d.At
 		}
-		for _, node := range nodes {
-			if node.View() > row.GoodMaxView {
-				row.GoodMaxView = node.View()
-			}
-		}
+		row.GoodMaxView = types.View(good.MaxView)
 
 		// Scenario B: silent view-0 leader, unit delays; recovery latency
 		// is dominated by the timeout itself.
-		r2 := sim.New(sim.Config{Seed: 1})
-		r2.Add(byz.Silent{NodeID: 0})
-		for i := 1; i < n; i++ {
-			node, err := core.NewNode(core.Config{
-				ID: types.NodeID(i), Nodes: n, Delta: delta, TimeoutFactor: factor,
-				InitialValue: types.Value(fmt.Sprintf("val-%d", i)),
-			})
-			if err != nil {
-				return nil, err
-			}
-			r2.Add(node)
+		silent, err := scenario.Run(scenario.Scenario{
+			Protocol:      scenario.TetraBFT,
+			Nodes:         4,
+			Seed:          1,
+			Delta:         delta,
+			TimeoutFactor: factor,
+			Faults:        []scenario.FaultSpec{{Type: scenario.FaultSilent, Node: 0}},
+			Stop:          scenario.StopSpec{Horizon: 4000},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation factor %d: %w", factor, err)
 		}
-		if err := r2.Run(4000, nil); err != nil {
-			return nil, err
-		}
-		if err := r2.AgreementViolation(); err != nil {
-			return nil, fmt.Errorf("bench: ablation factor %d broke agreement: %w", factor, err)
-		}
-		if d, ok := r2.Decision(1, 0); ok {
+		if d, ok := silent.Decision(1, 0); ok {
 			row.SilentDecided = true
-			row.SilentDecideAt = int64(d.At)
+			row.SilentDecideAt = d.At
 		}
 		rows = append(rows, row)
 	}

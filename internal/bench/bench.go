@@ -16,31 +16,30 @@
 //     recovery within 5Δ (Figure 3, Section 6.3);
 //   - Verification      — the Section 5 model-checking reproduction.
 //
+// Every measurement is a declarative internal/scenario spec: the sweep
+// builds Scenario values (protocol × cluster size × fault schedule ×
+// network regime) and reads the numbers off the ScenarioResult, so each row
+// of the emitted tables is a spec anyone can rerun verbatim.
+//
 // See EXPERIMENTS.md for paper-vs-measured values.
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
-	"tetrabft/internal/byz"
 	"tetrabft/internal/checker"
-	"tetrabft/internal/core"
-	"tetrabft/internal/ithotstuff"
-	"tetrabft/internal/liconsensus"
-	"tetrabft/internal/multishot"
 	"tetrabft/internal/par"
-	"tetrabft/internal/pbft"
-	"tetrabft/internal/sim"
-	"tetrabft/internal/trace"
+	"tetrabft/internal/scenario"
 	"tetrabft/internal/types"
 )
 
 // Every sweep in this package is embarrassingly parallel: each measurement
-// owns its own seeded sim.Runner, so runs share no state. The sweeps fan
-// their independent runs out over par.Map's GOMAXPROCS-bounded pool and
-// assemble rows by job index, which keeps the emitted tables byte-identical
-// with a sequential execution (asserted by TestSweepsDeterministic).
+// is an independent seeded scenario run sharing no state. The sweeps fan
+// their runs out over par.Map's GOMAXPROCS-bounded pool and assemble rows
+// by job index, which keeps the emitted tables byte-identical with a
+// sequential execution (asserted by TestSweepsDeterministic).
 
 // Protocol names a measured protocol.
 type Protocol string
@@ -55,88 +54,24 @@ const (
 	LiEtAl        Protocol = "Li et al."
 )
 
-// storageReporter is implemented by baseline nodes exposing their durable
-// footprint.
-type storageReporter interface {
-	StorageBytes() int64
-}
-
-// cluster builds n machines of a protocol; when silentLeader is set the
-// view-0 leader (node 0) is replaced by a crashed node. It returns a probe
-// that reports the maximum storage footprint across honest nodes.
-func cluster(r *sim.Runner, proto Protocol, n int, delta types.Duration, silentLeader bool) (storage func() int64, err error) {
-	var reporters []storageReporter
-	var tetras []*core.Node
-	for i := 0; i < n; i++ {
-		id := types.NodeID(i)
-		if silentLeader && i == 0 {
-			r.Add(byz.Silent{NodeID: 0})
-			continue
-		}
-		init := types.Value(fmt.Sprintf("val-%d", i))
-		var m types.Machine
-		switch proto {
-		case TetraBFT:
-			node, nerr := core.NewNode(core.Config{ID: id, Nodes: n, InitialValue: init, Delta: delta})
-			if nerr != nil {
-				return nil, nerr
-			}
-			tetras = append(tetras, node)
-			m = node
-		case ITHS:
-			node, nerr := ithotstuff.NewNode(ithotstuff.Config{ID: id, Nodes: n, Variant: ithotstuff.Full, InitialValue: init, Delta: delta})
-			if nerr != nil {
-				return nil, nerr
-			}
-			reporters = append(reporters, node)
-			m = node
-		case ITHSBlog:
-			node, nerr := ithotstuff.NewNode(ithotstuff.Config{ID: id, Nodes: n, Variant: ithotstuff.Blog, InitialValue: init, Delta: delta})
-			if nerr != nil {
-				return nil, nerr
-			}
-			reporters = append(reporters, node)
-			m = node
-		case PBFTBounded, PBFTUnbounded:
-			node, nerr := pbft.NewNode(pbft.Config{ID: id, Nodes: n, InitialValue: init, Delta: delta, Unbounded: proto == PBFTUnbounded})
-			if nerr != nil {
-				return nil, nerr
-			}
-			reporters = append(reporters, node)
-			m = node
-		case LiEtAl:
-			node, nerr := liconsensus.NewNode(liconsensus.Config{ID: id, Nodes: n, Leader: leaderFor(silentLeader), InitialValue: init})
-			if nerr != nil {
-				return nil, nerr
-			}
-			reporters = append(reporters, node)
-			m = node
-		default:
-			return nil, fmt.Errorf("bench: unknown protocol %q", proto)
-		}
-		r.Add(m)
+// scenarioProtocol maps a table row's protocol name to its scenario spec
+// name.
+func scenarioProtocol(p Protocol) scenario.Protocol {
+	switch p {
+	case TetraBFT:
+		return scenario.TetraBFT
+	case ITHS:
+		return scenario.ITHotStuff
+	case ITHSBlog:
+		return scenario.ITHotStuffBlog
+	case PBFTBounded:
+		return scenario.PBFT
+	case PBFTUnbounded:
+		return scenario.PBFTUnbounded
+	case LiEtAl:
+		return scenario.LiConsensus
 	}
-	return func() int64 {
-		var max int64
-		for _, rep := range reporters {
-			if b := rep.StorageBytes(); b > max {
-				max = b
-			}
-		}
-		for _, node := range tetras {
-			if b := int64(node.Snapshot().PersistentSize()); b > max {
-				max = b
-			}
-		}
-		return max
-	}, nil
-}
-
-func leaderFor(silentLeader bool) types.NodeID {
-	if silentLeader {
-		return 0 // the silent node; Li et al. then simply never decides
-	}
-	return 0
+	return scenario.Protocol(p) // unknown: let scenario.Run reject it
 }
 
 // Table1Row is one measured protocol row. (The storage column has its own
@@ -191,11 +126,11 @@ func Table1(n int) ([]Table1Row, error) {
 		spec := specs[j.specIdx]
 		at, err := decideTime(spec.proto, n, delta, j.silent)
 		if err != nil {
-			scenario := "good case"
+			scenarioName := "good case"
 			if j.silent {
-				scenario = "view change"
+				scenarioName = "view change"
 			}
-			return 0, fmt.Errorf("bench: %s %s: %w", spec.proto, scenario, err)
+			return 0, fmt.Errorf("bench: %s %s: %w", spec.proto, scenarioName, err)
 		}
 		return at, nil
 	})
@@ -223,32 +158,33 @@ func Table1(n int) ([]Table1Row, error) {
 	return rows, nil
 }
 
+// latencyScenario is the Table 1 measurement spec: one protocol instance
+// at cluster size n, optionally with a crashed view-0 leader.
+func latencyScenario(proto Protocol, n int, delta types.Duration, silentLeader bool) scenario.Scenario {
+	sc := scenario.Scenario{
+		Protocol: scenarioProtocol(proto),
+		Nodes:    n,
+		Seed:     1,
+		Delta:    int64(delta),
+		Stop:     scenario.StopSpec{Horizon: 40 * int64(delta) * 9},
+	}
+	if silentLeader {
+		sc.Faults = []scenario.FaultSpec{{Type: scenario.FaultSilent, Node: 0}}
+	}
+	return sc
+}
+
 // decideTime runs one instance and returns the earliest honest decision
 // time (ticks = message delays under unit delay).
 func decideTime(proto Protocol, n int, delta types.Duration, silentLeader bool) (int64, error) {
-	r := sim.New(sim.Config{Seed: 1})
-	if _, err := cluster(r, proto, n, delta, silentLeader); err != nil {
+	res, err := scenario.Run(latencyScenario(proto, n, delta, silentLeader))
+	if err != nil {
 		return 0, err
 	}
-	horizon := types.Time(40 * int64(delta) * 9)
-	if err := r.Run(horizon, nil); err != nil {
-		return 0, err
-	}
-	if err := r.AgreementViolation(); err != nil {
-		return 0, err
-	}
-	first := int64(-1)
-	for i := 0; i < n; i++ {
-		if d, ok := r.Decision(types.NodeID(i), 0); ok {
-			if first < 0 || int64(d.At) < first {
-				first = int64(d.At)
-			}
-		}
-	}
-	if first < 0 {
+	if res.FirstDecisionAt < 0 {
 		return 0, fmt.Errorf("no node decided")
 	}
-	return first, nil
+	return res.FirstDecisionAt, nil
 }
 
 // CommRow is one point of the communication sweep.
@@ -283,23 +219,26 @@ func CommunicationSweep(sizes []int) ([]CommRow, error) {
 		}
 	}
 	return par.Map(jobs, func(_ int, j job) (CommRow, error) {
-		cfg := sim.Config{Seed: 1}
+		sc := scenario.Scenario{
+			Protocol: scenarioProtocol(j.proto),
+			Nodes:    j.n,
+			Seed:     1,
+			Delta:    10,
+			Stop:     scenario.StopSpec{Horizon: 4000},
+		}
 		if j.scenario == "view-change" {
-			cfg.Adversary = suppressFinalPhase{}
+			sc.Faults = []scenario.FaultSpec{{Type: scenario.FaultSuppressFinalPhase}}
 		}
-		r := sim.New(cfg)
-		if _, err := cluster(r, j.proto, j.n, 10, false); err != nil {
-			return CommRow{}, err
-		}
-		if err := r.Run(4000, nil); err != nil {
+		res, err := scenario.Run(sc)
+		if err != nil {
 			return CommRow{}, err
 		}
 		return CommRow{
 			Protocol:     j.proto,
 			N:            j.n,
 			Scenario:     j.scenario,
-			TotalBytes:   r.TotalSentBytes(),
-			PerNodeBytes: r.TotalSentBytes() / int64(j.n),
+			TotalBytes:   res.TotalSentBytes,
+			PerNodeBytes: res.TotalSentBytes / int64(j.n),
 		}, nil
 	})
 }
@@ -318,66 +257,22 @@ type StorageRow struct {
 func StorageSweep(failedViews int) ([]StorageRow, error) {
 	protos := []Protocol{TetraBFT, ITHS, PBFTBounded, PBFTUnbounded}
 	return par.Map(protos, func(_ int, proto Protocol) (StorageRow, error) {
-		adv := suppressProposals{below: types.View(failedViews)}
-		r := sim.New(sim.Config{Seed: 1, Adversary: adv})
-		probe, err := cluster(r, proto, 4, 10, false)
+		sc := scenario.Scenario{
+			Protocol: scenarioProtocol(proto),
+			Nodes:    4,
+			Seed:     1,
+			Delta:    10,
+			Faults: []scenario.FaultSpec{{
+				Type: scenario.FaultSuppressProposals, BelowView: int64(failedViews),
+			}},
+			Stop: scenario.StopSpec{Horizon: int64((failedViews + 4) * 9 * 10 * 4)},
+		}
+		res, err := scenario.Run(sc)
 		if err != nil {
 			return StorageRow{}, err
 		}
-		if err := r.Run(types.Time((failedViews+4)*9*10*4), nil); err != nil {
-			return StorageRow{}, err
-		}
-		return StorageRow{Protocol: proto, Views: failedViews, Bytes: probe()}, nil
+		return StorageRow{Protocol: proto, Views: failedViews, Bytes: res.MaxStorageBytes}, nil
 	})
-}
-
-// suppressFinalPhase drops the decision-completing phase of view 0 in both
-// TetraBFT (vote-4) and PBFT (commit), so nodes reach the prepared state
-// and the subsequent view change carries maximal evidence.
-type suppressFinalPhase struct{}
-
-// Intercept implements sim.Adversary.
-func (suppressFinalPhase) Intercept(_, _ types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
-	switch m := msg.(type) {
-	case types.VoteMsg:
-		if m.Phase == 4 && m.View == 0 {
-			return sim.Verdict{Drop: true}
-		}
-	case types.GenericVote:
-		if m.Proto == types.ProtoPBFT && m.Phase == 3 && m.View == 0 { // commit
-			return sim.Verdict{Drop: true}
-		}
-	}
-	return sim.Verdict{}
-}
-
-// suppressProposals drops every proposal-ish message below a view, forcing
-// repeated view changes in all protocols.
-type suppressProposals struct {
-	below types.View
-}
-
-// Intercept implements sim.Adversary.
-func (s suppressProposals) Intercept(_, _ types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
-	switch m := msg.(type) {
-	case types.Proposal:
-		if m.View < s.below {
-			return sim.Verdict{Drop: true}
-		}
-	case types.GenericVote:
-		// Phase 1 is the proposal phase for IT-HS (propose) and PBFT
-		// (pre-prepare).
-		if m.Phase == 1 && m.View < s.below {
-			return sim.Verdict{Drop: true}
-		}
-	case types.Evidence:
-		// PBFT new-view messages carry the proposal; dropping them below
-		// the target view keeps the leader change churning.
-		if m.Phase == 7 && m.View < s.below {
-			return sim.Verdict{Drop: true}
-		}
-	}
-	return sim.Verdict{}
 }
 
 // RespRow is one point of the responsiveness experiment.
@@ -441,32 +336,28 @@ type Fig2Result struct {
 // block per message delay, a 5× throughput improvement over repeating
 // single-shot TetraBFT.
 func Fig2Pipeline(slots int) (Fig2Result, error) {
-	maxSlot := types.Slot(slots + 3)
-	r := sim.New(sim.Config{Seed: 1})
-	for i := 0; i < 4; i++ {
-		node, err := multishot.NewNode(multishot.Config{ID: types.NodeID(i), Nodes: 4, Delta: 10, MaxSlot: maxSlot})
-		if err != nil {
-			return Fig2Result{}, err
-		}
-		r.Add(node)
-	}
-	if err := r.Run(types.Time(20*slots+2000), nil); err != nil {
-		return Fig2Result{}, err
-	}
-	if err := r.AgreementViolation(); err != nil {
+	res, err := scenario.Run(scenario.Scenario{
+		Protocol: scenario.TetraBFTMulti,
+		Nodes:    4,
+		Seed:     1,
+		Delta:    10,
+		Workload: scenario.WorkloadSpec{Slots: int64(slots)},
+		Stop:     scenario.StopSpec{Horizon: int64(20*slots + 2000)},
+	})
+	if err != nil {
 		return Fig2Result{}, err
 	}
 	var first, last int64
 	count := 0
 	for s := types.Slot(1); s <= types.Slot(slots); s++ {
-		d, ok := r.Decision(0, s)
+		d, ok := res.Decision(0, s)
 		if !ok {
 			return Fig2Result{}, fmt.Errorf("bench: slot %d never finalized", s)
 		}
 		if count == 0 {
-			first = int64(d.At)
+			first = d.At
 		}
-		last = int64(d.At)
+		last = d.At
 		count++
 	}
 	mean := float64(last-first) / float64(count-1)
@@ -500,32 +391,22 @@ type Fig3Result struct {
 // liveness accounting: 2Δ view change + 3Δ suggest/propose/vote).
 func Fig3ViewChange() (Fig3Result, error) {
 	const delta = types.Duration(10)
-	log := &trace.Log{}
-	r := sim.New(sim.Config{Seed: 1})
-	var probe *multishot.Node
-	for i := 0; i < 4; i++ {
-		if i == 3 {
-			r.Add(byz.Silent{NodeID: 3})
-			continue
-		}
-		node, err := multishot.NewNode(multishot.Config{
-			ID: types.NodeID(i), Nodes: 4, Delta: delta, MaxSlot: 9, Tracer: log,
-		})
-		if err != nil {
-			return Fig3Result{}, err
-		}
-		if probe == nil {
-			probe = node
-		}
-		r.Add(node)
-	}
-	if err := r.Run(6000, nil); err != nil {
+	r, err := scenario.Run(scenario.Scenario{
+		Protocol: scenario.TetraBFTMulti,
+		Nodes:    4,
+		Seed:     1,
+		Delta:    int64(delta),
+		Faults:   []scenario.FaultSpec{{Type: scenario.FaultSilent, Node: 3}},
+		Workload: scenario.WorkloadSpec{MaxSlot: 9},
+		Stop:     scenario.StopSpec{Horizon: 6000},
+		Collect:  scenario.CollectSpec{Trace: true},
+	})
+	if err != nil {
 		return Fig3Result{}, err
 	}
-	if err := r.AgreementViolation(); err != nil {
-		return Fig3Result{}, err
-	}
-	res := Fig3Result{FinalizedSlots: int64(probe.FinalizedSlot()), DeltaBound: int64(5 * delta)}
+	// The probe is the first honest node (node 0).
+	const probe = types.NodeID(0)
+	res := Fig3Result{FinalizedSlots: int64(r.FinalizedSlot(probe)), DeltaBound: int64(5 * delta)}
 
 	// Aborted blocks per episode: every slot moved to a higher view by one
 	// view-change application happens in the same instant on the same
@@ -533,8 +414,8 @@ func Fig3ViewChange() (Fig3Result, error) {
 	// window (multiple episodes occur because the silent node leads every
 	// 4th slot).
 	perEpisode := make(map[types.Time]map[types.Slot]bool)
-	for _, ev := range log.Filter("enter-view") {
-		if ev.View < 1 || ev.Node != probe.ID() {
+	for _, ev := range r.TraceFilter("enter-view") {
+		if ev.View < 1 || ev.Node != probe {
 			continue
 		}
 		set := perEpisode[ev.Time]
@@ -550,12 +431,12 @@ func Fig3ViewChange() (Fig3Result, error) {
 		}
 	}
 
-	vcs := log.Filter("view-change")
+	vcs := r.TraceFilter("view-change")
 	if len(vcs) == 0 {
 		return Fig3Result{}, fmt.Errorf("bench: no view change occurred")
 	}
 	res.ViewChangeAt = int64(vcs[0].Time)
-	for _, ev := range log.Filter("notarize") {
+	for _, ev := range r.TraceFilter("notarize") {
 		if ev.View >= 1 {
 			res.RecoveryNotarizeAt = int64(ev.Time)
 			break
@@ -584,7 +465,7 @@ type TimeoutBoundResult struct {
 // view run. The experiment runs lossy asynchronous prefixes across seeds
 // and reports the worst observed recovery time after GST.
 func TimeoutBound(seeds int, delta types.Duration) (TimeoutBoundResult, error) {
-	const gst = types.Time(150)
+	const gst = int64(150)
 	res := TimeoutBoundResult{
 		Seeds:      seeds,
 		Delta:      delta,
@@ -605,31 +486,33 @@ func TimeoutBound(seeds int, delta types.Duration) (TimeoutBoundResult, error) {
 	par.For(seeds, func(i int) {
 		out := &seedOut{allDecided: true}
 		defer func() { outs[i] = *out }()
-		r := sim.New(sim.Config{
-			Seed:          int64(i) + 1,
-			GST:           gst,
-			DropBeforeGST: 0.9,
-			Delay:         sim.ConstantDelay{D: 1},
+		sr, err := scenario.Run(scenario.Scenario{
+			Protocol: scenario.TetraBFT,
+			Nodes:    4,
+			Seed:     int64(i) + 1,
+			Delta:    int64(delta),
+			Network: scenario.NetworkSpec{
+				Delay:         &scenario.DelaySpec{Model: scenario.DelayConstant, D: 1},
+				GST:           gst,
+				DropBeforeGST: 0.9,
+			},
+			Stop: scenario.StopSpec{Horizon: gst + 40*int64(delta)},
 		})
-		if _, err := cluster(r, TetraBFT, 4, delta, false); err != nil {
-			out.runErr = err
-			return
-		}
-		if err := r.Run(gst+types.Time(40*int64(delta)), nil); err != nil {
-			out.runErr = err
-			return
-		}
-		if err := r.AgreementViolation(); err != nil {
-			out.agreeErr = err
+		if err != nil {
+			if errors.Is(err, scenario.ErrAgreement) {
+				out.agreeErr = err
+			} else {
+				out.runErr = err
+			}
 			return
 		}
 		for n := types.NodeID(0); n < 4; n++ {
-			d, ok := r.Decision(n, 0)
+			d, ok := sr.Decision(n, 0)
 			if !ok {
 				out.allDecided = false
 				continue
 			}
-			rec := int64(d.At) - int64(gst)
+			rec := d.At - gst
 			if rec < 0 {
 				rec = 0 // decided during asynchrony: lucky delivery
 			}

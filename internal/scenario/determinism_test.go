@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestNamedRunTwiceByteIdentical runs every bundled named scenario twice
+// and asserts the JSON-marshaled results are byte-identical — the
+// "share your seed and spec, reproduce the numbers" contract.
+func TestNamedRunTwiceByteIdentical(t *testing.T) {
+	for _, sc := range Named() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			first, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := json.Marshal(first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := json.Marshal(second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Errorf("two runs of %q differ:\n%s\n%s", sc.Name, a, b)
+			}
+		})
+	}
+}
+
+// TestNamedJSONRoundTrip marshals every bundled scenario to JSON, parses it
+// back, and asserts the round-tripped spec produces a byte-identical
+// result — so a spec shared as a file loses nothing against the Go value.
+func TestNamedJSONRoundTrip(t *testing.T) {
+	for _, sc := range Named() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			data, err := sc.MarshalIndent()
+			if err != nil {
+				t.Fatal(err)
+			}
+			parsed, err := Parse(data)
+			if err != nil {
+				t.Fatalf("re-parsing %q: %v\nspec: %s", sc.Name, err, data)
+			}
+			direct, err := Run(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaJSON, err := Run(parsed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, _ := json.Marshal(direct)
+			b, _ := json.Marshal(viaJSON)
+			if !bytes.Equal(a, b) {
+				t.Errorf("JSON round trip of %q changed the result:\ndirect: %s\nvia JSON: %s", sc.Name, a, b)
+			}
+		})
+	}
+}
+
+// TestNamedScenariosValidate asserts every bundled scenario passes its own
+// validation (the library must never ship a spec Parse would reject).
+func TestNamedScenariosValidate(t *testing.T) {
+	names := make(map[string]bool)
+	for _, sc := range Named() {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Name, err)
+		}
+		if sc.Name == "" {
+			t.Error("bundled scenario without a name")
+		}
+		if names[sc.Name] {
+			t.Errorf("duplicate bundled scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		if _, ok := ByName(sc.Name); !ok {
+			t.Errorf("ByName(%q) did not find the bundled scenario", sc.Name)
+		}
+	}
+	if _, ok := ByName("no-such-scenario"); ok {
+		t.Error("ByName invented a scenario")
+	}
+}

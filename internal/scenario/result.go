@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"tetrabft/internal/trace"
+	"tetrabft/internal/types"
+)
+
+// Result is what a run measured. Slices are ordered deterministically
+// (by node, then slot), so two identical EngineSim runs marshal to
+// byte-identical JSON.
+type Result struct {
+	// Name echoes the scenario's name.
+	Name string `json:"name,omitempty"`
+	// FinishedAt is the virtual time the run ended (EngineTCP: wall-clock
+	// milliseconds since start).
+	FinishedAt int64 `json:"finished_at"`
+	// Events is the number of processed simulator events (EngineSim).
+	Events int `json:"events,omitempty"`
+
+	// Decisions lists every recorded decision, sorted by (node, slot).
+	// At is in virtual ticks — message delays under the unit delay model.
+	Decisions []NodeDecision `json:"decisions,omitempty"`
+	// FirstDecisionAt is the earliest decision time for slot 0
+	// (single-shot latency, the paper's currency), -1 if nobody decided.
+	FirstDecisionAt int64 `json:"first_decision_at"`
+	// DecidedCount is how many nodes decided slot 0.
+	DecidedCount int `json:"decided_count"`
+	// Finalized reports each honest node's finalized slot (multi-shot).
+	Finalized []NodeSlot `json:"finalized,omitempty"`
+
+	// TotalSentBytes is the paper's "communicated bits" accounting:
+	// bytes put on the wire, per receiver.
+	TotalSentBytes int64 `json:"total_sent_bytes,omitempty"`
+	// Traffic is the per-node sent/received byte split.
+	Traffic []NodeTraffic `json:"traffic,omitempty"`
+	// Dropped counts messages lost to the network or an adversary.
+	Dropped int64 `json:"dropped,omitempty"`
+	// MaxStorageBytes is the largest persistent footprint across honest
+	// nodes (Table 1's storage column).
+	MaxStorageBytes int64 `json:"max_storage_bytes,omitempty"`
+	// MaxView is the highest view an honest single-shot TetraBFT node
+	// reached (0 = no view change was needed).
+	MaxView int64 `json:"max_view,omitempty"`
+
+	// Chain is the first honest node's finalized chain (Collect.Chain).
+	Chain []types.Block `json:"chain,omitempty"`
+	// Chains holds every honest node's finalized chain (EngineTCP with
+	// Collect.Chain, for convergence inspection).
+	Chains []NodeChain `json:"chains,omitempty"`
+	// Trace is the protocol event trace (Collect.Trace).
+	Trace []trace.Event `json:"trace,omitempty"`
+}
+
+// NodeDecision records one node's decision for one slot.
+type NodeDecision struct {
+	Node  types.NodeID `json:"node"`
+	Slot  types.Slot   `json:"slot"`
+	Value types.Value  `json:"value"`
+	At    int64        `json:"at"`
+}
+
+// NodeSlot pairs a node with its finalized slot.
+type NodeSlot struct {
+	Node types.NodeID `json:"node"`
+	Slot types.Slot   `json:"slot"`
+}
+
+// NodeTraffic is one node's byte accounting.
+type NodeTraffic struct {
+	Node types.NodeID `json:"node"`
+	Sent int64        `json:"sent"`
+	Recv int64        `json:"recv"`
+}
+
+// NodeChain pairs a node with its finalized chain.
+type NodeChain struct {
+	Node   types.NodeID  `json:"node"`
+	Blocks []types.Block `json:"blocks"`
+}
+
+// Decision returns node's decision for slot, if any.
+func (r *Result) Decision(node types.NodeID, slot types.Slot) (NodeDecision, bool) {
+	for _, d := range r.Decisions {
+		if d.Node == node && d.Slot == slot {
+			return d, true
+		}
+	}
+	return NodeDecision{}, false
+}
+
+// FinalizedSlot returns node's finalized slot (multi-shot), 0 if unknown.
+func (r *Result) FinalizedSlot(node types.NodeID) types.Slot {
+	for _, f := range r.Finalized {
+		if f.Node == node {
+			return f.Slot
+		}
+	}
+	return 0
+}
+
+// TraceFilter returns the collected trace events of one type.
+func (r *Result) TraceFilter(typ string) []trace.Event {
+	var out []trace.Event
+	for _, e := range r.Trace {
+		if e.Type == typ {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,556 @@
+// Package scenario is the declarative experiment API: one JSON-serializable
+// spec describes a whole run — cluster (protocol, size, quorum system),
+// fault schedule, network regime, workload, stop condition and requested
+// metrics — and Run executes it and returns a Result.
+//
+// The paper's evaluation is a matrix of exactly such scenarios (protocol ×
+// cluster size × fault behavior × network regime, Table 1 and Figures 2-3),
+// and every assembly site in the repository builds on this package: the
+// experiment sweeps in internal/bench, the tetrabft-sim command (both its
+// flags and its -scenario file.json mode), and the examples/ programs.
+// Because a spec plus its seed pins the entire run, sharing the JSON is
+// sharing the experiment: anyone can reproduce the numbers byte for byte.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"tetrabft/internal/quorum"
+	"tetrabft/internal/types"
+)
+
+// Protocol names a consensus protocol the scenario engine can run.
+type Protocol string
+
+// Runnable protocols.
+const (
+	// TetraBFT is single-shot TetraBFT (the paper's Section 3).
+	TetraBFT Protocol = "tetrabft"
+	// TetraBFTMulti is multi-shot, pipelined TetraBFT (Section 6).
+	TetraBFTMulti Protocol = "tetrabft-multi"
+	// ITHotStuff is the full IT-HotStuff baseline.
+	ITHotStuff Protocol = "it-hotstuff"
+	// ITHotStuffBlog is the non-responsive blog variant of IT-HotStuff.
+	ITHotStuffBlog Protocol = "it-hotstuff-blog"
+	// PBFT is unauthenticated PBFT with bounded (checkpointed) storage.
+	PBFT Protocol = "pbft"
+	// PBFTUnbounded is PBFT retaining its full message log (Table 1's
+	// unbounded-storage row).
+	PBFTUnbounded Protocol = "pbft-unbounded"
+	// LiConsensus is the Li et al. baseline.
+	LiConsensus Protocol = "liconsensus"
+)
+
+// Engine selects the execution substrate.
+type Engine string
+
+// Engines.
+const (
+	// EngineSim (the default) runs on the deterministic discrete-event
+	// simulator: virtual time, byte accounting, full fault injection.
+	EngineSim Engine = "sim"
+	// EngineTCP runs real TCP runtimes on localhost — the deployment
+	// shape. Only TetraBFTMulti is supported, silent faults only, and
+	// runs are naturally not deterministic.
+	EngineTCP Engine = "tcp"
+)
+
+// Scenario is the declarative spec for one run. The zero value of every
+// field means "use the default", so a minimal spec is just a protocol and
+// a cluster size. All fields serialize to JSON.
+type Scenario struct {
+	// Name labels the scenario in results and logs.
+	Name string `json:"name,omitempty"`
+	// Protocol selects the consensus protocol (default TetraBFT).
+	Protocol Protocol `json:"protocol,omitempty"`
+	// Nodes is the cluster size. With a Quorum spec it may be omitted
+	// (the membership is derived from the slices).
+	Nodes int `json:"nodes,omitempty"`
+	// Quorum optionally replaces the n ≥ 3f+1 threshold system with
+	// heterogeneous FBA-style slices (TetraBFT protocols only).
+	Quorum *QuorumSpec `json:"quorum,omitempty"`
+	// Seed drives all randomness (default 1). Same spec + same seed =
+	// same run, byte for byte.
+	Seed int64 `json:"seed,omitempty"`
+	// Delta is the post-GST delay bound Δ in ticks (default 10).
+	Delta int64 `json:"delta,omitempty"`
+	// TimeoutFactor scales the view timeout to TimeoutFactor×Δ
+	// (default 9, per the paper).
+	TimeoutFactor int `json:"timeout_factor,omitempty"`
+	// Engine selects the substrate (default EngineSim).
+	Engine Engine `json:"engine,omitempty"`
+	// Network is the network regime.
+	Network NetworkSpec `json:"network,omitempty"`
+	// Faults is the fault schedule: node behaviors and message-level
+	// adversaries, applied in order.
+	Faults []FaultSpec `json:"faults,omitempty"`
+	// Workload declares inputs: initial values, slot targets,
+	// transactions.
+	Workload WorkloadSpec `json:"workload,omitempty"`
+	// Stop declares when the run ends.
+	Stop StopSpec `json:"stop,omitempty"`
+	// Collect requests optional (potentially large) result payloads.
+	Collect CollectSpec `json:"collect,omitempty"`
+}
+
+// QuorumSpec declares a heterogeneous quorum-slice system. The membership
+// is the set of nodes that declare slices.
+type QuorumSpec struct {
+	Slices []SliceSpec `json:"slices"`
+}
+
+// SliceSpec lists one node's quorum slices.
+type SliceSpec struct {
+	Node   types.NodeID     `json:"node"`
+	Slices [][]types.NodeID `json:"slices"`
+}
+
+// NetworkSpec is the network regime: delay model, partial-synchrony
+// parameters and the event budget.
+type NetworkSpec struct {
+	// Delay is the post-GST delay model (default: constant 1 tick, the
+	// paper's "message delay" currency).
+	Delay *DelaySpec `json:"delay,omitempty"`
+	// GST is the global stabilization time; messages sent before it are
+	// dropped with probability DropBeforeGST (0 = synchronous start).
+	GST int64 `json:"gst,omitempty"`
+	// DropBeforeGST is the pre-GST loss probability in [0, 1].
+	DropBeforeGST float64 `json:"drop_before_gst,omitempty"`
+	// EventBudget caps processed simulator events (0 = sim default).
+	EventBudget int `json:"event_budget,omitempty"`
+}
+
+// Delay model names.
+const (
+	// DelayConstant delays every message by D ticks.
+	DelayConstant = "constant"
+	// DelayUniform draws delays uniformly from [Min, Max].
+	DelayUniform = "uniform"
+	// DelayPerLink gives each directed link its own fixed delay
+	// (Default for unlisted links) — asymmetric-network runs.
+	DelayPerLink = "per-link"
+)
+
+// DelaySpec declares a delay model.
+type DelaySpec struct {
+	Model string `json:"model"`
+	// D is the constant model's delay.
+	D int64 `json:"d,omitempty"`
+	// Min and Max bound the uniform model.
+	Min int64 `json:"min,omitempty"`
+	Max int64 `json:"max,omitempty"`
+	// Default and Links parameterize the per-link model.
+	Default int64           `json:"default,omitempty"`
+	Links   []LinkDelaySpec `json:"links,omitempty"`
+}
+
+// LinkDelaySpec fixes the delay of one directed link.
+type LinkDelaySpec struct {
+	From types.NodeID `json:"from"`
+	To   types.NodeID `json:"to"`
+	D    int64        `json:"d"`
+}
+
+// FaultType names a fault behavior.
+type FaultType string
+
+// Fault behaviors. The first three replace a node's machine; the rest are
+// message-level adversaries on the network.
+const (
+	// FaultSilent crashes Node: it never sends anything.
+	FaultSilent FaultType = "silent"
+	// FaultEquivocator makes Node a view-0 leader proposing ValueA to
+	// half the cluster and ValueB to the other half, then going silent.
+	FaultEquivocator FaultType = "equivocator"
+	// FaultRandom replaces Node with a fuzzing adversary blurting random
+	// protocol messages (deterministic per Seed).
+	FaultRandom FaultType = "random"
+	// FaultSuppressFinalPhase drops the decision-completing phase of
+	// view 0 (TetraBFT vote-4, PBFT commit), forcing a maximal-evidence
+	// view change.
+	FaultSuppressFinalPhase FaultType = "suppress-final-phase"
+	// FaultSuppressProposals drops every proposal-ish message below
+	// BelowView, forcing repeated view changes.
+	FaultSuppressProposals FaultType = "suppress-proposals"
+	// FaultPartition drops cross-group messages during [From, To)
+	// (To = 0: never heals).
+	FaultPartition FaultType = "partition"
+)
+
+// FaultSpec declares one fault. Only the fields of its Type are read.
+type FaultSpec struct {
+	Type FaultType `json:"type"`
+	// Node targets the node-replacing faults (silent, equivocator,
+	// random).
+	Node types.NodeID `json:"node,omitempty"`
+	// ValueA and ValueB are the equivocator's two proposals.
+	ValueA string `json:"value_a,omitempty"`
+	ValueB string `json:"value_b,omitempty"`
+	// Seed, Burst, Budget, MaxView parameterize the random fuzzer.
+	Seed    int64 `json:"seed,omitempty"`
+	Burst   int   `json:"burst,omitempty"`
+	Budget  int   `json:"budget,omitempty"`
+	MaxView int64 `json:"max_view,omitempty"`
+	// BelowView bounds the suppress-proposals fault.
+	BelowView int64 `json:"below_view,omitempty"`
+	// Groups, From, To declare the timed partition.
+	Groups [][]types.NodeID `json:"groups,omitempty"`
+	From   int64            `json:"from,omitempty"`
+	To     int64            `json:"to,omitempty"`
+}
+
+// replacesNode reports whether the fault substitutes a Byzantine machine
+// for a cluster node (as opposed to intercepting network traffic).
+func (f FaultSpec) replacesNode() bool {
+	switch f.Type {
+	case FaultSilent, FaultEquivocator, FaultRandom:
+		return true
+	}
+	return false
+}
+
+// WorkloadSpec declares the run's inputs.
+type WorkloadSpec struct {
+	// ValuePattern produces single-shot initial values: node i proposes
+	// fmt.Sprintf(pattern, i) when the pattern contains a %d verb, the
+	// pattern verbatim otherwise. Default "val-%d".
+	ValuePattern string `json:"value_pattern,omitempty"`
+	// InitialValues overrides the pattern per node (indexed by node ID;
+	// nodes beyond the list fall back to the pattern).
+	InitialValues []string `json:"initial_values,omitempty"`
+	// Slots is the multi-shot finalized-slot target: leaders stop
+	// proposing at Slots+3 (the pipeline depth) unless MaxSlot overrides,
+	// and Stop.AllDecided waits for it.
+	Slots int64 `json:"slots,omitempty"`
+	// MaxSlot explicitly caps proposals (0 = derive from Slots).
+	MaxSlot int64 `json:"max_slot,omitempty"`
+	// TxsPerBlock bounds transactions per proposed block (default 8 when
+	// Transactions are given).
+	TxsPerBlock int `json:"txs_per_block,omitempty"`
+	// Transactions are key-value transactions submitted to the named
+	// node's mempool before the run; leaders pack them into blocks.
+	// Setting any gives every honest node a mempool-backed payload
+	// source.
+	Transactions []TxSpec `json:"transactions,omitempty"`
+}
+
+// TxSpec is one key-value transaction submitted to Node's mempool.
+type TxSpec struct {
+	Node  types.NodeID `json:"node"`
+	Op    string       `json:"op"` // "set" or "del"
+	Key   string       `json:"key"`
+	Value string       `json:"value,omitempty"`
+}
+
+// StopSpec declares when the run ends.
+type StopSpec struct {
+	// Horizon stops the virtual clock (0 = run until the event queue
+	// drains).
+	Horizon int64 `json:"horizon,omitempty"`
+	// AllDecided additionally stops as soon as every honest node has
+	// decided slot 0 (single-shot) or finalized Workload.Slots
+	// (multi-shot).
+	AllDecided bool `json:"all_decided,omitempty"`
+	// WallClockMS bounds an EngineTCP run in real milliseconds
+	// (default 30000).
+	WallClockMS int64 `json:"wall_clock_ms,omitempty"`
+}
+
+// CollectSpec requests optional result payloads.
+type CollectSpec struct {
+	// Trace collects the full protocol event trace.
+	Trace bool `json:"trace,omitempty"`
+	// Chain collects finalized chains (multi-shot protocols).
+	Chain bool `json:"chain,omitempty"`
+}
+
+// Parse decodes a JSON scenario spec strictly: unknown fields are errors,
+// and the decoded spec is validated.
+func Parse(data []byte) (Scenario, error) {
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return Scenario{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// MarshalIndent renders the spec as indented JSON (the sharable form).
+func (sc Scenario) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(sc, "", "  ")
+}
+
+// plan is the validated, default-applied form of a Scenario that the
+// engines execute. Building it never mutates the user's spec, so a spec
+// round-trips through JSON unchanged.
+type plan struct {
+	sc      Scenario
+	qs      quorum.System // nil = threshold over members
+	members []types.NodeID
+	honest  []types.NodeID // members without a node-replacing fault
+	byzByID map[types.NodeID]*FaultSpec
+	netwk   []FaultSpec // message-level faults, in schedule order
+	multi   bool        // multi-shot protocol
+	maxSlot types.Slot  // derived proposal cap for multi-shot
+}
+
+// Validate checks the spec without running it.
+func (sc Scenario) Validate() error {
+	_, err := sc.compile()
+	return err
+}
+
+// compile validates the spec and derives the execution plan.
+func (sc Scenario) compile() (*plan, error) {
+	p := &plan{sc: sc, byzByID: make(map[types.NodeID]*FaultSpec)}
+
+	switch sc.Protocol {
+	case "", TetraBFT, ITHotStuff, ITHotStuffBlog, PBFT, PBFTUnbounded, LiConsensus:
+	case TetraBFTMulti:
+		p.multi = true
+	default:
+		return nil, fmt.Errorf("scenario: unknown protocol %q", sc.Protocol)
+	}
+	switch sc.Engine {
+	case "", EngineSim:
+	case EngineTCP:
+		if sc.Protocol != TetraBFTMulti {
+			return nil, fmt.Errorf("scenario: engine %q supports only protocol %q", EngineTCP, TetraBFTMulti)
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown engine %q", sc.Engine)
+	}
+
+	// Membership: explicit Nodes, or derived from the quorum slices.
+	if sc.Quorum != nil {
+		switch sc.Protocol {
+		case "", TetraBFT, TetraBFTMulti:
+		default:
+			return nil, fmt.Errorf("scenario: protocol %q does not support quorum slices", sc.Protocol)
+		}
+		if len(sc.Quorum.Slices) == 0 {
+			return nil, fmt.Errorf("scenario: quorum spec declares no slices")
+		}
+		slices := make(map[types.NodeID][]quorum.Set, len(sc.Quorum.Slices))
+		for _, s := range sc.Quorum.Slices {
+			if _, dup := slices[s.Node]; dup {
+				return nil, fmt.Errorf("scenario: node %d declares slices twice", s.Node)
+			}
+			sets := make([]quorum.Set, 0, len(s.Slices))
+			for _, members := range s.Slices {
+				sets = append(sets, quorum.NewSet(members...))
+			}
+			slices[s.Node] = sets
+		}
+		qs, err := quorum.NewSlices(slices)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		p.qs = qs
+		p.members = qs.Members()
+		if sc.Nodes != 0 && sc.Nodes != len(p.members) {
+			return nil, fmt.Errorf("scenario: nodes = %d but the quorum spec names %d members", sc.Nodes, len(p.members))
+		}
+	} else {
+		if sc.Nodes <= 0 {
+			return nil, fmt.Errorf("scenario: cluster size missing (set nodes or a quorum spec)")
+		}
+		p.members = make([]types.NodeID, sc.Nodes)
+		for i := range p.members {
+			p.members[i] = types.NodeID(i)
+		}
+	}
+	isMember := make(map[types.NodeID]bool, len(p.members))
+	for _, m := range p.members {
+		isMember[m] = true
+	}
+
+	if sc.Seed < 0 {
+		return nil, fmt.Errorf("scenario: negative seed %d", sc.Seed)
+	}
+	if sc.Delta < 0 || sc.TimeoutFactor < 0 {
+		return nil, fmt.Errorf("scenario: negative delta or timeout_factor")
+	}
+
+	// Network regime.
+	nw := sc.Network
+	if nw.DropBeforeGST < 0 || nw.DropBeforeGST > 1 {
+		return nil, fmt.Errorf("scenario: drop_before_gst = %v outside [0, 1]", nw.DropBeforeGST)
+	}
+	if nw.GST < 0 || nw.EventBudget < 0 {
+		return nil, fmt.Errorf("scenario: negative gst or event_budget")
+	}
+	if nw.Delay != nil {
+		if nw.Delay.D < 0 || nw.Delay.Min < 0 || nw.Delay.Max < 0 || nw.Delay.Default < 0 {
+			return nil, fmt.Errorf("scenario: negative delay")
+		}
+		switch nw.Delay.Model {
+		case DelayConstant, DelayUniform:
+		case DelayPerLink:
+			for _, l := range nw.Delay.Links {
+				if !isMember[l.From] || !isMember[l.To] {
+					return nil, fmt.Errorf("scenario: per-link delay names non-member link %d→%d", l.From, l.To)
+				}
+				if l.D < 0 {
+					return nil, fmt.Errorf("scenario: negative delay on link %d→%d", l.From, l.To)
+				}
+			}
+		default:
+			return nil, fmt.Errorf("scenario: unknown delay model %q", nw.Delay.Model)
+		}
+	}
+
+	// Fault schedule.
+	for i := range sc.Faults {
+		f := sc.Faults[i]
+		switch f.Type {
+		case FaultSilent, FaultEquivocator, FaultRandom:
+			if !isMember[f.Node] {
+				return nil, fmt.Errorf("scenario: %s fault targets non-member node %d", f.Type, f.Node)
+			}
+			if _, dup := p.byzByID[f.Node]; dup {
+				return nil, fmt.Errorf("scenario: node %d has two node-replacing faults", f.Node)
+			}
+			p.byzByID[f.Node] = &sc.Faults[i]
+		case FaultSuppressFinalPhase:
+			p.netwk = append(p.netwk, f)
+		case FaultSuppressProposals:
+			if f.BelowView < 0 {
+				return nil, fmt.Errorf("scenario: suppress-proposals below_view is negative")
+			}
+			p.netwk = append(p.netwk, f)
+		case FaultPartition:
+			if len(f.Groups) == 0 {
+				return nil, fmt.Errorf("scenario: partition fault declares no groups")
+			}
+			seen := make(map[types.NodeID]bool)
+			for _, g := range f.Groups {
+				for _, n := range g {
+					if !isMember[n] {
+						return nil, fmt.Errorf("scenario: partition group names non-member node %d", n)
+					}
+					if seen[n] {
+						return nil, fmt.Errorf("scenario: node %d appears in two partition groups", n)
+					}
+					seen[n] = true
+				}
+			}
+			if f.From < 0 || (f.To != 0 && f.To <= f.From) {
+				return nil, fmt.Errorf("scenario: partition window [%d, %d) is empty", f.From, f.To)
+			}
+			p.netwk = append(p.netwk, f)
+		default:
+			return nil, fmt.Errorf("scenario: unknown fault type %q", f.Type)
+		}
+	}
+	if sc.Engine == EngineTCP {
+		if len(p.netwk) > 0 || hasNonSilent(p.byzByID) {
+			return nil, fmt.Errorf("scenario: engine %q supports only silent faults", EngineTCP)
+		}
+		// Reject knobs the TCP engine cannot honor rather than silently
+		// dropping them (real sockets: no virtual clock, no seeded
+		// randomness, no message interception).
+		if nw != (NetworkSpec{}) {
+			return nil, fmt.Errorf("scenario: engine %q has a real network; remove the network spec", EngineTCP)
+		}
+		if sc.Seed != 0 {
+			return nil, fmt.Errorf("scenario: engine %q runs are not seed-deterministic; remove seed", EngineTCP)
+		}
+		if sc.Stop.Horizon != 0 || sc.Stop.AllDecided {
+			return nil, fmt.Errorf("scenario: engine %q stops on workload.slots + stop.wall_clock_ms only", EngineTCP)
+		}
+		if sc.Collect.Trace {
+			return nil, fmt.Errorf("scenario: engine %q does not collect traces", EngineTCP)
+		}
+	}
+
+	// Workload.
+	w := sc.Workload
+	if w.Slots < 0 || w.MaxSlot < 0 || w.TxsPerBlock < 0 {
+		return nil, fmt.Errorf("scenario: negative slots, max_slot or txs_per_block")
+	}
+	if p.multi {
+		p.maxSlot = types.Slot(w.MaxSlot)
+		if p.maxSlot == 0 && w.Slots > 0 {
+			p.maxSlot = types.Slot(w.Slots + 3) // keep the ≤5-deep pipeline from overshooting the target
+		}
+	} else if w.Slots != 0 || w.MaxSlot != 0 || len(w.Transactions) != 0 || w.TxsPerBlock != 0 {
+		return nil, fmt.Errorf("scenario: slots/max_slot/transactions require a multi-shot protocol")
+	}
+	for _, tx := range w.Transactions {
+		if tx.Op != "set" && tx.Op != "del" {
+			return nil, fmt.Errorf("scenario: unknown transaction op %q (want set or del)", tx.Op)
+		}
+		if !isMember[tx.Node] {
+			return nil, fmt.Errorf("scenario: transaction targets non-member node %d", tx.Node)
+		}
+	}
+
+	if sc.Stop.Horizon < 0 || sc.Stop.WallClockMS < 0 {
+		return nil, fmt.Errorf("scenario: negative stop bound")
+	}
+	if sc.Stop.AllDecided && p.multi && w.Slots == 0 {
+		return nil, fmt.Errorf("scenario: stop.all_decided on a multi-shot run needs workload.slots")
+	}
+	if sc.Engine == EngineTCP && w.Slots == 0 {
+		return nil, fmt.Errorf("scenario: engine %q needs workload.slots", EngineTCP)
+	}
+
+	for _, m := range p.members {
+		if p.byzByID[m] == nil {
+			p.honest = append(p.honest, m)
+		}
+	}
+	if len(p.honest) == 0 {
+		return nil, fmt.Errorf("scenario: every node is faulty")
+	}
+	return p, nil
+}
+
+func hasNonSilent(byz map[types.NodeID]*FaultSpec) bool {
+	for _, f := range byz {
+		if f.Type != FaultSilent {
+			return true
+		}
+	}
+	return false
+}
+
+// Defaulted parameters.
+
+func (p *plan) seed() int64 {
+	if p.sc.Seed == 0 {
+		return 1
+	}
+	return p.sc.Seed
+}
+
+func (p *plan) delta() types.Duration {
+	if p.sc.Delta == 0 {
+		return 10
+	}
+	return types.Duration(p.sc.Delta)
+}
+
+// initialValue resolves node's single-shot consensus input.
+func (p *plan) initialValue(node types.NodeID) types.Value {
+	w := p.sc.Workload
+	if int(node) >= 0 && int(node) < len(w.InitialValues) {
+		return types.Value(w.InitialValues[node])
+	}
+	pattern := w.ValuePattern
+	if pattern == "" {
+		pattern = "val-%d"
+	}
+	if strings.Contains(pattern, "%d") {
+		return types.Value(fmt.Sprintf(pattern, node))
+	}
+	return types.Value(pattern)
+}

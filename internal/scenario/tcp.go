@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"tetrabft/internal/blockchain"
+	"tetrabft/internal/multishot"
+	"tetrabft/internal/transport"
+	"tetrabft/internal/types"
+)
+
+// runTCP executes a multi-shot scenario over real TCP runtimes on
+// localhost — the deployment shape. Virtual network knobs (delay models,
+// GST, message adversaries) do not apply; silent faults simply do not start
+// a replica. The run ends when every honest replica has finalized
+// Workload.Slots, or errors after Stop.WallClockMS real milliseconds.
+func runTCP(p *plan) (*Result, error) {
+	target := types.Slot(p.sc.Workload.Slots)
+	wallClock := time.Duration(p.sc.Stop.WallClockMS) * time.Millisecond
+	if wallClock == 0 {
+		wallClock = 30 * time.Second
+	}
+
+	type replica struct {
+		id      types.NodeID
+		mempool *blockchain.Mempool
+		node    *multishot.Node
+		runtime *transport.Runtime
+	}
+	var replicas []*replica
+	// Every finalization on any replica lands here; the run is done after
+	// honest × target of them.
+	done := make(chan types.NodeID, len(p.honest)*int(target)*2)
+
+	per := p.sc.Workload.TxsPerBlock
+	if per == 0 {
+		per = 8
+	}
+	for _, id := range p.honest {
+		rep := &replica{id: id, mempool: blockchain.NewMempool(0)}
+		node, err := multishot.NewNode(multishot.Config{
+			ID: id, Quorum: p.qs, Nodes: len(p.members), Delta: p.delta(),
+			TimeoutFactor: p.sc.TimeoutFactor, MaxSlot: p.maxSlot,
+			Payload: rep.mempool.PayloadSource(per),
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.node = node
+		rt, err := transport.New(node, transport.Config{
+			ListenAddr: "127.0.0.1:0",
+			OnDecide: func(slot types.Slot, _ types.Value) {
+				if slot <= target {
+					done <- rep.id
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep.runtime = rt
+		replicas = append(replicas, rep)
+	}
+	defer func() {
+		for _, rep := range replicas {
+			rep.runtime.Close()
+		}
+	}()
+
+	addrs := make(map[types.NodeID]string, len(replicas))
+	for _, rep := range replicas {
+		addrs[rep.id] = rep.runtime.Addr()
+	}
+	for _, rep := range replicas {
+		rep.runtime.SetPeers(addrs)
+	}
+	mempools := make(map[types.NodeID]*blockchain.Mempool, len(replicas))
+	for _, rep := range replicas {
+		mempools[rep.id] = rep.mempool
+	}
+	for _, tx := range p.sc.Workload.Transactions {
+		mp := mempools[tx.Node]
+		if mp == nil {
+			return nil, fmt.Errorf("scenario: transaction targets faulty node %d", tx.Node)
+		}
+		mp.Submit(buildTx(tx))
+	}
+
+	start := time.Now()
+	for _, rep := range replicas {
+		rep.runtime.Run()
+	}
+	want := len(replicas) * int(target)
+	deadline := time.After(wallClock)
+	for got := 0; got < want; {
+		select {
+		case <-done:
+			got++
+		case <-deadline:
+			return nil, fmt.Errorf("scenario %q: timed out after %d of %d finalizations", p.sc.Name, got, want)
+		}
+	}
+	// Quiesce before touching node state: the event loops may still be
+	// delivering slots past the target, and multishot nodes have no
+	// internal locking. Close joins every runtime goroutine (the deferred
+	// Close below becomes a no-op).
+	finishedAt := time.Since(start).Milliseconds()
+	for _, rep := range replicas {
+		rep.runtime.Close()
+	}
+
+	res := &Result{
+		Name:            p.sc.Name,
+		FinishedAt:      finishedAt,
+		FirstDecisionAt: -1,
+	}
+	// Chains may disagree in length (stragglers keep catching up) but never
+	// in content — check the shared prefix like the simulator's agreement
+	// monitor does per slot.
+	ref := replicas[0].node.FinalizedChain()
+	for _, rep := range replicas {
+		res.Finalized = append(res.Finalized, NodeSlot{Node: rep.id, Slot: rep.node.FinalizedSlot()})
+		chain := rep.node.FinalizedChain()
+		for i := range chain {
+			if rep != replicas[0] && i < len(ref) && chain[i].ID() != ref[i].ID() {
+				return nil, fmt.Errorf("scenario %q: %w", p.sc.Name, agreementError{
+					fmt.Errorf("replicas %d and %d diverge at slot %d", replicas[0].id, rep.id, chain[i].Slot),
+				})
+			}
+		}
+		if p.sc.Collect.Chain {
+			res.Chains = append(res.Chains, NodeChain{Node: rep.id, Blocks: chain})
+		}
+	}
+	if p.sc.Collect.Chain && len(replicas) > 0 {
+		res.Chain = ref
+	}
+	return res, nil
+}

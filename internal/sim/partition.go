@@ -1,0 +1,46 @@
+package sim
+
+import "tetrabft/internal/types"
+
+// Partition is a timed network partition: while active, messages whose
+// endpoints sit in different groups are dropped. It models the classic
+// "split brain then heal" regime — no group holds a quorum, so a correct
+// protocol stalls without deciding and recovers once the partition heals.
+//
+// The partition is active during [From, To); To = 0 means it never heals.
+// Nodes not listed in any group are unaffected (they can talk to, and be
+// reached from, every group). Self-deliveries are never dropped.
+type Partition struct {
+	// Groups are the sides of the partition. A node may appear in at most
+	// one group.
+	Groups [][]types.NodeID
+	// From is the virtual time the partition starts (inclusive).
+	From types.Time
+	// To is the virtual time the partition heals (exclusive); 0 = never.
+	To types.Time
+
+	group map[types.NodeID]int
+}
+
+var _ Adversary = (*Partition)(nil)
+
+// Intercept implements Adversary.
+func (p *Partition) Intercept(from, to types.NodeID, _ types.Message, now types.Time) Verdict {
+	if now < p.From || (p.To != 0 && now >= p.To) {
+		return Verdict{}
+	}
+	if p.group == nil {
+		p.group = make(map[types.NodeID]int)
+		for i, g := range p.Groups {
+			for _, n := range g {
+				p.group[n] = i
+			}
+		}
+	}
+	gf, okf := p.group[from]
+	gt, okt := p.group[to]
+	if okf && okt && gf != gt {
+		return Verdict{Drop: true}
+	}
+	return Verdict{}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"tetrabft/internal/core"
+	"tetrabft/internal/types"
+)
+
+// probe is a minimal machine that broadcasts one ping at every tick of a
+// repeating timer and records what it receives.
+type probe struct {
+	id   types.NodeID
+	got  []types.NodeID // senders of delivered messages
+	at   []types.Time
+	stop types.Time
+}
+
+func (p *probe) ID() types.NodeID { return p.id }
+
+func (p *probe) Start(env types.Env) {
+	env.Broadcast(types.Proposal{View: 0, Val: "ping"})
+	env.SetTimer(0, 10)
+}
+
+func (p *probe) Deliver(_ types.Env, from types.NodeID, _ types.Message) {
+	p.got = append(p.got, from)
+}
+
+func (p *probe) Tick(env types.Env, _ types.TimerID) {
+	env.Broadcast(types.Proposal{View: 0, Val: "ping"})
+	if env.Now() < p.stop {
+		env.SetTimer(0, 10)
+	}
+}
+
+// TestPartitionDropsCrossGroup checks the [From, To) window precisely:
+// cross-group messages sent before From or at/after To get through, those
+// sent inside the window are dropped, and same-group traffic always flows.
+func TestPartitionDropsCrossGroup(t *testing.T) {
+	adv := &Partition{Groups: [][]types.NodeID{{0, 1}, {2, 3}}, From: 5, To: 25}
+	r := New(Config{Seed: 1, Adversary: adv})
+	probes := make([]*probe, 4)
+	for i := range probes {
+		probes[i] = &probe{id: types.NodeID(i), stop: 40}
+		r.Add(probes[i])
+	}
+	if err := r.Run(100, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Broadcast rounds happen at t = 0, 10, 20, 30, 40. Only the t=10 and
+	// t=20 rounds fall inside [5, 25).
+	counts := make(map[types.NodeID]int)
+	for _, from := range probes[0].got {
+		counts[from]++
+	}
+	if counts[1] != 5 {
+		t.Errorf("same-group deliveries 1→0 = %d, want 5 (partition must not affect same-group traffic)", counts[1])
+	}
+	if counts[2] != 3 || counts[3] != 3 {
+		t.Errorf("cross-group deliveries 2→0 = %d, 3→0 = %d, want 3 each (t=10 and t=20 rounds dropped)", counts[2], counts[3])
+	}
+}
+
+// TestPartitionNeverHeals checks To = 0 means the partition is permanent.
+func TestPartitionNeverHeals(t *testing.T) {
+	adv := &Partition{Groups: [][]types.NodeID{{0}, {1}}, From: 0, To: 0}
+	r := New(Config{Seed: 1, Adversary: adv})
+	a := &probe{id: 0}
+	b := &probe{id: 1}
+	r.Add(a)
+	r.Add(b)
+	if err := r.Run(50, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range a.got {
+		if from == 1 {
+			t.Fatalf("node 0 received from node 1 despite a permanent partition")
+		}
+	}
+	if r.DroppedMessages() == 0 {
+		t.Error("no messages dropped by a permanent partition")
+	}
+}
+
+// TestPartitionUnlistedNodesUnaffected checks that a node outside every
+// group keeps bidirectional connectivity to all sides.
+func TestPartitionUnlistedNodesUnaffected(t *testing.T) {
+	adv := &Partition{Groups: [][]types.NodeID{{0}, {1}}}
+	r := New(Config{Seed: 1, Adversary: adv})
+	probes := []*probe{{id: 0}, {id: 1}, {id: 2}} // node 2 unlisted
+	for _, p := range probes {
+		r.Add(p)
+	}
+	if err := r.Run(50, nil); err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[types.NodeID]int)
+	for _, from := range probes[2].got {
+		counts[from]++
+	}
+	if counts[0] == 0 || counts[1] == 0 {
+		t.Errorf("unlisted node 2 missed traffic from the groups: got %v", counts)
+	}
+	var toUnlisted int
+	for _, from := range probes[0].got {
+		if from == 2 {
+			toUnlisted++
+		}
+	}
+	if toUnlisted == 0 {
+		t.Error("group node 0 received nothing from unlisted node 2")
+	}
+}
+
+// TestPartitionStallsThenHeals runs real TetraBFT nodes through a 2-2
+// split: no quorum exists during the partition so nobody decides, and after
+// the heal every node decides with agreement intact.
+func TestPartitionStallsThenHeals(t *testing.T) {
+	const healAt = 300
+	adv := &Partition{Groups: [][]types.NodeID{{0, 1}, {2, 3}}, From: 0, To: healAt}
+	r := New(Config{Seed: 1, Adversary: adv})
+	for i := 0; i < 4; i++ {
+		node, err := core.NewNode(core.Config{
+			ID: types.NodeID(i), Nodes: 4, Delta: 10,
+			InitialValue: types.Value(fmt.Sprintf("val-%d", i)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Add(node)
+	}
+	decidedDuringSplit := false
+	r.Watch = func(_, _ types.NodeID, _ types.Message, at types.Time) {
+		if at < healAt && r.DecidedCount(0) > 0 {
+			decidedDuringSplit = true
+		}
+	}
+	if err := r.Run(5000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if decidedDuringSplit {
+		t.Error("a node decided while no quorum was reachable")
+	}
+	if err := r.AgreementViolation(); err != nil {
+		t.Error(err)
+	}
+	if got := r.DecidedCount(0); got != 4 {
+		t.Errorf("decided nodes after heal = %d, want 4", got)
+	}
+}

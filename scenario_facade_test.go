@@ -1,0 +1,109 @@
+package tetrabft_test
+
+import (
+	"testing"
+
+	"tetrabft"
+)
+
+// TestScenarioFacade runs a declarative scenario through the public façade:
+// spec in, result out, nothing else to wire.
+func TestScenarioFacade(t *testing.T) {
+	res, err := tetrabft.RunScenario(tetrabft.Scenario{
+		Protocol: tetrabft.ScenarioTetraBFT,
+		Nodes:    4,
+		Workload: tetrabft.WorkloadSpec{ValuePattern: "proposal-%d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := res.Decision(0, 0)
+	if !ok {
+		t.Fatal("no decision")
+	}
+	if d.Value != "proposal-0" || d.At != 5 {
+		t.Errorf("decision (%q, t=%d), want (proposal-0, 5)", d.Value, d.At)
+	}
+	if res.FirstDecisionAt != 5 || res.DecidedCount != 4 {
+		t.Errorf("first=%d decided=%d, want 5 and 4", res.FirstDecisionAt, res.DecidedCount)
+	}
+}
+
+// TestScenarioFacadeFaults exercises the fault-schedule exports: a crashed
+// leader forces the view-change path, a partition delays it further.
+func TestScenarioFacadeFaults(t *testing.T) {
+	res, err := tetrabft.RunScenario(tetrabft.Scenario{
+		Protocol: tetrabft.ScenarioTetraBFT,
+		Nodes:    4,
+		Faults:   []tetrabft.FaultSpec{{Type: tetrabft.FaultSilent, Node: 0}},
+		Stop:     tetrabft.StopSpec{Horizon: 4000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstDecisionAt <= 5 {
+		t.Errorf("crashed leader decided at t=%d, expected a view-change delay", res.FirstDecisionAt)
+	}
+}
+
+// TestScenarioFacadeParse round-trips a JSON spec through the façade.
+func TestScenarioFacadeParse(t *testing.T) {
+	sc, err := tetrabft.ParseScenario([]byte(`{"protocol": "tetrabft", "nodes": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tetrabft.RunScenario(sc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tetrabft.ParseScenario([]byte(`{"nodes": 4, "protocoll": "x"}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+// TestScenarioFacadeNamed checks the bundled library is reachable and
+// runnable from the façade.
+func TestScenarioFacadeNamed(t *testing.T) {
+	if len(tetrabft.NamedScenarios()) == 0 {
+		t.Fatal("no bundled scenarios")
+	}
+	sc, ok := tetrabft.ScenarioByName("good-case")
+	if !ok {
+		t.Fatal("good-case missing")
+	}
+	res, err := tetrabft.RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecidedCount != 4 {
+		t.Errorf("decided = %d, want 4", res.DecidedCount)
+	}
+}
+
+// TestPartitionFacade uses the exported Partition adversary directly with
+// the raw simulator (the non-declarative escape hatch stays available).
+func TestPartitionFacade(t *testing.T) {
+	s := tetrabft.NewSim(tetrabft.SimConfig{
+		Seed: 1,
+		Delay: tetrabft.PerLinkDelay{
+			Default: 1,
+			Links:   map[[2]tetrabft.NodeID]tetrabft.Duration{{0, 1}: 3},
+		},
+		Adversary: &tetrabft.Partition{Groups: [][]tetrabft.NodeID{{0, 1}, {2, 3}}, To: 100},
+	})
+	for i := 0; i < 4; i++ {
+		n, err := tetrabft.NewNode(tetrabft.Config{ID: tetrabft.NodeID(i), Nodes: 4, InitialValue: "v"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Add(n)
+	}
+	if err := s.Run(4000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AgreementViolation(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DecidedCount(0); got != 4 {
+		t.Errorf("decided = %d, want 4 after the partition heals", got)
+	}
+}

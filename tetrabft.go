@@ -8,6 +8,10 @@
 //
 // The package is a façade over the implementation packages:
 //
+//   - RunScenario — the declarative experiment API: one JSON-serializable
+//     Scenario spec describes cluster, faults, network regime, workload and
+//     stop condition, and one call runs it (see examples/ and the bundled
+//     NamedScenarios);
 //   - NewNode / Restore — single-shot consensus (Section 3 of the paper);
 //   - NewChain — multi-shot, pipelined blockchain replication (Section 6);
 //   - NewSim — the deterministic discrete-event network simulator used by
@@ -49,6 +53,7 @@ import (
 	"tetrabft/internal/core"
 	"tetrabft/internal/multishot"
 	"tetrabft/internal/quorum"
+	"tetrabft/internal/scenario"
 	"tetrabft/internal/sim"
 	"tetrabft/internal/trace"
 	"tetrabft/internal/transport"
@@ -126,8 +131,13 @@ type (
 	ConstantDelay = sim.ConstantDelay
 	// UniformDelay draws delays uniformly from [Min, Max].
 	UniformDelay = sim.UniformDelay
+	// PerLinkDelay gives each directed link its own fixed delay
+	// (asymmetric, geographically skewed networks).
+	PerLinkDelay = sim.PerLinkDelay
 	// Adversary inspects and manipulates in-flight traffic.
 	Adversary = sim.Adversary
+	// Partition drops cross-group messages during [From, To).
+	Partition = sim.Partition
 	// Verdict is an adversary's ruling on one message.
 	Verdict = sim.Verdict
 	// Decision records one node's decision for one slot.
@@ -215,6 +225,91 @@ func NewSlices(slices map[NodeID][]NodeSet) (*Slices, error) {
 
 // QuorumSet builds a node set for slice definitions.
 func QuorumSet(nodes ...NodeID) NodeSet { return quorum.NewSet(nodes...) }
+
+// Declarative scenarios: one spec for cluster + faults + network +
+// workload; see package scenario for the full field reference and
+// EXPERIMENTS.md for a worked JSON example.
+type (
+	// Scenario is the declarative, JSON-serializable spec for one run.
+	Scenario = scenario.Scenario
+	// ScenarioResult is what a scenario run measured.
+	ScenarioResult = scenario.Result
+	// ScenarioProtocol names a runnable consensus protocol.
+	ScenarioProtocol = scenario.Protocol
+	// ScenarioEngine selects the execution substrate (sim or tcp).
+	ScenarioEngine = scenario.Engine
+	// QuorumSpec declares heterogeneous quorum slices in a scenario.
+	QuorumSpec = scenario.QuorumSpec
+	// SliceSpec lists one node's quorum slices.
+	SliceSpec = scenario.SliceSpec
+	// NetworkSpec is a scenario's network regime.
+	NetworkSpec = scenario.NetworkSpec
+	// DelaySpec declares a scenario's delay model.
+	DelaySpec = scenario.DelaySpec
+	// LinkDelaySpec fixes the delay of one directed link.
+	LinkDelaySpec = scenario.LinkDelaySpec
+	// FaultType names a scenario fault behavior.
+	FaultType = scenario.FaultType
+	// FaultSpec declares one fault in a scenario's schedule.
+	FaultSpec = scenario.FaultSpec
+	// WorkloadSpec declares a scenario's inputs.
+	WorkloadSpec = scenario.WorkloadSpec
+	// TxSpec is one key-value transaction in a scenario workload.
+	TxSpec = scenario.TxSpec
+	// StopSpec declares when a scenario run ends.
+	StopSpec = scenario.StopSpec
+	// CollectSpec requests optional scenario result payloads.
+	CollectSpec = scenario.CollectSpec
+	// NodeDecision records one node's decision in a scenario result.
+	NodeDecision = scenario.NodeDecision
+)
+
+// Scenario protocols.
+const (
+	// ScenarioTetraBFT runs single-shot TetraBFT.
+	ScenarioTetraBFT = scenario.TetraBFT
+	// ScenarioTetraBFTMulti runs multi-shot, pipelined TetraBFT.
+	ScenarioTetraBFTMulti = scenario.TetraBFTMulti
+	// ScenarioITHotStuff runs the IT-HotStuff baseline.
+	ScenarioITHotStuff = scenario.ITHotStuff
+	// ScenarioITHotStuffBlog runs the non-responsive IT-HotStuff variant.
+	ScenarioITHotStuffBlog = scenario.ITHotStuffBlog
+	// ScenarioPBFT runs bounded-storage unauthenticated PBFT.
+	ScenarioPBFT = scenario.PBFT
+	// ScenarioPBFTUnbounded runs PBFT with its full message log.
+	ScenarioPBFTUnbounded = scenario.PBFTUnbounded
+	// ScenarioLiConsensus runs the Li et al. baseline.
+	ScenarioLiConsensus = scenario.LiConsensus
+)
+
+// Scenario fault behaviors.
+const (
+	// FaultSilent crashes a node.
+	FaultSilent = scenario.FaultSilent
+	// FaultEquivocator splits the view-0 leader's proposal.
+	FaultEquivocator = scenario.FaultEquivocator
+	// FaultRandom replaces a node with the random fuzzer.
+	FaultRandom = scenario.FaultRandom
+	// FaultSuppressFinalPhase drops view 0's decision-completing phase.
+	FaultSuppressFinalPhase = scenario.FaultSuppressFinalPhase
+	// FaultSuppressProposals drops proposals below a view.
+	FaultSuppressProposals = scenario.FaultSuppressProposals
+	// FaultPartition drops cross-group messages during [From, To).
+	FaultPartition = scenario.FaultPartition
+)
+
+// RunScenario executes a declarative scenario and returns its result.
+func RunScenario(sc Scenario) (*ScenarioResult, error) { return scenario.Run(sc) }
+
+// ParseScenario decodes and validates a JSON scenario spec (unknown fields
+// are errors).
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }
+
+// NamedScenarios returns the bundled, ready-to-run scenario library.
+func NamedScenarios() []Scenario { return scenario.Named() }
+
+// ScenarioByName returns the bundled scenario with the given name.
+func ScenarioByName(name string) (Scenario, bool) { return scenario.ByName(name) }
 
 // Tracing.
 type (
