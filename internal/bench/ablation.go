@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tetrabft/internal/scenario"
+	"tetrabft/internal/sweep"
 	"tetrabft/internal/types"
 )
 
@@ -28,53 +29,86 @@ type AblationRow struct {
 //   - at the paper's 9Δ, the good case never times out spuriously;
 //   - far above (e.g. 18Δ), the good case is unaffected but recovery from
 //     a crashed leader doubles, since the timeout is the detection latency.
+//
+// Both columns are one-axis grids on the sweep engine (the factor is the
+// axis), so the measurements fan out over the worker pool; the observer
+// hook reads the per-node decision times the aggregated stats do not carry.
 func AblationTimeout(factors []int) ([]AblationRow, error) {
 	const delta = int64(10)
+	axis := sweep.Axis{Field: "timeout_factor", Ints: make([]int64, len(factors))}
+	for i, f := range factors {
+		axis.Ints[i] = int64(f)
+	}
+
+	// Scenario A: honest leader, delays uniform in [5, Δ] (messages stay
+	// within the bound, but a view needs ≈ 7·E[delay] ≈ 50 ticks).
+	good := scenario.Scenario{
+		Protocol: scenario.TetraBFT,
+		Nodes:    4,
+		Seed:     1,
+		Delta:    delta,
+		Network: scenario.NetworkSpec{
+			Delay: &scenario.DelaySpec{Model: scenario.DelayUniform, Min: 5, Max: delta},
+		},
+		Stop: scenario.StopSpec{Horizon: 4000},
+	}
+	// Scenario B: silent view-0 leader, unit delays; recovery latency is
+	// dominated by the timeout itself.
+	silent := scenario.Scenario{
+		Protocol: scenario.TetraBFT,
+		Nodes:    4,
+		Seed:     1,
+		Delta:    delta,
+		Faults:   []scenario.FaultSpec{{Type: scenario.FaultSilent, Node: 0}},
+		Stop:     scenario.StopSpec{Horizon: 4000},
+	}
+
+	type obs struct {
+		decided bool
+		at      int64
+		maxView types.View
+		err     error
+	}
+	observeInto := func(outs []obs, node types.NodeID) sweep.Observer {
+		return func(cell, _ int, res *scenario.Result, err error) {
+			o := &outs[cell]
+			o.err = err
+			if res == nil {
+				return
+			}
+			if d, ok := res.Decision(node, 0); ok {
+				o.decided, o.at = true, d.At
+			}
+			o.maxView = types.View(res.MaxView)
+		}
+	}
+	goodObs := make([]obs, len(factors))
+	if _, err := sweep.RunObserved(sweep.Sweep{Base: good, Axes: []sweep.Axis{axis}},
+		observeInto(goodObs, 0)); err != nil {
+		return nil, err
+	}
+	silentObs := make([]obs, len(factors))
+	if _, err := sweep.RunObserved(sweep.Sweep{Base: silent, Axes: []sweep.Axis{axis}},
+		observeInto(silentObs, 1)); err != nil {
+		return nil, err
+	}
+
 	rows := make([]AblationRow, 0, len(factors))
-	for _, factor := range factors {
-		row := AblationRow{Factor: factor}
-
-		// Scenario A: honest leader, delays uniform in [5, Δ] (messages
-		// stay within the bound, but a view needs ≈ 7·E[delay] ≈ 50 ticks).
-		good, err := scenario.Run(scenario.Scenario{
-			Protocol:      scenario.TetraBFT,
-			Nodes:         4,
-			Seed:          1,
-			Delta:         delta,
-			TimeoutFactor: factor,
-			Network: scenario.NetworkSpec{
-				Delay: &scenario.DelaySpec{Model: scenario.DelayUniform, Min: 5, Max: delta},
-			},
-			Stop: scenario.StopSpec{Horizon: 4000},
-		})
-		if err != nil {
+	for i, factor := range factors {
+		if err := goodObs[i].err; err != nil {
 			return nil, fmt.Errorf("bench: ablation factor %d: %w", factor, err)
 		}
-		if d, ok := good.Decision(0, 0); ok {
-			row.GoodDecided = true
-			row.GoodDecideAt = d.At
-		}
-		row.GoodMaxView = types.View(good.MaxView)
-
-		// Scenario B: silent view-0 leader, unit delays; recovery latency
-		// is dominated by the timeout itself.
-		silent, err := scenario.Run(scenario.Scenario{
-			Protocol:      scenario.TetraBFT,
-			Nodes:         4,
-			Seed:          1,
-			Delta:         delta,
-			TimeoutFactor: factor,
-			Faults:        []scenario.FaultSpec{{Type: scenario.FaultSilent, Node: 0}},
-			Stop:          scenario.StopSpec{Horizon: 4000},
-		})
-		if err != nil {
+		if err := silentObs[i].err; err != nil {
 			return nil, fmt.Errorf("bench: ablation factor %d: %w", factor, err)
 		}
-		if d, ok := silent.Decision(1, 0); ok {
-			row.SilentDecided = true
-			row.SilentDecideAt = d.At
-		}
-		rows = append(rows, row)
+		rows = append(rows, AblationRow{
+			Factor:         factor,
+			GoodDecided:    goodObs[i].decided,
+			GoodDecideAt:   goodObs[i].at,
+			GoodMaxView:    goodObs[i].maxView,
+			SilentDecided:  silentObs[i].decided,
+			SilentDecideAt: silentObs[i].at,
+		})
 	}
 	return rows, nil
 }

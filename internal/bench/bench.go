@@ -32,6 +32,7 @@ import (
 	"tetrabft/internal/checker"
 	"tetrabft/internal/par"
 	"tetrabft/internal/scenario"
+	"tetrabft/internal/sweep"
 	"tetrabft/internal/types"
 )
 
@@ -473,9 +474,14 @@ func TimeoutBound(seeds int, delta types.Duration) (TimeoutBoundResult, error) {
 		AllDecided: true,
 		AllAgreed:  true,
 	}
-	// Each seed is an independent run; measure them in parallel and fold in
-	// seed order so the reported worst case and first error are those a
-	// sequential sweep would produce.
+	if seeds <= 0 {
+		return res, nil
+	}
+	// Each seed is an independent run: a single-cell sweep with one
+	// replicate per seed. The sweep engine fans the runs out in parallel
+	// and the observer folds them back in seed order, so the reported
+	// worst case and first error are those a sequential loop would
+	// produce.
 	type seedOut struct {
 		worst      int64
 		allDecided bool
@@ -483,13 +489,11 @@ func TimeoutBound(seeds int, delta types.Duration) (TimeoutBoundResult, error) {
 		agreeErr   error
 	}
 	outs := make([]seedOut, seeds)
-	par.For(seeds, func(i int) {
-		out := &seedOut{allDecided: true}
-		defer func() { outs[i] = *out }()
-		sr, err := scenario.Run(scenario.Scenario{
+	_, swErr := sweep.RunObserved(sweep.Sweep{
+		Base: scenario.Scenario{
 			Protocol: scenario.TetraBFT,
 			Nodes:    4,
-			Seed:     int64(i) + 1,
+			Seed:     1, // replicate r runs at seed 1+r
 			Delta:    int64(delta),
 			Network: scenario.NetworkSpec{
 				Delay:         &scenario.DelaySpec{Model: scenario.DelayConstant, D: 1},
@@ -497,7 +501,11 @@ func TimeoutBound(seeds int, delta types.Duration) (TimeoutBoundResult, error) {
 				DropBeforeGST: 0.9,
 			},
 			Stop: scenario.StopSpec{Horizon: gst + 40*int64(delta)},
-		})
+		},
+		Replicates: seeds,
+	}, func(_, rep int, sr *scenario.Result, err error) {
+		out := &seedOut{allDecided: true}
+		defer func() { outs[rep] = *out }()
 		if err != nil {
 			if errors.Is(err, scenario.ErrAgreement) {
 				out.agreeErr = err
@@ -521,6 +529,9 @@ func TimeoutBound(seeds int, delta types.Duration) (TimeoutBoundResult, error) {
 			}
 		}
 	})
+	if swErr != nil {
+		return res, swErr
+	}
 	for _, out := range outs {
 		if out.runErr != nil {
 			return res, out.runErr

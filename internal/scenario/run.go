@@ -195,6 +195,7 @@ func buildHonest(p *plan, id types.NodeID, n int, tracer trace.Tracer, cl *clust
 		node, err := core.NewNode(core.Config{
 			ID: id, Quorum: p.qs, Nodes: n, InitialValue: p.initialValue(id),
 			Delta: delta, TimeoutFactor: p.sc.TimeoutFactor, Tracer: tracer,
+			Mutation: buildMutation(p.sc.Mutation),
 		})
 		if err != nil {
 			return nil, err
@@ -258,6 +259,17 @@ func buildHonest(p *plan, id types.NodeID, n int, tracer trace.Tracer, cl *clust
 	return nil, fmt.Errorf("scenario: unknown protocol %q", p.sc.Protocol)
 }
 
+// buildMutation maps the spec's mutation name onto the core knob.
+func buildMutation(m Mutation) core.Mutation {
+	switch m {
+	case MutationSkipRule3:
+		return core.MutationSkipRule3
+	case MutationNoPrevVote:
+		return core.MutationNoPrevVote
+	}
+	return core.MutationNone
+}
+
 func buildByz(p *plan, f *FaultSpec) types.Machine {
 	switch f.Type {
 	case FaultEquivocator:
@@ -283,6 +295,32 @@ func buildByz(p *plan, f *FaultSpec) types.Machine {
 		return &byz.Random{
 			NodeID: f.Node, Seed: seed, Burst: f.Burst, Budget: f.Budget,
 			MaxView: types.View(f.MaxView),
+		}
+	case FaultForgedHistory:
+		v := types.View(f.View)
+		if v == 0 {
+			v = 1
+		}
+		val := f.ValueA
+		if val == "" {
+			val = "byz-b"
+		}
+		// The Lemma 8 leader: echo the view change so the new view starts,
+		// then answer the first proof with a conflicting proposal, a forged
+		// clean history and a full set of votes for it.
+		return &byz.Scripted{
+			NodeID: f.Node,
+			React: map[types.Kind][]types.Message{
+				types.KindViewChange: {types.ViewChange{View: v}},
+				types.KindProof: {
+					types.Proposal{View: v, Val: types.Value(val)},
+					types.ProofMsg{View: v}, // forged: claims no vote history
+					types.VoteMsg{Phase: 1, View: v, Val: types.Value(val)},
+					types.VoteMsg{Phase: 2, View: v, Val: types.Value(val)},
+					types.VoteMsg{Phase: 3, View: v, Val: types.Value(val)},
+					types.VoteMsg{Phase: 4, View: v, Val: types.Value(val)},
+				},
+			},
 		}
 	default: // FaultSilent
 		return byz.Silent{NodeID: f.Node}
@@ -320,6 +358,8 @@ func buildAdversary(p *plan) sim.Adversary {
 		switch f.Type {
 		case FaultSuppressFinalPhase:
 			advs = append(advs, suppressFinalPhase{})
+		case FaultStarveDecision:
+			advs = append(advs, starveDecision{spare: f.Node, until: types.Time(f.To)})
 		case FaultSuppressProposals:
 			advs = append(advs, suppressProposals{below: types.View(f.BelowView)})
 		case FaultPartition:
@@ -366,6 +406,33 @@ type suppressFinalPhase struct{}
 
 // Intercept implements sim.Adversary.
 func (suppressFinalPhase) Intercept(_, _ types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
+	switch m := msg.(type) {
+	case types.VoteMsg:
+		if m.Phase == 4 && m.View == 0 {
+			return sim.Verdict{Drop: true}
+		}
+	case types.GenericVote:
+		if m.Proto == types.ProtoPBFT && m.Phase == 3 && m.View == 0 { // commit
+			return sim.Verdict{Drop: true}
+		}
+	}
+	return sim.Verdict{}
+}
+
+// starveDecision drops the decision-completing phase of view 0 for every
+// receiver except one node, optionally only before a deadline: exactly one
+// node decides in view 0 while the rest are forced through a view change —
+// the Lemma 8 cross-view safety setup.
+type starveDecision struct {
+	spare types.NodeID
+	until types.Time // 0 = no deadline
+}
+
+// Intercept implements sim.Adversary.
+func (s starveDecision) Intercept(_, to types.NodeID, msg types.Message, now types.Time) sim.Verdict {
+	if to == s.spare || (s.until > 0 && now >= s.until) {
+		return sim.Verdict{}
+	}
 	switch m := msg.(type) {
 	case types.VoteMsg:
 		if m.Phase == 4 && m.View == 0 {

@@ -83,6 +83,27 @@ func TestValidation(t *testing.T) {
 		{"tcp with trace", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
 			Workload: WorkloadSpec{Slots: 2},
 			Collect:  CollectSpec{Trace: true}}, "does not collect traces"},
+		{"unknown mutation", Scenario{Nodes: 4, Mutation: "skip-rule-4"}, "unknown mutation"},
+		{"mutation on pbft", Scenario{Protocol: PBFT, Nodes: 4, Mutation: MutationSkipRule3},
+			"applies only to protocol"},
+		{"starve-decision non-member", Scenario{Nodes: 4, Faults: []FaultSpec{{
+			Type: FaultStarveDecision, Node: 9,
+		}}}, "non-member"},
+		{"starve-decision negative window", Scenario{Nodes: 4, Faults: []FaultSpec{{
+			Type: FaultStarveDecision, Node: 0, To: -1,
+		}}}, "negative"},
+		{"forged-history non-member", Scenario{Nodes: 4, Faults: []FaultSpec{{
+			Type: FaultForgedHistory, Node: 9,
+		}}}, "non-member"},
+		{"forged-history negative view", Scenario{Nodes: 4, Faults: []FaultSpec{{
+			Type: FaultForgedHistory, Node: 1, View: -1,
+		}}}, "negative"},
+		{"starve-decision on it-hotstuff", Scenario{Protocol: ITHotStuff, Nodes: 4,
+			Faults: []FaultSpec{{Type: FaultStarveDecision, Node: 0}}},
+			"applies only to protocols"},
+		{"forged-history on pbft", Scenario{Protocol: PBFT, Nodes: 4,
+			Faults: []FaultSpec{{Type: FaultForgedHistory, Node: 1}}},
+			"applies only to protocol"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -279,5 +300,52 @@ func TestTCPScenario(t *testing.T) {
 		if f.Slot < 3 {
 			t.Errorf("replica %d finalized %d slots, want ≥ 3", f.Node, f.Slot)
 		}
+	}
+}
+
+// lemma8Scenario is the Lemma 8 cross-view attack expressed declaratively:
+// node 0 alone decides in view 0 (everyone else is starved of vote-4s), and
+// the Byzantine leader of view 1 pushes a conflicting value with a forged
+// clean history.
+func lemma8Scenario() Scenario {
+	return Scenario{
+		Protocol: TetraBFT,
+		Nodes:    4,
+		Faults: []FaultSpec{
+			{Type: FaultStarveDecision, Node: 0, To: 50},
+			{Type: FaultForgedHistory, Node: 1, View: 1, ValueA: "b"},
+		},
+		Stop: StopSpec{Horizon: 4000},
+	}
+}
+
+// TestLemma8ScenarioSafe replays the Lemma 8 attack through the declarative
+// API: Rule 3 rejects the forged history and every honest node re-decides
+// the view-0 value.
+func TestLemma8ScenarioSafe(t *testing.T) {
+	res, err := Run(lemma8Scenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DecidedCount != 3 {
+		t.Fatalf("decided = %d, want all 3 honest nodes", res.DecidedCount)
+	}
+	for _, id := range []types.NodeID{0, 2, 3} {
+		d, ok := res.Decision(id, 0)
+		if !ok || d.Value != "val-0" {
+			t.Errorf("node %d decided %q (ok=%v), want the view-0 value val-0", id, d.Value, ok)
+		}
+	}
+}
+
+// TestLemma8MutationViolates proves the attack (and the fuzzer built on it)
+// has teeth: with MutationSkipRule3 the same spec violates agreement and the
+// error is tagged ErrAgreement.
+func TestLemma8MutationViolates(t *testing.T) {
+	sc := lemma8Scenario()
+	sc.Mutation = MutationSkipRule3
+	_, err := Run(sc)
+	if !errors.Is(err, ErrAgreement) {
+		t.Fatalf("err = %v, want an ErrAgreement violation", err)
 	}
 }

@@ -94,7 +94,27 @@ type Scenario struct {
 	Stop StopSpec `json:"stop,omitempty"`
 	// Collect requests optional (potentially large) result payloads.
 	Collect CollectSpec `json:"collect,omitempty"`
+	// Mutation deliberately breaks the protocol (TetraBFT single-shot
+	// only) so adversarial harnesses — the scenario fuzzer above all —
+	// can prove they detect safety violations. Production specs leave it
+	// empty. See core.Mutation for what each variant removes.
+	Mutation Mutation `json:"mutation,omitempty"`
 }
+
+// Mutation names a deliberately broken protocol variant.
+type Mutation string
+
+// Mutations (TetraBFT single-shot only).
+const (
+	// MutationNone runs the correct protocol.
+	MutationNone Mutation = ""
+	// MutationSkipRule3 makes followers vote without the Rule 3 safety
+	// check — the Lemma 8 cross-view attack then violates agreement.
+	MutationSkipRule3 Mutation = "skip-rule-3"
+	// MutationNoPrevVote drops the second-highest-vote tracking from
+	// proofs (weakens liveness, per the checker's MutationNoPrevVote).
+	MutationNoPrevVote Mutation = "no-prev-vote"
+)
 
 // QuorumSpec declares a heterogeneous quorum-slice system. The membership
 // is the set of nodes that declare slices.
@@ -178,6 +198,16 @@ const (
 	// FaultPartition drops cross-group messages during [From, To)
 	// (To = 0: never heals).
 	FaultPartition FaultType = "partition"
+	// FaultStarveDecision drops the decision-completing phase of view 0
+	// (TetraBFT vote-4, PBFT commit) for every receiver except Node,
+	// before time To (0 = always): exactly one node decides in view 0 —
+	// the sharpest cross-view safety setup (Lemma 8).
+	FaultStarveDecision FaultType = "starve-decision"
+	// FaultForgedHistory replaces Node with the Lemma 8 Byzantine leader:
+	// it echoes view changes into View and, once the view starts, pushes a
+	// conflicting ValueA with a forged clean history plus a full set of
+	// votes. Rule 3 must reject it; MutationSkipRule3 lets it through.
+	FaultForgedHistory FaultType = "forged-history"
 )
 
 // FaultSpec declares one fault. Only the fields of its Type are read.
@@ -196,7 +226,10 @@ type FaultSpec struct {
 	MaxView int64 `json:"max_view,omitempty"`
 	// BelowView bounds the suppress-proposals fault.
 	BelowView int64 `json:"below_view,omitempty"`
-	// Groups, From, To declare the timed partition.
+	// View is the view the forged-history leader attacks (default 1).
+	View int64 `json:"view,omitempty"`
+	// Groups, From, To declare the timed partition. To also bounds the
+	// starve-decision fault's drop window.
 	Groups [][]types.NodeID `json:"groups,omitempty"`
 	From   int64            `json:"from,omitempty"`
 	To     int64            `json:"to,omitempty"`
@@ -206,7 +239,7 @@ type FaultSpec struct {
 // for a cluster node (as opposed to intercepting network traffic).
 func (f FaultSpec) replacesNode() bool {
 	switch f.Type {
-	case FaultSilent, FaultEquivocator, FaultRandom:
+	case FaultSilent, FaultEquivocator, FaultRandom, FaultForgedHistory:
 		return true
 	}
 	return false
@@ -407,11 +440,36 @@ func (sc Scenario) compile() (*plan, error) {
 		}
 	}
 
+	switch sc.Mutation {
+	case MutationNone:
+	case MutationSkipRule3, MutationNoPrevVote:
+		switch sc.Protocol {
+		case "", TetraBFT:
+		default:
+			return nil, fmt.Errorf("scenario: mutation %q applies only to protocol %q", sc.Mutation, TetraBFT)
+		}
+	default:
+		return nil, fmt.Errorf("scenario: unknown mutation %q", sc.Mutation)
+	}
+
 	// Fault schedule.
 	for i := range sc.Faults {
 		f := sc.Faults[i]
 		switch f.Type {
-		case FaultSilent, FaultEquivocator, FaultRandom:
+		case FaultSilent, FaultEquivocator, FaultRandom, FaultForgedHistory:
+			if f.Type == FaultForgedHistory {
+				if f.View < 0 {
+					return nil, fmt.Errorf("scenario: forged-history view is negative")
+				}
+				// The forged messages are single-shot TetraBFT traffic;
+				// against any other protocol the attack would silently be
+				// a crashed node, a misleading experiment.
+				switch sc.Protocol {
+				case "", TetraBFT:
+				default:
+					return nil, fmt.Errorf("scenario: forged-history applies only to protocol %q", TetraBFT)
+				}
+			}
 			if !isMember[f.Node] {
 				return nil, fmt.Errorf("scenario: %s fault targets non-member node %d", f.Type, f.Node)
 			}
@@ -420,6 +478,21 @@ func (sc Scenario) compile() (*plan, error) {
 			}
 			p.byzByID[f.Node] = &sc.Faults[i]
 		case FaultSuppressFinalPhase:
+			p.netwk = append(p.netwk, f)
+		case FaultStarveDecision:
+			if !isMember[f.Node] {
+				return nil, fmt.Errorf("scenario: starve-decision spares non-member node %d", f.Node)
+			}
+			if f.To < 0 {
+				return nil, fmt.Errorf("scenario: starve-decision to is negative")
+			}
+			// The adversary matches TetraBFT vote-4 and PBFT commit only;
+			// on other protocols it would silently drop nothing.
+			switch sc.Protocol {
+			case "", TetraBFT, PBFT, PBFTUnbounded:
+			default:
+				return nil, fmt.Errorf("scenario: starve-decision applies only to protocols %q, %q and %q", TetraBFT, PBFT, PBFTUnbounded)
+			}
 			p.netwk = append(p.netwk, f)
 		case FaultSuppressProposals:
 			if f.BelowView < 0 {

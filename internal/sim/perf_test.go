@@ -159,3 +159,77 @@ func BenchmarkPingCluster(b *testing.B) {
 		}
 	}
 }
+
+// TestTimerCoalescingBoundsHeap pins the duplicate-arm invariant: arming the
+// same (id, instant) k times keeps exactly one heap entry, and the machine
+// receives exactly one Tick for it. Distinct ids or instants are unaffected.
+func TestTimerCoalescingBoundsHeap(t *testing.T) {
+	r, env := newSinkRunner(1)
+	for i := 0; i < 1000; i++ {
+		env.SetTimer(7, 10)
+	}
+	if got := r.queue.len(); got != 1 {
+		t.Fatalf("1000 duplicate arms grew the heap to %d entries, want 1", got)
+	}
+	if got := r.CoalescedTimers(); got != 999 {
+		t.Fatalf("CoalescedTimers = %d, want 999", got)
+	}
+	env.SetTimer(8, 10) // different id: new entry
+	env.SetTimer(7, 11) // different instant: new entry
+	if got := r.queue.len(); got != 3 {
+		t.Fatalf("heap has %d entries, want 3", got)
+	}
+	// Once the coalesced fire is consumed, the id can be armed again.
+	ev := r.queue.pop()
+	delete(r.armed, timerKey{node: ev.node, id: ev.timerID, at: ev.at})
+	env.SetTimer(7, 10)
+	if got := r.queue.len(); got != 3 {
+		t.Fatalf("re-arm after fire coalesced away: heap has %d entries, want 3", got)
+	}
+}
+
+// TestTimerZeroAllocs pins the steady-state arm/fire cycle at zero heap
+// allocations: the coalescing map reuses its buckets when the same key is
+// inserted and deleted.
+func TestTimerZeroAllocs(t *testing.T) {
+	r, env := newSinkRunner(1)
+	env.SetTimer(1, 10)
+	ev := r.queue.pop()
+	delete(r.armed, timerKey{node: ev.node, id: ev.timerID, at: ev.at})
+	allocs := testing.AllocsPerRun(1000, func() {
+		env.SetTimer(1, 10)
+		ev := r.queue.pop()
+		delete(r.armed, timerKey{node: ev.node, id: ev.timerID, at: ev.at})
+	})
+	if allocs != 0 {
+		t.Errorf("timer arm/fire cycle allocates %.2f times, want 0", allocs)
+	}
+}
+
+// BenchmarkSetTimerDuplicate measures the duplicate-arm fast path (a map
+// lookup, no heap push).
+func BenchmarkSetTimerDuplicate(b *testing.B) {
+	r, env := newSinkRunner(1)
+	env.SetTimer(1, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.SetTimer(1, 10)
+	}
+	if r.queue.len() != 1 {
+		b.Fatalf("heap grew to %d entries", r.queue.len())
+	}
+}
+
+// BenchmarkSetTimerCycle measures a full arm/fire cycle including the
+// coalescing bookkeeping.
+func BenchmarkSetTimerCycle(b *testing.B) {
+	r, env := newSinkRunner(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.SetTimer(1, 10)
+		ev := r.queue.pop()
+		delete(r.armed, timerKey{node: ev.node, id: ev.timerID, at: ev.at})
+	}
+}

@@ -123,6 +123,13 @@ type Runner struct {
 	now    types.Time
 	events int
 
+	// armed tracks pending timer events so that re-arming the same timer
+	// for the same instant coalesces into one heap entry instead of
+	// growing the queue (see env.SetTimer). Keys are removed when the
+	// event fires.
+	armed     map[timerKey]struct{}
+	coalesced int64
+
 	decisions map[types.NodeID]map[types.Slot]Decision
 
 	sentBytes map[types.NodeID]int64
@@ -152,6 +159,7 @@ func New(cfg Config) *Runner {
 		sentBytes: make(map[types.NodeID]int64, 16),
 		recvBytes: make(map[types.NodeID]int64, 16),
 		sentMsgs:  make(map[types.Kind]int64, 16),
+		armed:     make(map[timerKey]struct{}, 64),
 	}
 	r.queue.ev = make([]event, 0, 1024)
 	return r
@@ -195,6 +203,7 @@ func (r *Runner) Run(until types.Time, stop func() bool) error {
 		m := r.machines[ev.node]
 		env := r.envs[ev.node]
 		if ev.timer {
+			delete(r.armed, timerKey{node: ev.node, id: ev.timerID, at: ev.at})
 			m.Tick(env, ev.timerID)
 			continue
 		}
@@ -285,6 +294,10 @@ func (r *Runner) DroppedMessages() int64 { return r.dropped }
 // Events returns the number of processed events.
 func (r *Runner) Events() int { return r.events }
 
+// CoalescedTimers returns how many duplicate timer arms were coalesced into
+// an already-pending heap entry.
+func (r *Runner) CoalescedTimers() int64 { return r.coalesced }
+
 // env implements types.Env for a single machine.
 type env struct {
 	r    *Runner
@@ -308,7 +321,19 @@ func (e *env) Broadcast(msg types.Message) {
 }
 
 func (e *env) SetTimer(id types.TimerID, d types.Duration) {
-	e.r.push(event{at: e.r.now + types.Time(d), node: e.self, timer: true, timerID: id})
+	at := e.r.now + types.Time(d)
+	// Coalesce duplicate arms: a timer already pending for this (node, id,
+	// instant) fires exactly once, so re-arming it must not grow the heap.
+	// Protocols that re-arm on every delivery (retransmission timers,
+	// per-view timers under message storms) stay O(live timers) instead of
+	// O(arms).
+	key := timerKey{node: e.self, id: id, at: at}
+	if _, dup := e.r.armed[key]; dup {
+		e.r.coalesced++
+		return
+	}
+	e.r.armed[key] = struct{}{}
+	e.r.push(event{at: at, node: e.self, timer: true, timerID: id})
 }
 
 func (e *env) Decide(slot types.Slot, val types.Value) {
@@ -373,6 +398,13 @@ func (r *Runner) push(ev event) {
 	ev.seq = r.seq
 	r.seq++
 	r.queue.push(ev)
+}
+
+// timerKey identifies one pending timer event for coalescing.
+type timerKey struct {
+	node types.NodeID
+	id   types.TimerID
+	at   types.Time
 }
 
 // event is either a message delivery or a timer fire for one node.

@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Metric names usable in assertions; see RepResult for what each measures.
+var metricNames = []string{
+	"latency", "decided", "traffic", "storage", "max_view", "events",
+	"dropped", "finalized",
+}
+
+// aggNames are the distribution aggregates usable in assertions.
+var aggNames = []string{"mean", "stddev", "min", "max", "p50", "p99", "count"}
+
+// assertion is one parsed SLO clause: <agg>_<metric> <op> <bound>.
+type assertion struct {
+	src    string
+	agg    string
+	metric string
+	op     string
+	bound  float64
+}
+
+// parseAssertion parses "p99_latency <= 9" into its clause. The metric may
+// itself contain underscores (max_view), so the aggregate is matched as a
+// prefix from the fixed set.
+func parseAssertion(src string) (assertion, error) {
+	fields := strings.Fields(src)
+	if len(fields) != 3 {
+		return assertion{}, fmt.Errorf("sweep: assertion %q: want `<agg>_<metric> <op> <number>`", src)
+	}
+	as := assertion{src: src}
+	for _, agg := range aggNames {
+		if strings.HasPrefix(fields[0], agg+"_") {
+			as.agg = agg
+			as.metric = fields[0][len(agg)+1:]
+			break
+		}
+	}
+	if as.agg == "" {
+		return assertion{}, fmt.Errorf("sweep: assertion %q: unknown aggregate (want one of %s)", src, strings.Join(aggNames, "|"))
+	}
+	known := false
+	for _, m := range metricNames {
+		if as.metric == m {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return assertion{}, fmt.Errorf("sweep: assertion %q: unknown metric %q (want one of %s)", src, as.metric, strings.Join(metricNames, "|"))
+	}
+	switch fields[1] {
+	case "<=", "<", ">=", ">", "==", "!=":
+		as.op = fields[1]
+	default:
+		return assertion{}, fmt.Errorf("sweep: assertion %q: unknown operator %q", src, fields[1])
+	}
+	bound, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return assertion{}, fmt.Errorf("sweep: assertion %q: bad bound: %v", src, err)
+	}
+	as.bound = bound
+	return as, nil
+}
+
+// eval applies the assertion to one cell's stats. A metric with no samples
+// fails the assertion — an SLO over data that does not exist is not met —
+// except for the count aggregate, which evaluates the zero honestly so
+// "count_latency == 0" can pin an expected livelock.
+func (as assertion) eval(stats map[string]Dist) error {
+	d := stats[as.metric] // zero Dist when the metric has no samples
+	if as.agg != "count" && d.Count == 0 {
+		return fmt.Errorf("%s: no %s samples", as.src, as.metric)
+	}
+	v := d.agg(as.agg)
+	holds := false
+	switch as.op {
+	case "<=":
+		holds = v <= as.bound
+	case "<":
+		holds = v < as.bound
+	case ">=":
+		holds = v >= as.bound
+	case ">":
+		holds = v > as.bound
+	case "==":
+		holds = v == as.bound
+	case "!=":
+		holds = v != as.bound
+	}
+	if !holds {
+		return fmt.Errorf("%s: got %g", as.src, v)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package sweep
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"tetrabft/internal/scenario"
+)
+
+// TestRunTwiceByteIdentical marshals two runs of the same sweep and
+// requires byte equality — the snapshot-regression methodology depends on
+// identical runs producing identical files.
+func TestRunTwiceByteIdentical(t *testing.T) {
+	run := func() []byte {
+		res, err := Run(smallSweep())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Errorf("two runs of the same sweep marshal differently:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestGOMAXPROCSInvariant runs the same sweep at 1 and N cores and requires
+// byte-identical snapshots: the parallel fan-out folds in input order, so
+// core count must never leak into the output.
+func TestGOMAXPROCSInvariant(t *testing.T) {
+	sw, ok := ByName("delta-sensitivity")
+	if !ok {
+		t.Fatal("delta-sensitivity sweep missing")
+	}
+	run := func() []byte {
+		res, err := Run(sw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := res.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	prev := runtime.GOMAXPROCS(1)
+	seq := run()
+	runtime.GOMAXPROCS(4)
+	parl := run()
+	runtime.GOMAXPROCS(prev)
+	if !bytes.Equal(seq, parl) {
+		t.Error("GOMAXPROCS leaked into the sweep snapshot")
+	}
+}
+
+// TestCellMatchesStandaloneRun is the cross-API replication contract: every
+// replicate row of a sweep must carry exactly the numbers a standalone
+// scenario.Run of the cell's stored spec produces at that replicate's seed.
+// Anyone can therefore take one cell out of a published sweep and reproduce
+// its row verbatim.
+func TestCellMatchesStandaloneRun(t *testing.T) {
+	sw, ok := ByName("loss-until-gst")
+	if !ok {
+		t.Fatal("loss-until-gst sweep missing")
+	}
+	sw.Replicates = 3 // keep the standalone re-runs cheap
+	res, err := Run(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range res.Cells {
+		for _, rep := range cell.Reps {
+			sc := cell.Scenario
+			sc.Seed = rep.Seed
+			standalone, err := scenario.Run(sc)
+			if err != nil {
+				t.Fatalf("cell %s seed %d: standalone run failed: %v", cell.LabelString(), rep.Seed, err)
+			}
+			want := repOf(rep.Seed, standalone, nil)
+			if rep != want {
+				t.Errorf("cell %s seed %d: sweep row %+v != standalone %+v", cell.LabelString(), rep.Seed, rep, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// reportMetrics orders the metric columns of the human-readable reports.
+var reportMetrics = []struct {
+	metric string
+	agg    string
+}{
+	{"latency", "mean"},
+	{"latency", "p99"},
+	{"decided", "min"},
+	{"max_view", "max"},
+	{"traffic", "mean"},
+	{"storage", "max"},
+	{"finalized", "min"},
+}
+
+// columns returns the report columns that actually carry data somewhere in
+// the result, so single-shot sweeps do not render an empty finalized column.
+func columns(r *Result) []struct{ metric, agg string } {
+	var out []struct{ metric, agg string }
+	for _, col := range reportMetrics {
+		for _, c := range r.Cells {
+			if d, ok := c.Stats[col.metric]; ok && d.Count > 0 && (d.Max != 0 || col.metric == "latency" || col.metric == "decided") {
+				out = append(out, struct{ metric, agg string }{col.metric, col.agg})
+				break
+			}
+		}
+	}
+	return out
+}
+
+// fmtG renders a float the way the JSON snapshot does (shortest exact form).
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteMarkdown renders the result as a GitHub-flavored markdown table, one
+// row per cell. Output is deterministic: identical runs render identically.
+func WriteMarkdown(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "## sweep: %s\n\n", orUnnamed(r.Name))
+	fmt.Fprintf(w, "replicates per cell: %d\n\n", r.Replicates)
+	cols := columns(r)
+	fmt.Fprint(w, "| cell |")
+	for _, c := range cols {
+		fmt.Fprintf(w, " %s %s |", c.metric, c.agg)
+	}
+	fmt.Fprint(w, " verdict |\n|---|")
+	for range cols {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprint(w, "---|\n")
+	for _, cell := range r.Cells {
+		fmt.Fprintf(w, "| %s |", cell.LabelString())
+		for _, c := range cols {
+			d, ok := cell.Stats[c.metric]
+			if !ok || d.Count == 0 {
+				fmt.Fprint(w, " — |")
+				continue
+			}
+			fmt.Fprintf(w, " %s |", fmtG(d.agg(c.agg)))
+		}
+		fmt.Fprintf(w, " %s |\n", verdictString(cell))
+	}
+	fmt.Fprintln(w)
+	for _, cell := range r.Cells {
+		if cell.FirstError != "" {
+			fmt.Fprintf(w, "- cell %s: FAILED: %s\n", cell.LabelString(), cell.FirstError)
+		}
+		for _, a := range cell.FailedAsserts {
+			fmt.Fprintf(w, "- cell %s: assert violated: %s\n", cell.LabelString(), a)
+		}
+	}
+	if r.Pass {
+		fmt.Fprintln(w, "verdict: PASS")
+	} else {
+		fmt.Fprintf(w, "verdict: FAIL (%d/%d cells)\n", r.FailedCells, len(r.Cells))
+	}
+}
+
+func verdictString(c CellResult) string {
+	if c.Pass {
+		return "pass"
+	}
+	return "FAIL"
+}
+
+func orUnnamed(name string) string {
+	if name == "" {
+		return "(unnamed)"
+	}
+	return name
+}
+
+// WriteCSV renders the result in long form — one row per (cell, metric) —
+// for downstream analysis. Deterministic like the other writers.
+func WriteCSV(w io.Writer, r *Result) {
+	fmt.Fprintln(w, "cell,labels,metric,count,mean,stddev,min,max,p50,p99")
+	for _, cell := range r.Cells {
+		for _, m := range metricNames {
+			d, ok := cell.Stats[m]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%d,%q,%s,%d,%s,%s,%s,%s,%s,%s\n",
+				cell.Index, cell.LabelString(), m, d.Count,
+				fmtG(d.Mean), fmtG(d.Stddev), fmtG(d.Min), fmtG(d.Max), fmtG(d.P50), fmtG(d.P99))
+		}
+	}
+}
+
+// Diff compares two sweep results cell-by-cell and returns human-readable
+// difference lines; an empty slice means the measured results are
+// identical. Schema, name, stats and verdicts all participate — Diff is the
+// regression check behind `tetrabft-sweep -compare`.
+func Diff(a, b *Result) []string {
+	var out []string
+	if a.Schema != b.Schema {
+		out = append(out, fmt.Sprintf("schema: %q vs %q", a.Schema, b.Schema))
+	}
+	if a.Name != b.Name {
+		out = append(out, fmt.Sprintf("name: %q vs %q", a.Name, b.Name))
+	}
+	if a.Replicates != b.Replicates {
+		out = append(out, fmt.Sprintf("replicates: %d vs %d", a.Replicates, b.Replicates))
+	}
+	if len(a.Cells) != len(b.Cells) {
+		out = append(out, fmt.Sprintf("cells: %d vs %d", len(a.Cells), len(b.Cells)))
+		return out
+	}
+	for i := range a.Cells {
+		ca, cb := &a.Cells[i], &b.Cells[i]
+		if la, lb := ca.LabelString(), cb.LabelString(); la != lb {
+			out = append(out, fmt.Sprintf("cell %d: labels %s vs %s", i, la, lb))
+			continue
+		}
+		if len(ca.Reps) != len(cb.Reps) {
+			out = append(out, fmt.Sprintf("cell %d (%s): %d vs %d replicates", i, ca.LabelString(), len(ca.Reps), len(cb.Reps)))
+			continue
+		}
+		for r := range ca.Reps {
+			ja, _ := json.Marshal(ca.Reps[r])
+			jb, _ := json.Marshal(cb.Reps[r])
+			if string(ja) != string(jb) {
+				out = append(out, fmt.Sprintf("cell %d (%s) seed %d: %s vs %s", i, ca.LabelString(), ca.Reps[r].Seed, ja, jb))
+			}
+		}
+		if ca.Pass != cb.Pass {
+			out = append(out, fmt.Sprintf("cell %d (%s): verdict %v vs %v", i, ca.LabelString(), ca.Pass, cb.Pass))
+		}
+	}
+	if a.Pass != b.Pass {
+		out = append(out, fmt.Sprintf("verdict: %v vs %v", a.Pass, b.Pass))
+	}
+	return out
+}

@@ -131,7 +131,8 @@ type Env interface {
 	// the paper's quorum counting).
 	Broadcast(msg Message)
 	// SetTimer schedules a Tick(id) after d. Timers are one-shot and are
-	// never cancelled; cores ignore stale fires.
+	// never cancelled; cores ignore stale fires. Re-arming the same id for
+	// the same instant coalesces into one fire.
 	SetTimer(id TimerID, d Duration)
 	// Decide reports a decision for a slot (slot 0 for single-shot).
 	Decide(slot Slot, val Value)

@@ -1,0 +1,78 @@
+package tetrabft_test
+
+import (
+	"testing"
+
+	"tetrabft"
+)
+
+// TestSweepFacade runs an experiment grid through the public façade: a
+// base scenario, one axis, replicates, and an SLO — spec in, statistics
+// and verdict out.
+func TestSweepFacade(t *testing.T) {
+	res, err := tetrabft.RunSweep(tetrabft.Sweep{
+		Name: "facade",
+		Base: tetrabft.Scenario{
+			Protocol: tetrabft.ScenarioTetraBFT,
+			Nodes:    4,
+			Stop:     tetrabft.StopSpec{Horizon: 4000, AllDecided: true},
+		},
+		Axes:       []tetrabft.SweepAxis{{Field: "nodes", Ints: []int64{4, 7}}},
+		Replicates: 2,
+		Assert:     []string{"max_latency <= 5", "min_decided >= 4"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || len(res.Cells) != 2 {
+		t.Fatalf("pass=%v cells=%d, want a passing 2-cell sweep", res.Pass, len(res.Cells))
+	}
+	lat := res.Cells[0].Stats["latency"]
+	if lat.Count != 2 || lat.Mean != 5 {
+		t.Errorf("latency stats = %+v, want 2 samples at 5 delays", lat)
+	}
+}
+
+// TestSweepFacadeParse round-trips a sweep spec through the façade's JSON
+// path and checks the named library is reachable.
+func TestSweepFacadeParse(t *testing.T) {
+	sw, ok := tetrabft.SweepByName("n-scaling")
+	if !ok {
+		t.Fatal("n-scaling sweep missing")
+	}
+	data, err := sw.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := tetrabft.ParseSweep(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Name != sw.Name || len(parsed.Axes) != len(sw.Axes) {
+		t.Errorf("round trip changed the spec: %+v", parsed)
+	}
+	if got := len(tetrabft.NamedSweeps()); got < 5 {
+		t.Errorf("named sweep library has %d entries, want at least 5", got)
+	}
+}
+
+// TestFuzzFacade runs a tiny campaign against the deliberately broken
+// skip-rule-3 variant and requires a shrunken reproducer that fails
+// standalone through the façade's scenario runner.
+func TestFuzzFacade(t *testing.T) {
+	rep, err := tetrabft.FuzzScenarios(tetrabft.FuzzConfig{
+		Seed: 1, Runs: 25,
+		Protocols: []tetrabft.ScenarioProtocol{tetrabft.ScenarioTetraBFT},
+		Mutations: []tetrabft.ScenarioMutation{tetrabft.ScenarioMutationSkipRule3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) == 0 {
+		t.Fatal("campaign against skip-rule-3 found nothing")
+	}
+	f := rep.Failures[0]
+	if _, err := tetrabft.RunScenario(f.Scenario); err == nil {
+		t.Error("shrunken reproducer passes standalone")
+	}
+}

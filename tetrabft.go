@@ -55,6 +55,7 @@ import (
 	"tetrabft/internal/quorum"
 	"tetrabft/internal/scenario"
 	"tetrabft/internal/sim"
+	"tetrabft/internal/sweep"
 	"tetrabft/internal/trace"
 	"tetrabft/internal/transport"
 	"tetrabft/internal/types"
@@ -250,6 +251,8 @@ type (
 	LinkDelaySpec = scenario.LinkDelaySpec
 	// FaultType names a scenario fault behavior.
 	FaultType = scenario.FaultType
+	// ScenarioMutation names a deliberately broken protocol variant.
+	ScenarioMutation = scenario.Mutation
 	// FaultSpec declares one fault in a scenario's schedule.
 	FaultSpec = scenario.FaultSpec
 	// WorkloadSpec declares a scenario's inputs.
@@ -296,6 +299,23 @@ const (
 	FaultSuppressProposals = scenario.FaultSuppressProposals
 	// FaultPartition drops cross-group messages during [From, To).
 	FaultPartition = scenario.FaultPartition
+	// FaultStarveDecision starves everyone but one node of the view-0
+	// decision phase (the Lemma 8 cross-view setup).
+	FaultStarveDecision = scenario.FaultStarveDecision
+	// FaultForgedHistory replaces a node with the Lemma 8 Byzantine
+	// leader pushing a conflicting value with a forged clean history.
+	FaultForgedHistory = scenario.FaultForgedHistory
+)
+
+// Deliberately broken protocol variants for adversarial harnesses (the
+// scenario fuzzer's teeth); production specs use ScenarioMutationNone.
+const (
+	// ScenarioMutationNone runs the correct protocol.
+	ScenarioMutationNone = scenario.MutationNone
+	// ScenarioMutationSkipRule3 removes the Rule 3 safety check.
+	ScenarioMutationSkipRule3 = scenario.MutationSkipRule3
+	// ScenarioMutationNoPrevVote drops second-highest-vote tracking.
+	ScenarioMutationNoPrevVote = scenario.MutationNoPrevVote
 )
 
 // RunScenario executes a declarative scenario and returns its result.
@@ -310,6 +330,50 @@ func NamedScenarios() []Scenario { return scenario.Named() }
 
 // ScenarioByName returns the bundled scenario with the given name.
 func ScenarioByName(name string) (Scenario, bool) { return scenario.ByName(name) }
+
+// Experiment sweeps and scenario fuzzing: a Sweep crosses a base Scenario
+// with axes into a grid, runs K seed replicates per cell in parallel
+// (byte-identical at any core count), aggregates distribution statistics
+// and checks declarative SLO assertions; Fuzz hunts for safety and
+// liveness failures over random valid scenarios and shrinks findings to
+// minimal reproducers. See package sweep and the EXPERIMENTS.md "Sweeps &
+// fuzzing" section.
+type (
+	// Sweep is the declarative, JSON-serializable experiment grid.
+	Sweep = sweep.Sweep
+	// SweepAxis varies one scenario field across a list of values.
+	SweepAxis = sweep.Axis
+	// SweepResult is what a sweep run measured.
+	SweepResult = sweep.Result
+	// SweepCell is one grid cell's measurements.
+	SweepCell = sweep.CellResult
+	// SweepDist summarizes one metric across a cell's replicates.
+	SweepDist = sweep.Dist
+	// FuzzConfig declares the scenario fuzzer's sampling envelope.
+	FuzzConfig = sweep.FuzzConfig
+	// FuzzReport is what a fuzzing campaign produced.
+	FuzzReport = sweep.FuzzReport
+	// FuzzFailure is one finding, shrunk to a minimal reproducer.
+	FuzzFailure = sweep.Failure
+)
+
+// RunSweep executes a sweep grid and returns its per-cell statistics and
+// assertion verdict.
+func RunSweep(sw Sweep) (*SweepResult, error) { return sweep.Run(sw) }
+
+// ParseSweep decodes and validates a JSON sweep spec (unknown fields are
+// errors).
+func ParseSweep(data []byte) (Sweep, error) { return sweep.Parse(data) }
+
+// NamedSweeps returns the bundled, ready-to-run sweep library.
+func NamedSweeps() []Sweep { return sweep.Named() }
+
+// SweepByName returns the bundled sweep with the given name.
+func SweepByName(name string) (Sweep, bool) { return sweep.ByName(name) }
+
+// FuzzScenarios runs a seeded fuzzing campaign: random valid scenarios,
+// any failure shrunk to a minimal reproducing Scenario.
+func FuzzScenarios(cfg FuzzConfig) (*FuzzReport, error) { return sweep.Fuzz(cfg) }
 
 // Tracing.
 type (
