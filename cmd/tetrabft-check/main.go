@@ -15,13 +15,16 @@ import (
 
 func main() {
 	var (
-		nodes   = flag.Int("nodes", 4, "number of nodes")
-		faulty  = flag.Int("faulty", 1, "number of Byzantine nodes")
-		values  = flag.Int("values", 3, "number of candidate values")
-		rounds  = flag.Int("rounds", 5, "number of rounds (views)")
-		good    = flag.Int("good", 0, "good round (-1 disables the proposer)")
-		mode    = flag.String("mode", "all", "bfs | walks | induction | liveness | all")
-		states  = flag.Int("states", 100000, "BFS state cap")
+		nodes  = flag.Int("nodes", 4, "number of nodes")
+		faulty = flag.Int("faulty", 1, "number of Byzantine nodes")
+		values = flag.Int("values", 3, "number of candidate values")
+		rounds = flag.Int("rounds", 5, "number of rounds (views)")
+		good   = flag.Int("good", 0, "good round (-1 disables the proposer)")
+		mode   = flag.String("mode", "all", "bfs | walks | induction | liveness | all")
+		// The BFS keeps O(1) trace bytes per state (parent-pointer store),
+		// so a million-state default costs single-digit MiB of trace memory
+		// where the old per-state trace copies made it prohibitive.
+		states  = flag.Int("states", 1000000, "BFS state cap")
 		depth   = flag.Int("depth", 14, "BFS depth cap")
 		walks   = flag.Int("walks", 200, "random walks")
 		steps   = flag.Int("steps", 100, "steps per walk")
@@ -57,8 +60,13 @@ func run(nodes, faulty, values, rounds, good int, mode string, states, depth, wa
 	failed := false
 	if mode == "bfs" || mode == "all" {
 		res := sp.BFS(states, depth)
-		fmt.Printf("bfs:        %d states, %d transitions, truncated=%v\n",
-			res.StatesExplored, res.Transitions, res.Truncated)
+		// Visited counts expanded states; admitted (= transitions+1) counts
+		// deduplicated states in the store — on truncated runs the frontier
+		// still holds admitted-but-unvisited states, so the two diverge.
+		// B/state is per admitted state, the trace store's denominator.
+		fmt.Printf("bfs:        %d states visited, %d admitted (%d transitions), truncated=%v, trace store %s (%.1f B/state)\n",
+			res.StatesExplored, res.Transitions+1, res.Transitions, res.Truncated,
+			humanBytes(res.TraceStoreBytes), float64(res.TraceStoreBytes)/float64(res.Transitions+1))
 		if res.Violation != nil {
 			fmt.Printf("  VIOLATION: %v\n", res.Violation)
 			failed = true
@@ -99,4 +107,17 @@ func run(nodes, faulty, values, rounds, good int, mode string, states, depth, wa
 	}
 	fmt.Println("all checked properties hold")
 	return nil
+}
+
+// humanBytes renders a byte count with a binary unit (peak trace-store
+// sizes range from KiB on smoke runs to MiB at the million-state default).
+func humanBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }

@@ -44,3 +44,22 @@ func TestInvalidConfigRejected(t *testing.T) {
 		t.Error("n=3f accepted")
 	}
 }
+
+// TestHumanBytes pins the unit breakpoints of the trace-store size report.
+func TestHumanBytes(t *testing.T) {
+	tests := []struct {
+		n    int
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{1 << 10, "1.0 KiB"},
+		{8 * 1 << 20, "8.0 MiB"},
+		{8634368, "8.2 MiB"},
+	}
+	for _, tt := range tests {
+		if got := humanBytes(tt.n); got != tt.want {
+			t.Errorf("humanBytes(%d) = %q, want %q", tt.n, got, tt.want)
+		}
+	}
+}

@@ -15,10 +15,10 @@ func mustSpec(t *testing.T, cfg Config) *Spec {
 
 func TestNewSpecValidation(t *testing.T) {
 	bad := []Config{
-		{Nodes: 3, Faulty: 1, Values: 2, Rounds: 2},  // 3f = n
-		{Nodes: 0, Faulty: 0, Values: 2, Rounds: 2},  // no nodes
-		{Nodes: 4, Faulty: 1, Values: 0, Rounds: 2},  // no values
-		{Nodes: 4, Faulty: 1, Values: 2, Rounds: 0},  // no rounds
+		{Nodes: 3, Faulty: 1, Values: 2, Rounds: 2},   // 3f = n
+		{Nodes: 0, Faulty: 0, Values: 2, Rounds: 2},   // no nodes
+		{Nodes: 4, Faulty: 1, Values: 0, Rounds: 2},   // no values
+		{Nodes: 4, Faulty: 1, Values: 2, Rounds: 0},   // no rounds
 		{Nodes: 4, Faulty: -1, Values: 2, Rounds: 2},  // negative f
 		{Nodes: 17, Faulty: 5, Values: 2, Rounds: 2},  // beyond quorum enumeration
 		{Nodes: 4, Faulty: 1, Values: 65, Rounds: 2},  // value group exceeds a word

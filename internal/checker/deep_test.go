@@ -20,24 +20,51 @@ func TestDeepBFS(t *testing.T) {
 
 // TestDeepBFSMatchesOracle pins the tentpole acceptance bound: on the
 // reference instance at the 250k-state sizing, the bitset BFS reports
-// state/transition counts identical to the map-backed oracle.
+// state/transition counts identical to the map-backed oracle, and the
+// parent-pointer store reconstructs every admitted state's trace
+// action-for-action equal to the full trace the oracle stored.
 func TestDeepBFSMatchesOracle(t *testing.T) {
 	if testing.Short() {
 		t.Skip("deep exploration; run without -short")
 	}
 	cfg := Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1}
-	res := mustSpec(t, cfg).BFS(250000, 16)
+	res, ts := mustSpec(t, cfg).bfs(250000, 16)
 	oracle, err := newMapSpec(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ores := oracle.BFS(250000, 16)
+	ores, otraces := oracle.bfsTraces(250000, 16)
 	if res.StatesExplored != ores.StatesExplored || res.Transitions != ores.Transitions || res.Truncated != ores.Truncated {
 		t.Errorf("bitset %+v != oracle %+v", res, ores)
 	}
 	if res.Violation != nil || ores.Violation != nil {
 		t.Errorf("violations: bitset=%v oracle=%v", res.Violation, ores.Violation)
 	}
+	requireTracesMatchOracle(t, ts, otraces)
+}
+
+// TestDeepBFS1M is the run the tentpole unlocked: one million admitted
+// states on the reference instance. Under the old map-of-traces
+// representation this sizing held hundreds of megabytes of per-state
+// trace copies; the parent-pointer store keeps it in single-digit MiB
+// (budget pinned by TestBytesPerStateBound at any sizing).
+func TestDeepBFS1M(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep exploration; run without -short")
+	}
+	sp := mustSpec(t, Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1})
+	res := sp.BFS(1000000, 20)
+	if res.Violation != nil {
+		t.Fatalf("1M-state BFS found: %v", res.Violation)
+	}
+	if admitted := res.Transitions + 1; admitted != 1000000 || !res.Truncated {
+		t.Fatalf("expected to admit the full 1M cap, got %d (truncated=%v)", admitted, res.Truncated)
+	}
+	if res.TraceStoreBytes > 16*1000000 {
+		t.Errorf("trace store holds %d bytes for 1M states, above the 16 B/state budget", res.TraceStoreBytes)
+	}
+	t.Logf("1M-state BFS: %d visited, trace store %.1f MiB (%.2f B/state)",
+		res.StatesExplored, float64(res.TraceStoreBytes)/(1<<20), float64(res.TraceStoreBytes)/1000000)
 }
 
 func TestDeepWalksPaperConfig(t *testing.T) {

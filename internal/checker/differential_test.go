@@ -112,6 +112,46 @@ func TestDifferentialExploration(t *testing.T) {
 	}
 }
 
+// requireTracesMatchOracle asserts the parent-pointer store reconstructs,
+// for every admitted id, exactly the full trace the oracle copied into
+// its seen map. Both searches admit the same states in the same order
+// (the determinism contract), so ids and the oracle's admission-order
+// list line up one-to-one.
+func requireTracesMatchOracle(t *testing.T, ts *traceStore, otraces [][]Action) {
+	t.Helper()
+	if ts.size() != len(otraces) {
+		t.Fatalf("admitted %d states, oracle admitted %d", ts.size(), len(otraces))
+	}
+	for id := range otraces {
+		if got := ts.trace(uint32(id)); !reflect.DeepEqual(got, otraces[id]) {
+			t.Fatalf("id %d: reconstructed trace differs:\nbitset: %v\noracle: %v", id, got, otraces[id])
+		}
+	}
+}
+
+// TestDifferentialBFSTraces pins the parent-pointer rewrite against the
+// map-of-traces oracle at full strength: the reconstructed trace of every
+// admitted state — not just of violations — must be action-for-action
+// identical to the oracle's, across the correct spec and every Mutation*.
+func TestDifferentialBFSTraces(t *testing.T) {
+	for _, tc := range diffConfigs() {
+		t.Run(tc.name, func(t *testing.T) {
+			bit := mustSpec(t, tc.cfg)
+			oracle, err := newMapSpec(tc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, ts := bit.bfs(2500, 7)
+			ores, otraces := oracle.bfsTraces(2500, 7)
+			if res.StatesExplored != ores.StatesExplored || res.Transitions != ores.Transitions || res.Truncated != ores.Truncated {
+				t.Fatalf("BFS counts differ: bitset=%+v oracle=%+v", res, ores)
+			}
+			sameViolation(t, "BFS", res.Violation, ores.Violation)
+			requireTracesMatchOracle(t, ts, otraces)
+		})
+	}
+}
+
 // TestDifferentialGuards cross-checks the individual predicates on random
 // synthetic states: enabled-action sets, invariant verdicts, decided sets
 // and the safety predicates must agree bit-for-bit with the oracle.

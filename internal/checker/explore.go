@@ -3,6 +3,7 @@ package checker
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 
 	"tetrabft/internal/par"
@@ -13,7 +14,11 @@ type Result struct {
 	StatesExplored int
 	Transitions    int
 	Truncated      bool // hit the state or depth cap before exhausting
-	Violation      *Violation
+	// TraceStoreBytes is the peak resident size of the BFS parent-pointer
+	// trace store (the parent and packed-action arrays). Zero for the
+	// walk-based modes, which carry one linear trace per walk.
+	TraceStoreBytes int
+	Violation       *Violation
 }
 
 // Violation is a counterexample: the action trace from the initial state.
@@ -23,10 +28,16 @@ type Violation struct {
 	Detail   string
 }
 
-// Error renders the counterexample.
+// Error renders the counterexample with one numbered action per line, so
+// deep traces stay readable in CI logs instead of collapsing into a raw
+// slice dump.
 func (v *Violation) Error() string {
-	return fmt.Sprintf("checker: %s violated after %d steps (%s): trace %v",
-		v.Property, len(v.Trace), v.Detail, v.Trace)
+	var b strings.Builder
+	fmt.Fprintf(&b, "checker: %s violated after %d steps (%s)", v.Property, len(v.Trace), v.Detail)
+	for i, a := range v.Trace {
+		fmt.Fprintf(&b, "\n  %3d. %v", i+1, a)
+	}
+	return b.String()
 }
 
 // Exploration is parallel but deterministic. Every function in this file
@@ -75,25 +86,40 @@ func lowerMin(m *atomic.Int64, v int64) {
 // Frontier levels are expanded in parallel chunk by chunk; the fold walks
 // the chunk in frontier order, so the visit order, all counters and any
 // counterexample are identical to a sequential FIFO search.
+//
+// Trace bookkeeping is O(1) per state: admitted states carry only a dense
+// id with a (parent id, action) edge in the trace store, and the full
+// action trace is reconstructed by walking parents backward only when a
+// violation fires. The old representation kept a full []Action copy per
+// state, which made trace storage the search's biggest resident and
+// capped how many states a run could afford.
 func (sp *Spec) BFS(maxStates, maxDepth int) Result {
+	res, _ := sp.bfs(maxStates, maxDepth)
+	return res
+}
+
+// bfs is the BFS core; it also returns the trace store so tests can
+// reconstruct and cross-check the trace of every admitted state.
+func (sp *Spec) bfs(maxStates, maxDepth int) (res Result, ts *traceStore) {
 	type entry struct {
 		state *State
-		key   string
+		id    uint32
 		depth int
 	}
 	type succ struct {
 		action Action
-		key    string
 		state  *State
 	}
 	type expansion struct {
 		consistent bool
 		succs      []succ
+		keys       []byte // successor fingerprints, keyLen bytes each
 	}
+	keyLen := sp.lay.keySize()
 	init := sp.initState()
-	res := Result{}
-	seen := map[string][]Action{init.Key(): nil}
-	frontier := []entry{{state: init, key: init.Key(), depth: 0}}
+	ts = newTraceStore(init.Key())
+	defer func() { res.TraceStoreBytes = ts.bytes() }()
+	frontier := []entry{{state: init, id: 0, depth: 0}}
 	for len(frontier) > 0 {
 		var next []entry
 		for base := 0; base < len(frontier); base += bfsChunk {
@@ -107,50 +133,51 @@ func (sp *Spec) BFS(maxStates, maxDepth int) Result {
 				}
 				for _, a := range sp.EnabledActions(e.state, false) {
 					ns := sp.Apply(e.state, a)
-					exps[i].succs = append(exps[i].succs, succ{action: a, key: ns.Key(), state: ns})
+					exps[i].succs = append(exps[i].succs, succ{action: a, state: ns})
+					exps[i].keys = ns.appendKey(exps[i].keys)
 				}
 			})
 			for i, e := range chunk {
 				res.StatesExplored++
-				trace := seen[e.key]
 				if !exps[i].consistent {
 					res.Violation = &Violation{
 						Property: "Consistency",
-						Trace:    trace,
+						Trace:    ts.trace(e.id),
 						Detail:   fmt.Sprintf("decided = %v", sp.Decided(e.state)),
 					}
-					return res
+					return res, ts
 				}
 				if e.depth >= maxDepth {
 					res.Truncated = true
 					e.state.release()
 					continue
 				}
-				for _, sc := range exps[i].succs {
-					if _, dup := seen[sc.key]; dup {
+				for j, sc := range exps[i].succs {
+					key := exps[i].keys[j*keyLen : (j+1)*keyLen]
+					// Dup lookups go through the raw fingerprint bytes (no
+					// allocation); only admitted states intern a string.
+					if _, dup := ts.ids[string(key)]; dup {
 						sc.state.release()
 						continue
 					}
 					// Check the cap before counting: a transition whose
-					// target is never admitted to `seen` must not be
-					// counted, so counts match admitted states on
-					// truncated runs (Transitions == len(seen)−1).
-					if len(seen) >= maxStates {
+					// target is never admitted must not be counted, so
+					// counts match admitted states on truncated runs
+					// (Transitions == admitted−1).
+					if ts.size() >= maxStates {
 						res.Truncated = true
-						return res
+						return res, ts
 					}
 					res.Transitions++
-					nextTrace := make([]Action, len(trace), len(trace)+1)
-					copy(nextTrace, trace)
-					seen[sc.key] = append(nextTrace, sc.action)
-					next = append(next, entry{state: sc.state, key: sc.key, depth: e.depth + 1})
+					id := ts.admit(string(key), e.id, sc.action)
+					next = append(next, entry{state: sc.state, id: id, depth: e.depth + 1})
 				}
 				e.state.release()
 			}
 		}
 		frontier = next
 	}
-	return res
+	return res, ts
 }
 
 // walkOut is the per-walk result slot filled by runWalks workers.

@@ -494,6 +494,16 @@ func (sp *mapSpec) votedPhase4At(s *mapState, p int, c Round) bool {
 // ---- exploration over mapStates (same schedules as explore.go) ----
 
 func (sp *mapSpec) BFS(maxStates, maxDepth int) Result {
+	res, _ := sp.bfsTraces(maxStates, maxDepth)
+	return res
+}
+
+// bfsTraces is the oracle BFS core. Besides the Result it returns every
+// admitted state's full trace in admission order — the map-of-traces
+// representation the parent-pointer store replaced — so differential
+// tests can require the reconstructed traces to be action-for-action
+// identical, and memory tests can price the old representation.
+func (sp *mapSpec) bfsTraces(maxStates, maxDepth int) (Result, [][]Action) {
 	type entry struct {
 		state *mapState
 		key   string
@@ -511,6 +521,7 @@ func (sp *mapSpec) BFS(maxStates, maxDepth int) Result {
 	init := newMapInitState(sp.cfg)
 	res := Result{}
 	seen := map[string][]Action{init.Key(): nil}
+	admitted := [][]Action{nil} // traces in admission order, init first
 	frontier := []entry{{state: init, key: init.Key(), depth: 0}}
 	for len(frontier) > 0 {
 		var next []entry
@@ -537,7 +548,7 @@ func (sp *mapSpec) BFS(maxStates, maxDepth int) Result {
 						Trace:    trace,
 						Detail:   fmt.Sprintf("decided = %v", sp.Decided(e.state)),
 					}
-					return res
+					return res, admitted
 				}
 				if e.depth >= maxDepth {
 					res.Truncated = true
@@ -549,19 +560,20 @@ func (sp *mapSpec) BFS(maxStates, maxDepth int) Result {
 					}
 					if len(seen) >= maxStates {
 						res.Truncated = true
-						return res
+						return res, admitted
 					}
 					res.Transitions++
 					nextTrace := make([]Action, len(trace), len(trace)+1)
 					copy(nextTrace, trace)
 					seen[sc.key] = append(nextTrace, sc.action)
+					admitted = append(admitted, seen[sc.key])
 					next = append(next, entry{state: sc.state, key: sc.key, depth: e.depth + 1})
 				}
 			}
 		}
 		frontier = next
 	}
-	return res
+	return res, admitted
 }
 
 func (sp *mapSpec) runWalks(walks, steps int, seed int64, pick func(*rand.Rand, []Action) Action, checkInv bool) Result {

@@ -95,6 +95,44 @@ func BenchmarkKey(b *testing.B) {
 	}
 }
 
+// TestBytesPerStateBound pins the parent-pointer trace store's O(1)
+// budget on the reference instance: at most 16 bytes per admitted state
+// (8 bytes of parent + packed action, ×2 for append's growth slack), and
+// at least 5× below what the old map-of-traces representation holds for
+// the same search — the tentpole acceptance bound. The baseline is priced
+// from the oracle's actual traces: a 24-byte slice header plus 40 bytes
+// per Action, ignoring map-bucket overhead (conservative in the oracle's
+// favor).
+func TestBytesPerStateBound(t *testing.T) {
+	cfg := Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1}
+	res, _ := mustSpec(t, cfg).bfs(30000, 12)
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	admitted := res.Transitions + 1
+	if res.TraceStoreBytes > 16*admitted {
+		t.Errorf("trace store holds %d bytes for %d states (%.1f B/state), above the 16 B/state budget",
+			res.TraceStoreBytes, admitted, float64(res.TraceStoreBytes)/float64(admitted))
+	}
+	oracle, err := newMapSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, otraces := oracle.bfsTraces(30000, 12)
+	baseline := 0
+	for _, tr := range otraces {
+		baseline += 24 + 40*len(tr)
+	}
+	if baseline < 5*res.TraceStoreBytes {
+		t.Errorf("trace store %d bytes vs map-of-traces baseline %d: reduction %.1fx, want ≥ 5x",
+			res.TraceStoreBytes, baseline, float64(baseline)/float64(res.TraceStoreBytes))
+	}
+	t.Logf("trace bytes/state: %.1f (store) vs %.1f (map baseline), %.0fx reduction",
+		float64(res.TraceStoreBytes)/float64(admitted),
+		float64(baseline)/float64(len(otraces)),
+		float64(baseline)/float64(res.TraceStoreBytes))
+}
+
 // BenchmarkBFS is the reference-instance search (the CI sizing of the
 // Section 5 reproduction) — the headline number for the bitset rewrite.
 func BenchmarkBFS(b *testing.B) {
@@ -105,6 +143,22 @@ func BenchmarkBFS(b *testing.B) {
 		if res.Violation != nil {
 			b.Fatal(res.Violation)
 		}
+	}
+}
+
+// BenchmarkBFSDeep1M is the sizing the parent-pointer store unlocked: one
+// million admitted states, memory-prohibitive under the map-of-traces
+// representation. Reports the trace store's bytes/state alongside the
+// usual -benchmem numbers.
+func BenchmarkBFSDeep1M(b *testing.B) {
+	sp, _ := NewSpec(Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res := sp.BFS(1000000, 20)
+		if res.Violation != nil {
+			b.Fatal(res.Violation)
+		}
+		b.ReportMetric(float64(res.TraceStoreBytes)/float64(res.Transitions+1), "trace-B/state")
 	}
 }
 

@@ -242,13 +242,18 @@ func (s *State) release() { s.lay.pool.Put(s) }
 // buffer (the paper config needs 4·(1+8)+2 = 38 bytes).
 const keyStackBytes = 168
 
+// keySize is the fixed fingerprint width for this layout: one round byte
+// plus wordsPerNode little-endian words per node, then two proposal bytes.
+// The BFS trace store relies on the width being constant to slice
+// successor keys out of one flat buffer per expansion.
+func (l *layout) keySize() int { return l.nodes*(1+8*l.wordsPerNode) + 2 }
+
 // Key returns a canonical fingerprint for state deduplication. With the
 // bitset representation it is a fixed-width binary string — one round byte
 // plus wordsPerNode little-endian words per node, then the proposal — with
 // no sorting or strconv: the bit layout is already canonical.
 func (s *State) Key() string {
-	w := s.lay.wordsPerNode
-	size := len(s.Round)*(1+8*w) + 2
+	size := s.lay.keySize()
 	var arr [keyStackBytes]byte
 	var buf []byte
 	if size <= keyStackBytes {
@@ -256,6 +261,15 @@ func (s *State) Key() string {
 	} else {
 		buf = make([]byte, 0, size)
 	}
+	return string(s.appendKey(buf))
+}
+
+// appendKey appends the keySize()-byte fingerprint to buf and returns the
+// extended slice. Exploration interns keys through this form: dedup
+// lookups use the raw bytes (map access via string conversion does not
+// allocate), and only admitted states pay for a string.
+func (s *State) appendKey(buf []byte) []byte {
+	w := s.lay.wordsPerNode
 	for p, r := range s.Round {
 		buf = append(buf, byte(r+1))
 		for _, word := range s.votes[p*w : (p+1)*w] {
@@ -269,8 +283,7 @@ func (s *State) Key() string {
 	} else {
 		buf = append(buf, 0)
 	}
-	buf = append(buf, byte(s.Proposal))
-	return string(buf)
+	return append(buf, byte(s.Proposal))
 }
 
 // Spec evaluates guards and applies actions for a fixed configuration.

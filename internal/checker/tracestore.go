@@ -1,0 +1,106 @@
+package checker
+
+// The BFS trace store: states get dense uint32 ids in admission order, and
+// each id records only its predecessor's id plus the action taken — O(1)
+// per state instead of the O(depth) full-trace copies the old
+// map[string][]Action kept. Traces are reconstructed by walking parent
+// pointers backward, which only happens when a violation fires (or when a
+// test asks). This is the predecessor encoding TLC-style explicit-state
+// checkers use to scale state counts: trace storage stops being the
+// exploration's biggest resident.
+
+// packedAction is an Action packed into 32 bits for the trace store.
+// The field widths cover the largest instances NewSpec admits: kind ≤ 6
+// (3 bits), node < 16 (4 bits), phase ≤ 4 (3 bits), value < 64 (6 bits),
+// round < 128 (7 bits) — 23 bits total, with the layout below leaving
+// headroom in each field.
+type packedAction uint32
+
+const (
+	paKindBits  = 3
+	paNodeBits  = 5
+	paPhaseBits = 3
+	paValueBits = 7
+
+	paNodeShift  = paKindBits
+	paPhaseShift = paNodeShift + paNodeBits
+	paValueShift = paPhaseShift + paPhaseBits
+	paRoundShift = paValueShift + paValueBits
+)
+
+func packAction(a Action) packedAction {
+	return packedAction(uint32(a.Kind) |
+		uint32(a.Node)<<paNodeShift |
+		uint32(a.Phase)<<paPhaseShift |
+		uint32(a.Value)<<paValueShift |
+		uint32(a.Round)<<paRoundShift)
+}
+
+func (p packedAction) action() Action {
+	return Action{
+		Kind:  ActionKind(p & (1<<paKindBits - 1)),
+		Node:  int(p >> paNodeShift & (1<<paNodeBits - 1)),
+		Phase: int(p >> paPhaseShift & (1<<paPhaseBits - 1)),
+		Value: Value(p >> paValueShift & (1<<paValueBits - 1)),
+		Round: Round(p >> paRoundShift),
+	}
+}
+
+// noParent marks the root (initial state) in the parent array.
+const noParent = ^uint32(0)
+
+// traceStore interns state keys to dense ids and records, per id, only the
+// (parent id, action) edge that first discovered the state.
+type traceStore struct {
+	ids     map[string]uint32 // canonical state fingerprint → dense id
+	parents []uint32          // parents[id]: predecessor's id, noParent at the root
+	actions []packedAction    // actions[id]: the edge taken from parents[id]
+}
+
+// newTraceStore seeds the store with the initial state as id 0.
+func newTraceStore(rootKey string) *traceStore {
+	return &traceStore{
+		ids:     map[string]uint32{rootKey: 0},
+		parents: []uint32{noParent},
+		actions: []packedAction{0},
+	}
+}
+
+// size returns the number of admitted states (== len(seen) of the old map).
+func (ts *traceStore) size() int { return len(ts.parents) }
+
+// admit interns key as the next dense id with the given discovery edge.
+func (ts *traceStore) admit(key string, parent uint32, a Action) uint32 {
+	id := uint32(len(ts.parents))
+	ts.ids[key] = id
+	ts.parents = append(ts.parents, parent)
+	ts.actions = append(ts.actions, packAction(a))
+	return id
+}
+
+// bytes reports the resident size of the trace encoding: the parent and
+// action arrays (capacity, i.e. what append actually reserved). The dedup
+// map is deliberately excluded — its keys are the state fingerprints every
+// explicit-state search needs regardless of how traces are represented.
+func (ts *traceStore) bytes() int {
+	return cap(ts.parents)*4 + cap(ts.actions)*4
+}
+
+// trace reconstructs the action path from the initial state to id by
+// walking parent pointers. The root reconstructs to nil, matching the old
+// representation's seen[initKey] == nil.
+func (ts *traceStore) trace(id uint32) []Action {
+	n := 0
+	for cur := id; ts.parents[cur] != noParent; cur = ts.parents[cur] {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Action, n)
+	for cur := id; ts.parents[cur] != noParent; cur = ts.parents[cur] {
+		n--
+		out[n] = ts.actions[cur].action()
+	}
+	return out
+}

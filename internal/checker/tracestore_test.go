@@ -1,0 +1,147 @@
+package checker
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPackActionRoundTrip packs and unpacks every action NewSpec-admissible
+// instances can produce: kinds 1..6, nodes < 16, phases 0..4, values < 64,
+// rounds < 128 (the largest round count the word budget admits).
+func TestPackActionRoundTrip(t *testing.T) {
+	for kind := ActStartRound; kind <= ActHavocRound; kind++ {
+		for _, node := range []int{0, 1, 7, 15} {
+			for phase := 0; phase <= 4; phase++ {
+				for _, val := range []Value{0, 1, 31, 63} {
+					for _, r := range []Round{0, 1, 64, 127} {
+						a := Action{Kind: kind, Node: node, Phase: phase, Value: val, Round: r}
+						if got := packAction(a).action(); got != a {
+							t.Fatalf("round trip mangled %+v into %+v", a, got)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceStoreReconstruction hand-builds a small discovery tree and
+// checks parent walks reconstruct the exact root-to-state action paths.
+func TestTraceStoreReconstruction(t *testing.T) {
+	a := Action{Kind: ActStartRound, Node: 1, Round: 2}
+	b := Action{Kind: ActVote, Node: 0, Phase: 3, Value: 1, Round: 0}
+	c := Action{Kind: ActHavocAddVote, Node: 3, Phase: 4, Value: 2, Round: 1}
+	ts := newTraceStore("root")
+	idA := ts.admit("sA", 0, a)   // root --a--> sA
+	idB := ts.admit("sB", idA, b) // sA --b--> sB
+	idC := ts.admit("sC", 0, c)   // root --c--> sC (sibling branch)
+	if ts.size() != 4 {
+		t.Fatalf("size = %d, want 4", ts.size())
+	}
+	if got := ts.trace(0); got != nil {
+		t.Errorf("root trace = %v, want nil", got)
+	}
+	if got := ts.trace(idB); !reflect.DeepEqual(got, []Action{a, b}) {
+		t.Errorf("trace(sB) = %v, want [%v %v]", got, a, b)
+	}
+	if got := ts.trace(idC); !reflect.DeepEqual(got, []Action{c}) {
+		t.Errorf("trace(sC) = %v, want [%v]", got, c)
+	}
+	// Reconstruction is read-only: a second walk gives the same answer.
+	if got := ts.trace(idB); !reflect.DeepEqual(got, []Action{a, b}) {
+		t.Errorf("second trace(sB) = %v", got)
+	}
+}
+
+// keyOf inverts the store's intern map: dense id → state fingerprint.
+func keyOf(ts *traceStore) []string {
+	keys := make([]string, ts.size())
+	for k, id := range ts.ids {
+		keys[id] = k
+	}
+	return keys
+}
+
+// TestBFSTracesReplay runs a real search and validates every admitted
+// state's reconstructed trace semantically: each action in it must be
+// enabled in sequence from the initial state, and the state it ends in
+// must carry exactly the fingerprint the id was interned under.
+func TestBFSTracesReplay(t *testing.T) {
+	sp := mustSpec(t, Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1})
+	res, ts := sp.bfs(1500, 6)
+	if res.Violation != nil {
+		t.Fatal(res.Violation)
+	}
+	keys := keyOf(ts)
+	for id := 0; id < ts.size(); id++ {
+		s := sp.initState()
+		for step, a := range ts.trace(uint32(id)) {
+			if !sp.Enabled(s, a) {
+				t.Fatalf("id %d: step %d action %v not enabled along the reconstructed trace", id, step, a)
+			}
+			prev := s
+			s = sp.Apply(s, a)
+			prev.release()
+		}
+		if s.Key() != keys[id] {
+			t.Fatalf("id %d: reconstructed trace replays to a different state", id)
+		}
+		s.release()
+	}
+}
+
+// TestBFSTruncationTraceContract drives BFS into the maxStates cap and
+// checks the truncation accounting against the trace store: every counted
+// transition admitted a state (Transitions == admitted−1), and traces
+// remain reconstructable for all admitted states, with each trace exactly
+// as long as its parent chain.
+func TestBFSTruncationTraceContract(t *testing.T) {
+	sp := mustSpec(t, Config{Nodes: 4, Faulty: 1, Values: 2, Rounds: 2, GoodRound: -1})
+	res, ts := sp.bfs(700, 6)
+	if !res.Truncated {
+		t.Fatal("expected the tiny state cap to truncate")
+	}
+	if ts.size() != 700 {
+		t.Fatalf("admitted %d states, want the cap (700)", ts.size())
+	}
+	if res.Transitions != ts.size()-1 {
+		t.Errorf("truncated BFS counted %d transitions, want admitted−1 = %d", res.Transitions, ts.size()-1)
+	}
+	for id := 1; id < ts.size(); id++ {
+		parent := ts.parents[id]
+		if parent >= uint32(id) {
+			t.Fatalf("id %d has parent %d: discovery order must be topological", id, parent)
+		}
+		got, want := len(ts.trace(uint32(id))), len(ts.trace(parent))+1
+		if got != want {
+			t.Fatalf("id %d: trace length %d, want parent's+1 = %d", id, got, want)
+		}
+	}
+}
+
+// TestViolationErrorRendersSteps pins the one-action-per-line rendering:
+// deep counterexamples must list numbered steps instead of dumping the
+// raw slice on a single line.
+func TestViolationErrorRendersSteps(t *testing.T) {
+	v := &Violation{
+		Property: "Consistency",
+		Detail:   "decided = [0 1]",
+		Trace: []Action{
+			{Kind: ActStartRound, Node: 0, Round: 0},
+			{Kind: ActVote, Node: 0, Phase: 1, Value: 1, Round: 0},
+		},
+	}
+	got := v.Error()
+	want := "checker: Consistency violated after 2 steps (decided = [0 1])\n" +
+		"    1. StartRound(p0, r0)\n" +
+		"    2. Vote1(p0, v1, r0)"
+	if got != want {
+		t.Errorf("Error() =\n%q\nwant\n%q", got, want)
+	}
+	// An empty trace (violation in the initial state) renders as a single
+	// line with no step list.
+	empty := &Violation{Property: "Liveness", Detail: "no good round"}
+	if got := empty.Error(); got != "checker: Liveness violated after 0 steps (no good round)" {
+		t.Errorf("empty-trace Error() = %q", got)
+	}
+}
