@@ -109,7 +109,11 @@ func run(sc scenario.Scenario) error {
 		fmt.Println(ev.String())
 	}
 
-	fmt.Printf("simulation finished at t=%d (%d events)\n", res.FinishedAt, res.Events)
+	if sc.Engine == scenario.EngineTCP {
+		fmt.Printf("run finished after %dms wall clock\n", res.FinishedAt)
+	} else {
+		fmt.Printf("simulation finished at t=%d (%d events)\n", res.FinishedAt, res.Events)
+	}
 	if len(res.Finalized) > 0 { // multi-shot
 		for _, f := range res.Finalized {
 			fmt.Printf("node %d finalized %d slots\n", f.Node, f.Slot)
@@ -125,6 +129,13 @@ func run(sc scenario.Scenario) error {
 				fmt.Printf("node %d did not decide\n", tr.Node)
 			}
 		}
+	}
+	for _, tr := range res.Transport {
+		fmt.Printf("replica %d links: %d reconnects, %d frames dropped, %d chaos-dropped, %d chaos-duplicated\n",
+			tr.Node, tr.Reconnects, tr.DroppedFrames, tr.ChaosDropped, tr.ChaosDuplicated)
+	}
+	if res.MaxStorageBytes > 0 {
+		fmt.Printf("storage: %d bytes max persistent state\n", res.MaxStorageBytes)
 	}
 	fmt.Printf("traffic: %d total bytes sent, %d messages dropped\n", res.TotalSentBytes, res.Dropped)
 	return nil

@@ -44,6 +44,8 @@ type Config struct {
 	// MaxSlot stops the pipeline: leaders do not propose beyond it
 	// (0 = unbounded).
 	MaxSlot types.Slot
+	// Persist optionally stores durable state (nil = in-memory only).
+	Persist Persister
 	// Tracer optionally observes protocol events.
 	Tracer trace.Tracer
 }
@@ -100,6 +102,13 @@ type Node struct {
 
 	timers    map[types.TimerID]timerRef
 	nextTimer types.TimerID
+
+	// halted is set when a Persist fails: a node that cannot write ahead
+	// must stop participating (see core.Persister).
+	halted bool
+	// restored marks a node rebuilt by Restore: Start rejoins instead of
+	// beginning slot 1.
+	restored bool
 }
 
 // catchupWindow bounds how far ahead of the local finalized head finality
@@ -186,14 +195,40 @@ func (n *Node) FinalizedChain() []types.Block {
 // ViewOf returns the node's current view for a slot.
 func (n *Node) ViewOf(slot types.Slot) types.View { return n.slot(slot).view }
 
-// Start implements types.Machine: slot 1 begins at time zero.
+// Start implements types.Machine: slot 1 begins at time zero. A restored
+// node instead rejoins: it re-arms the timers of its recovered in-flight
+// slots and immediately calls for a view change on the lowest unfinalized
+// slot, which doubles as the catch-up request — peers that already
+// finalized that slot answer with finality claims (onViewChange), and the
+// f+1-claim adoption loop (onFinal) walks the recovered node back up to the
+// live pipeline, one catch-up window per view timeout.
 func (n *Node) Start(env types.Env) {
+	if n.halted {
+		return
+	}
+	if n.restored {
+		for s := n.finalized + 1; s <= n.maxSlot; s++ {
+			if st, ok := n.slots[s]; ok && st.started && !st.finalized {
+				n.emit(env, "rejoin-slot", s, st.view, "")
+				n.armTimer(env, s, st.view)
+			}
+		}
+		// The finalized prefix was not persisted; slot 1 (or whatever is
+		// lowest) must be re-fetched from peers before anything above it
+		// can anchor.
+		n.startSlot(env, n.finalized+1)
+		n.callForViewChange(env)
+		return
+	}
 	n.startSlot(env, 1)
 	n.tryPropose(env, 1)
 }
 
 // Deliver implements types.Machine.
 func (n *Node) Deliver(env types.Env, from types.NodeID, msg types.Message) {
+	if n.halted {
+		return
+	}
 	switch m := msg.(type) {
 	case types.MSPropose:
 		n.onPropose(env, from, m)
@@ -216,6 +251,9 @@ func (n *Node) Deliver(env types.Env, from types.NodeID, msg types.Message) {
 // is still unfinalized in that view, call for the next view on the lowest
 // aborted slot (Algorithm 3 lines 6-8), then re-arm for retransmission.
 func (n *Node) Tick(env types.Env, id types.TimerID) {
+	if n.halted {
+		return
+	}
 	ref, ok := n.timers[id]
 	if !ok {
 		return
@@ -228,6 +266,14 @@ func (n *Node) Tick(env types.Env, id types.TimerID) {
 	if st.finalized || st.view != ref.view {
 		return // stale: the slot finalized or moved on
 	}
+	n.callForViewChange(env)
+	n.armTimer(env, ref.slot, ref.view)
+}
+
+// callForViewChange calls for the next view on the lowest aborted slot
+// (Algorithm 3 lines 6-8), or retransmits the pending call. Shared by the
+// timer path and a restored node's rejoin.
+func (n *Node) callForViewChange(env types.Env) {
 	lowest := n.lowestAborted()
 	if lowest == 0 {
 		return
@@ -236,13 +282,15 @@ func (n *Node) Tick(env types.Env, id types.TimerID) {
 	want := ls.view + 1
 	if want > ls.highestVC {
 		ls.highestVC = want
+		if !n.persist() {
+			return
+		}
 		n.emit(env, "view-change", lowest, want, "")
 		env.Broadcast(types.MSViewChange{Slot: lowest, View: want})
 	} else {
 		// Retransmit the pending call (it may have been lost pre-GST).
 		env.Broadcast(types.MSViewChange{Slot: lowest, View: ls.highestVC})
 	}
-	n.armTimer(env, ref.slot, ref.view)
 }
 
 // lowestAborted returns the lowest started-but-unfinalized slot (0 = none).
@@ -338,6 +386,9 @@ func (n *Node) onViewChange(env types.Env, from types.NodeID, m types.MSViewChan
 	// Echo on f+1 unless already sent for this slot at this view or higher.
 	if m.View > st.highestVC && n.qs.IsBlocking(n.cfg.ID, set) {
 		st.highestVC = m.View
+		if !n.persist() {
+			return
+		}
 		env.Broadcast(types.MSViewChange{Slot: m.Slot, View: m.View})
 	}
 	// Apply on n−f.
@@ -350,6 +401,10 @@ func (n *Node) onViewChange(env types.Env, from types.NodeID, m types.MSViewChan
 // resets their timers, and broadcasts per-slot proof/suggest histories
 // (Algorithm 2 lines 7-11). Slots never started stay in view 0.
 func (n *Node) applyViewChange(env types.Env, s types.Slot, v types.View) {
+	// Two passes: first move every affected slot to the new view, then
+	// persist once, then broadcast — the write-ahead discipline with one
+	// snapshot write for the whole batch instead of one per slot.
+	var entered []types.Slot
 	for k := s; k <= n.maxSlot; k++ {
 		st := n.slot(k)
 		if st.finalized || !st.started || st.view >= v {
@@ -358,6 +413,16 @@ func (n *Node) applyViewChange(env types.Env, s types.Slot, v types.View) {
 		st.view = v
 		n.emit(env, "enter-view", k, v, "")
 		n.armTimer(env, k, v)
+		entered = append(entered, k)
+	}
+	if len(entered) == 0 {
+		return
+	}
+	if !n.persist() {
+		return
+	}
+	for _, k := range entered {
+		st := n.slot(k)
 		env.Broadcast(msProof(k, v, st.votes))
 		env.Send(n.Leader(k, v), msSuggest(k, v, st.votes))
 		if n.Leader(k, v) == n.cfg.ID {
@@ -453,6 +518,9 @@ func (n *Node) onFinal(env types.Env, from types.NodeID, m types.MSFinal) {
 		adopted = true
 	}
 	if adopted {
+		if !n.persist() {
+			return
+		}
 		// Keep the recovery loop alive: the next unfinalized slot needs a
 		// running timer to request the following catch-up window (or to
 		// rejoin the live pipeline).
@@ -634,6 +702,13 @@ func (n *Node) tryVote(env types.Env, s types.Slot) {
 	if st.finalized || st.sentVote[v] {
 		return
 	}
+	// The durable vote history survives crashes where sentVote does not: a
+	// restored node that voted at this view pre-crash must never vote again
+	// in it, even for the same block (an equivocating leader could otherwise
+	// extract two conflicting votes across the restart; Section 3.1).
+	if st.votes.Vote1.Valid && st.votes.Vote1.View >= v {
+		return
+	}
 	b, ok := st.proposals[v]
 	if !ok {
 		return
@@ -646,6 +721,9 @@ func (n *Node) tryVote(env types.Env, s types.Slot) {
 	}
 	st.sentVote[v] = true
 	n.recordImplicitVotes(s, v, b)
+	if !n.persist() {
+		return
+	}
 	n.emit(env, "vote", s, v, b.ID().String())
 	env.Broadcast(types.MSVote{Slot: s, View: v, Block: b.ID()})
 }
@@ -782,6 +860,8 @@ func (n *Node) finalizePrefix(env types.Env, k types.Slot) bool {
 		env.Decide(s, path[i].Value())
 		n.releaseSlot(s)
 	}
+	// Advancing the finalized watermark also shrinks the persisted window.
+	n.persist()
 	return true
 }
 

@@ -1,0 +1,184 @@
+package multishot
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"tetrabft/internal/core"
+	"tetrabft/internal/types"
+)
+
+// Persister stores the multi-shot node's durable state. Persist is invoked
+// before any message that depends on the new state is sent (write-ahead
+// discipline, as in core.Persister). A failing Persister halts the node.
+type Persister interface {
+	Persist(state PersistentState) error
+}
+
+// PersistentState is the durable footprint of a multi-shot node: the
+// Section 3.1 constant-size vote state of every in-flight slot (at most the
+// ≤5-deep pipeline window) plus the finalized watermark. Finalized block
+// bodies are deliberately NOT persisted — a recovered node re-fetches them
+// from peers through the f+1 finality-claim catch-up protocol (onFinal), so
+// the on-disk footprint stays constant across any chain length, matching
+// the storage column of Table 1.
+type PersistentState struct {
+	// Finalized is the highest finalized slot at persist time.
+	Finalized types.Slot
+	// FinalHead is the finalized block at Finalized (zero when none).
+	FinalHead types.BlockID
+	// Slots holds the per-slot consensus state of every started,
+	// unfinalized slot, in increasing slot order.
+	Slots []SlotPersist
+}
+
+// SlotPersist is one in-flight slot's durable state.
+type SlotPersist struct {
+	Slot      types.Slot
+	View      types.View
+	HighestVC types.View
+	Votes     core.VoteState
+}
+
+// MarshalBinary encodes the persistent state. Each slot's inner state
+// reuses core.PersistentState's encoding — the single-shot durable record
+// is exactly what one pipeline slot must remember.
+func (p PersistentState) MarshalBinary() ([]byte, error) {
+	var buf []byte
+	buf = binary.AppendVarint(buf, int64(p.Finalized))
+	buf = append(buf, p.FinalHead[:]...)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Slots)))
+	for _, s := range p.Slots {
+		inner, err := core.PersistentState{View: s.View, HighestVC: s.HighestVC, Votes: s.Votes}.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("multishot: encode slot %d: %w", s.Slot, err)
+		}
+		buf = binary.AppendVarint(buf, int64(s.Slot))
+		buf = binary.AppendUvarint(buf, uint64(len(inner)))
+		buf = append(buf, inner...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes state encoded by MarshalBinary.
+func (p *PersistentState) UnmarshalBinary(data []byte) error {
+	fail := func() error { return fmt.Errorf("multishot: decode persistent state: %w", types.ErrBadMessage) }
+	fin, n := binary.Varint(data)
+	if n <= 0 || fin < 0 {
+		return fail()
+	}
+	data = data[n:]
+	if len(data) < len(p.FinalHead) {
+		return fail()
+	}
+	p.Finalized = types.Slot(fin)
+	copy(p.FinalHead[:], data)
+	data = data[len(p.FinalHead):]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return fail()
+	}
+	data = data[n:]
+	p.Slots = nil
+	var prev types.Slot
+	for i := uint64(0); i < count; i++ {
+		slot, n := binary.Varint(data)
+		if n <= 0 || slot < 1 || types.Slot(slot) <= prev {
+			return fail()
+		}
+		data = data[n:]
+		size, n := binary.Uvarint(data)
+		if n <= 0 || size > uint64(len(data[n:])) {
+			return fail()
+		}
+		data = data[n:]
+		var inner core.PersistentState
+		if err := inner.UnmarshalBinary(data[:size]); err != nil {
+			return fmt.Errorf("multishot: decode slot %d: %w", slot, err)
+		}
+		data = data[size:]
+		prev = types.Slot(slot)
+		p.Slots = append(p.Slots, SlotPersist{
+			Slot: types.Slot(slot), View: inner.View, HighestVC: inner.HighestVC, Votes: inner.Votes,
+		})
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("multishot: decode persistent state: %d trailing bytes", len(data))
+	}
+	return nil
+}
+
+// PersistentSize returns the encoded byte size of the state.
+func (p PersistentState) PersistentSize() int {
+	data, _ := p.MarshalBinary()
+	return len(data)
+}
+
+// Snapshot captures the node's durable state: the finalized watermark plus
+// every in-flight slot's constant-size vote state.
+func (n *Node) Snapshot() PersistentState {
+	st := PersistentState{Finalized: n.finalized}
+	if n.finalized >= 1 {
+		st.FinalHead = n.slot(n.finalized).finalBlock
+	}
+	for s := n.finalized + 1; s <= n.maxSlot; s++ {
+		ss, ok := n.slots[s]
+		if !ok || !ss.started || ss.finalized {
+			continue
+		}
+		st.Slots = append(st.Slots, SlotPersist{
+			Slot: s, View: ss.view, HighestVC: ss.highestVC, Votes: ss.votes,
+		})
+	}
+	return st
+}
+
+// Restore rebuilds a node from persisted state, as after a crash. The
+// in-flight slots recover their views and vote histories (so the recovered
+// node can never contradict a pre-crash vote — the Section 3.1 safety
+// argument); the finalized prefix is NOT reconstructed locally but
+// re-fetched from peers via finality claims, so restarting Start() rejoins,
+// catches up and re-finalizes the whole chain.
+func Restore(cfg Config, state PersistentState) (*Node, error) {
+	n, err := NewNode(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var prev types.Slot
+	for _, s := range state.Slots {
+		if s.Slot < 1 || s.Slot <= prev {
+			return nil, fmt.Errorf("multishot: restore: slots out of order at %d", s.Slot)
+		}
+		if s.View < 0 || s.HighestVC < 0 {
+			return nil, fmt.Errorf("multishot: restore: negative view in slot %d", s.Slot)
+		}
+		prev = s.Slot
+		st := n.slot(s.Slot)
+		st.started = true
+		st.view = s.View
+		st.highestVC = s.HighestVC
+		st.votes = s.Votes
+		if s.Slot > n.maxSlot {
+			n.maxSlot = s.Slot
+		}
+	}
+	n.restored = true
+	return n, nil
+}
+
+// Halted reports whether the node stopped after a failed persist.
+func (n *Node) Halted() bool { return n.halted }
+
+// persist writes the durable state through the configured Persister. On
+// failure the node halts: continuing without durability could violate
+// safety after a crash. Returns false when halted.
+func (n *Node) persist() bool {
+	if n.cfg.Persist == nil {
+		return true
+	}
+	if err := n.cfg.Persist.Persist(n.Snapshot()); err != nil {
+		n.halted = true
+		return false
+	}
+	return true
+}

@@ -1,0 +1,281 @@
+package multishot
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tetrabft/internal/core"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+// memPersister records every snapshot in memory; fail makes Persist error.
+type memPersister struct {
+	states []PersistentState
+	fail   bool
+}
+
+func (m *memPersister) Persist(s PersistentState) error {
+	if m.fail {
+		return errors.New("disk gone")
+	}
+	m.states = append(m.states, s)
+	return nil
+}
+
+func (m *memPersister) last() PersistentState { return m.states[len(m.states)-1] }
+
+func TestPersistentStateRoundTrip(t *testing.T) {
+	var votes core.VoteState
+	votes.Record(1, 3, "a")
+	votes.Record(2, 2, "b")
+	want := PersistentState{
+		Finalized: 7,
+		FinalHead: types.Block{Slot: 7}.ID(),
+		Slots: []SlotPersist{
+			{Slot: 8, View: 2, HighestVC: 3, Votes: votes},
+			{Slot: 9, View: 1, HighestVC: 1},
+			{Slot: 11, View: 0, HighestVC: 0},
+		},
+	}
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got PersistentState
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestPersistentStateRejectsCorrupt(t *testing.T) {
+	st := PersistentState{
+		Finalized: 2,
+		Slots:     []SlotPersist{{Slot: 3, View: 1}},
+	}
+	data, err := st.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"truncated": data[:len(data)-3],
+		"trailing":  append(append([]byte{}, data...), 0x00),
+	}
+	for name, bad := range cases {
+		var out PersistentState
+		if err := out.UnmarshalBinary(bad); err == nil {
+			t.Errorf("%s input decoded without error", name)
+		}
+	}
+	// Slots out of order must be rejected too.
+	dup := PersistentState{Slots: []SlotPersist{{Slot: 3}, {Slot: 3}}}
+	raw, err := dup.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out PersistentState
+	if err := out.UnmarshalBinary(raw); err == nil {
+		t.Error("duplicate slot order decoded without error")
+	}
+}
+
+// TestPersistFootprintConstant: the durable state stays constant-size no
+// matter how long the finalized chain grows (the multi-shot analogue of
+// Table 1's storage column).
+func TestPersistFootprintConstant(t *testing.T) {
+	const maxSlot = 23
+	r := sim.New(sim.Config{Seed: 1})
+	stores := make([]*memPersister, 4)
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		stores[i] = &memPersister{}
+		p := stores[i]
+		nodes[i] = addNode(t, r, types.NodeID(i), 4, maxSlot, func(c *Config) { c.Persist = p })
+	}
+	if err := r.Run(2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range nodes {
+		if n.FinalizedSlot() != maxSlot-3 {
+			t.Fatalf("node %d finalized %d, want %d", i, n.FinalizedSlot(), maxSlot-3)
+		}
+		if len(stores[i].states) == 0 {
+			t.Fatalf("node %d never persisted", i)
+		}
+		max := 0
+		for _, s := range stores[i].states {
+			if sz := s.PersistentSize(); sz > max {
+				max = sz
+			}
+		}
+		if max > 1024 {
+			t.Errorf("node %d durable footprint peaked at %d bytes; must stay constant-bounded", i, max)
+		}
+		if got := stores[i].last().Finalized; got != maxSlot-3 {
+			t.Errorf("node %d last snapshot finalized=%d, want %d", i, got, maxSlot-3)
+		}
+	}
+}
+
+// TestRestoreRejoinsAndCatchesUp: a node restored from its snapshot calls
+// for a view change as its catch-up request, never re-votes a pre-crash
+// vote, and adopts the finalized prefix from f+1 finality claims.
+func TestRestoreRejoinsAndCatchesUp(t *testing.T) {
+	const maxSlot = 11
+	r := sim.New(sim.Config{Seed: 1})
+	store := &memPersister{}
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		var opts []func(*Config)
+		if i == 1 {
+			opts = append(opts, func(c *Config) { c.Persist = store })
+		}
+		nodes[i] = addNode(t, r, types.NodeID(i), 4, maxSlot, opts...)
+	}
+	if err := r.Run(2000, nil); err != nil {
+		t.Fatal(err)
+	}
+	target := types.Slot(maxSlot - 3)
+	if nodes[1].FinalizedSlot() != target {
+		t.Fatalf("node 1 finalized %d, want %d", nodes[1].FinalizedSlot(), target)
+	}
+
+	// "Crash" node 1 and rebuild it from its last snapshot.
+	restored, err := Restore(Config{ID: 1, Nodes: 4, Delta: 10, MaxSlot: maxSlot}, store.last())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &recordEnv{}
+	restored.Start(env)
+	// The rejoin must broadcast a view-change (the catch-up request): the
+	// finalized prefix is not persisted, so it targets slot 1.
+	foundVC := false
+	for _, m := range env.broadcasts {
+		if vc, ok := m.(types.MSViewChange); ok {
+			foundVC = true
+			if vc.Slot != 1 {
+				t.Errorf("rejoin view-change targets slot %d, want 1", vc.Slot)
+			}
+		}
+	}
+	if !foundVC {
+		t.Error("restored node did not broadcast a view-change on Start")
+	}
+
+	// Peers answer with finality claims; f+1 matching claims (f=1 → 2)
+	// let the restored node re-adopt the chain slot by slot.
+	chain := nodes[0].FinalizedChain()
+	for _, b := range chain {
+		restored.Deliver(env, 0, types.MSFinal{Block: b})
+		restored.Deliver(env, 2, types.MSFinal{Block: b})
+	}
+	if restored.FinalizedSlot() != target {
+		t.Fatalf("restored node re-finalized %d slots, want %d", restored.FinalizedSlot(), target)
+	}
+	want := nodes[0].FinalizedChain()
+	got := restored.FinalizedChain()
+	for i := range want {
+		if got[i].ID() != want[i].ID() {
+			t.Fatalf("restored chain diverges at slot %d", i+1)
+		}
+	}
+}
+
+// TestRestoredNodeNeverDoubleVotes: the recovered vote history must prevent
+// re-voting in a view already voted before the crash (Section 3.1 safety).
+func TestRestoredNodeNeverDoubleVotes(t *testing.T) {
+	store := &memPersister{}
+	node, err := NewNode(Config{ID: 0, Nodes: 4, Persist: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &recordEnv{}
+	node.Start(env)
+	// Leader of (slot 1, view 0) is node 1; its proposal makes node 0 vote.
+	b := types.Block{Slot: 1, Parent: types.ZeroBlockID, Payload: []byte("p")}
+	node.Deliver(env, 1, types.MSPropose{View: 0, Block: b})
+	if countVotes(env) != 1 {
+		t.Fatalf("expected exactly one vote before crash, got %d", countVotes(env))
+	}
+
+	restored, err := Restore(Config{ID: 0, Nodes: 4}, store.last())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env2 := &recordEnv{}
+	restored.Start(env2)
+	// Replaying the same proposal (or an equivocating sibling) in the same
+	// view must not produce a second vote-1.
+	restored.Deliver(env2, 1, types.MSPropose{View: 0, Block: b})
+	b2 := types.Block{Slot: 1, Parent: types.ZeroBlockID, Payload: []byte("other")}
+	restored.Deliver(env2, 1, types.MSPropose{View: 0, Block: b2})
+	if countVotes(env2) != 0 {
+		t.Fatalf("restored node re-voted %d times in a pre-crash view", countVotes(env2))
+	}
+}
+
+// TestHaltOnPersistFailure: a node whose Persister fails must stop before
+// sending the state-dependent message, and ignore all further input.
+func TestHaltOnPersistFailure(t *testing.T) {
+	store := &memPersister{fail: true}
+	node, err := NewNode(Config{ID: 0, Nodes: 4, Persist: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &recordEnv{}
+	node.Start(env)
+	b := types.Block{Slot: 1, Parent: types.ZeroBlockID, Payload: []byte("p")}
+	node.Deliver(env, 1, types.MSPropose{View: 0, Block: b})
+	if !node.Halted() {
+		t.Fatal("node kept running after a failed persist")
+	}
+	if countVotes(env) != 0 {
+		t.Fatalf("halted node broadcast %d votes after the failed persist", countVotes(env))
+	}
+	// Further deliveries and ticks are no-ops.
+	before := len(env.broadcasts)
+	node.Deliver(env, 1, types.MSPropose{View: 0, Block: b})
+	node.Tick(env, 1)
+	if len(env.broadcasts) != before {
+		t.Error("halted node still emits messages")
+	}
+}
+
+func TestRestoreRejectsBadState(t *testing.T) {
+	cfg := Config{ID: 0, Nodes: 4}
+	if _, err := Restore(cfg, PersistentState{Slots: []SlotPersist{{Slot: 2}, {Slot: 2}}}); err == nil {
+		t.Error("Restore accepted out-of-order slots")
+	}
+	if _, err := Restore(cfg, PersistentState{Slots: []SlotPersist{{Slot: 0}}}); err == nil {
+		t.Error("Restore accepted slot 0")
+	}
+	if _, err := Restore(cfg, PersistentState{Slots: []SlotPersist{{Slot: 1, View: -1}}}); err == nil {
+		t.Error("Restore accepted a negative view")
+	}
+}
+
+func countVotes(e *recordEnv) int {
+	n := 0
+	for _, m := range e.broadcasts {
+		if _, ok := m.(types.MSVote); ok {
+			n++
+		}
+	}
+	return n
+}
+
+// recordEnv captures broadcasts for unit tests.
+type recordEnv struct {
+	broadcasts []types.Message
+}
+
+func (e *recordEnv) Now() types.Time                        { return 0 }
+func (e *recordEnv) Send(types.NodeID, types.Message)       {}
+func (e *recordEnv) Broadcast(m types.Message)              { e.broadcasts = append(e.broadcasts, m) }
+func (e *recordEnv) SetTimer(types.TimerID, types.Duration) {}
+func (e *recordEnv) Decide(types.Slot, types.Value)         {}

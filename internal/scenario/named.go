@@ -124,6 +124,42 @@ func Named() []Scenario {
 			Collect: CollectSpec{Chain: true},
 		},
 		{
+			// Crash-recovery over real TCP (Section 3.1's constant-size
+			// persistent state in action): replica 2's process is
+			// hard-killed at 300ms mid-pipeline, restarted from its WAL at
+			// 900ms, and must catch up via finality claims so that all four
+			// replicas finalize the full chain.
+			Name:     "tcp-crash-restart",
+			Engine:   EngineTCP,
+			Protocol: TetraBFTMulti,
+			Nodes:    4,
+			Workload: WorkloadSpec{Slots: 5},
+			Faults: []FaultSpec{{
+				Type: FaultCrashRestart, Node: 2,
+				CrashAtMS: 300, RestartAtMS: 900,
+			}},
+			Stop:    StopSpec{WallClockMS: 30000},
+			Collect: CollectSpec{Chain: true},
+		},
+		{
+			// Chaos links over TCP: every frame may be duplicated or delayed
+			// (seeded, so the fault pattern repeats across runs); the
+			// transport's reconnect/retry machinery plus idempotent protocol
+			// handling must still finalize the chain.
+			Name:     "tcp-chaos",
+			Engine:   EngineTCP,
+			Protocol: TetraBFTMulti,
+			Nodes:    4,
+			Seed:     7,
+			Network: NetworkSpec{
+				Duplicate: 0.2,
+				Delay:     &DelaySpec{Model: DelayUniform, Min: 1, Max: 5},
+			},
+			Workload: WorkloadSpec{Slots: 5},
+			Stop:     StopSpec{WallClockMS: 30000},
+			Collect:  CollectSpec{Chain: true},
+		},
+		{
 			// Heterogeneous trust: a 3-org core with 2-of-3 slices plus two
 			// satellite orgs — the paper's Section 7 observation.
 			Name:     "fba-slices",

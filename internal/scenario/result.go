@@ -41,6 +41,10 @@ type Result struct {
 	// MaxView is the highest view an honest single-shot TetraBFT node
 	// reached (0 = no view change was needed).
 	MaxView int64 `json:"max_view,omitempty"`
+	// Transport reports each replica's aggregated TCP link health
+	// (EngineTCP): reconnects and frame drops across all its outbound
+	// links, including any pre-crash runtime's counters.
+	Transport []NodeTransport `json:"transport,omitempty"`
 
 	// Chain is the first honest node's finalized chain (Collect.Chain).
 	Chain []types.Block `json:"chain,omitempty"`
@@ -76,6 +80,18 @@ type NodeTraffic struct {
 type NodeChain struct {
 	Node   types.NodeID  `json:"node"`
 	Blocks []types.Block `json:"blocks"`
+}
+
+// NodeTransport is one replica's aggregated TCP link counters (EngineTCP).
+type NodeTransport struct {
+	Node types.NodeID `json:"node"`
+	// Reconnects counts successful re-dials after a link's first connect.
+	Reconnects int64 `json:"reconnects"`
+	// DroppedFrames counts frames abandoned by backpressure or retry TTL.
+	DroppedFrames int64 `json:"dropped_frames"`
+	// ChaosDropped and ChaosDuplicated count the chaos policy's verdicts.
+	ChaosDropped    int64 `json:"chaos_dropped,omitempty"`
+	ChaosDuplicated int64 `json:"chaos_duplicated,omitempty"`
 }
 
 // Decision returns node's decision for slot, if any.

@@ -68,15 +68,40 @@ func TestValidation(t *testing.T) {
 		{"all-decided without slots", Scenario{Protocol: TetraBFTMulti, Nodes: 4,
 			Stop: StopSpec{AllDecided: true}}, "needs workload.slots"},
 		{"tcp single-shot", Scenario{Engine: EngineTCP, Nodes: 4}, "supports only protocol"},
-		{"tcp with adversary", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
+		{"tcp with byzantine", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
 			Workload: WorkloadSpec{Slots: 2},
-			Faults:   []FaultSpec{{Type: FaultSuppressFinalPhase}}}, "only silent"},
+			Faults:   []FaultSpec{{Type: FaultEquivocator, Node: 0}}}, "only silent node faults"},
+		{"tcp with message adversary", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
+			Workload: WorkloadSpec{Slots: 2},
+			Faults:   []FaultSpec{{Type: FaultSuppressFinalPhase}}}, "only partition network faults"},
 		{"tcp without slots", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4}, "needs workload.slots"},
-		{"tcp with network spec", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
+		{"tcp with per-link delay", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
 			Workload: WorkloadSpec{Slots: 2},
-			Network:  NetworkSpec{GST: 100}}, "real network"},
-		{"tcp with seed", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
-			Workload: WorkloadSpec{Slots: 2}, Seed: 7}, "not seed-deterministic"},
+			Network: NetworkSpec{Delay: &DelaySpec{Model: DelayPerLink,
+				Links: []LinkDelaySpec{{From: 0, To: 1, D: 2}}}}}, "per-link"},
+		{"tcp with event budget", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
+			Workload: WorkloadSpec{Slots: 2},
+			Network:  NetworkSpec{EventBudget: 100}}, "event budget"},
+		{"crash-restart on sim", Scenario{Protocol: TetraBFTMulti, Nodes: 4,
+			Workload: WorkloadSpec{Slots: 2},
+			Faults:   []FaultSpec{{Type: FaultCrashRestart, Node: 0, CrashAtMS: 50}}},
+			"requires engine"},
+		{"crash-restart restart before crash", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti,
+			Nodes: 4, Workload: WorkloadSpec{Slots: 2},
+			Faults: []FaultSpec{{Type: FaultCrashRestart, Node: 0, CrashAtMS: 100, RestartAtMS: 50}}},
+			"before its crash"},
+		{"crash-restart twice on one node", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti,
+			Nodes: 4, Workload: WorkloadSpec{Slots: 2},
+			Faults: []FaultSpec{
+				{Type: FaultCrashRestart, Node: 0, CrashAtMS: 50, RestartAtMS: 100},
+				{Type: FaultCrashRestart, Node: 0, CrashAtMS: 200},
+			}}, "two crash-restart"},
+		{"duplicate on sim", Scenario{Protocol: TetraBFTMulti, Nodes: 4,
+			Workload: WorkloadSpec{Slots: 2},
+			Network:  NetworkSpec{Duplicate: 0.1}}, "applies only to engine"},
+		{"duplicate out of range", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
+			Workload: WorkloadSpec{Slots: 2},
+			Network:  NetworkSpec{Duplicate: 1.5}}, "duplicate"},
 		{"tcp with horizon", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
 			Workload: WorkloadSpec{Slots: 2},
 			Stop:     StopSpec{Horizon: 100}}, "wall_clock_ms"},

@@ -53,8 +53,12 @@ const (
 	// simulator: virtual time, byte accounting, full fault injection.
 	EngineSim Engine = "sim"
 	// EngineTCP runs real TCP runtimes on localhost — the deployment
-	// shape. Only TetraBFTMulti is supported, silent faults only, and
-	// runs are naturally not deterministic.
+	// shape. Only TetraBFTMulti is supported. Replicas persist to
+	// per-run WALs, the fault schedule supports silent, partition and
+	// crash-restart faults, and the network regime (delay, pre-GST loss,
+	// duplication) maps onto a seeded frame-level chaos transport whose
+	// fault pattern is deterministic per seed. Wall-clock timings still
+	// vary run to run; finalized chains must not.
 	EngineTCP Engine = "tcp"
 )
 
@@ -141,6 +145,10 @@ type NetworkSpec struct {
 	DropBeforeGST float64 `json:"drop_before_gst,omitempty"`
 	// EventBudget caps processed simulator events (0 = sim default).
 	EventBudget int `json:"event_budget,omitempty"`
+	// Duplicate is the per-message duplication probability in [0, 1)
+	// (EngineTCP only: the chaos transport re-delivers the frame; the
+	// protocols are idempotent so duplicates must be absorbed).
+	Duplicate float64 `json:"duplicate,omitempty"`
 }
 
 // Delay model names.
@@ -208,6 +216,12 @@ const (
 	// conflicting ValueA with a forged clean history plus a full set of
 	// votes. Rule 3 must reject it; MutationSkipRule3 lets it through.
 	FaultForgedHistory FaultType = "forged-history"
+	// FaultCrashRestart (EngineTCP only) hard-kills Node's process at
+	// CrashAtMS — listener closed, connections reset mid-stream — and, if
+	// RestartAtMS > 0, relaunches it from its WAL (or from scratch when
+	// WipeWAL is set). The paper's recoverable-node crash–recovery model
+	// (Section 3.1) made physical.
+	FaultCrashRestart FaultType = "crash-restart"
 )
 
 // FaultSpec declares one fault. Only the fields of its Type are read.
@@ -233,6 +247,13 @@ type FaultSpec struct {
 	Groups [][]types.NodeID `json:"groups,omitempty"`
 	From   int64            `json:"from,omitempty"`
 	To     int64            `json:"to,omitempty"`
+	// CrashAtMS and RestartAtMS schedule the crash-restart fault in wall
+	// milliseconds from run start; RestartAtMS = 0 means the node never
+	// comes back. WipeWAL discards the durable state before the restart
+	// (the node rejoins as a fresh replica instead of a recovered one).
+	CrashAtMS   int64 `json:"crash_at_ms,omitempty"`
+	RestartAtMS int64 `json:"restart_at_ms,omitempty"`
+	WipeWAL     bool  `json:"wipe_wal,omitempty"`
 }
 
 // replacesNode reports whether the fault substitutes a Byzantine machine
@@ -330,6 +351,7 @@ type plan struct {
 	honest  []types.NodeID // members without a node-replacing fault
 	byzByID map[types.NodeID]*FaultSpec
 	netwk   []FaultSpec // message-level faults, in schedule order
+	crashes []FaultSpec // crash-restart schedule (EngineTCP)
 	multi   bool        // multi-shot protocol
 	maxSlot types.Slot  // derived proposal cap for multi-shot
 }
@@ -519,22 +541,55 @@ func (sc Scenario) compile() (*plan, error) {
 				return nil, fmt.Errorf("scenario: partition window [%d, %d) is empty", f.From, f.To)
 			}
 			p.netwk = append(p.netwk, f)
+		case FaultCrashRestart:
+			if sc.Engine != EngineTCP {
+				return nil, fmt.Errorf("scenario: crash-restart requires engine %q (the simulator has no processes to kill)", EngineTCP)
+			}
+			if !isMember[f.Node] {
+				return nil, fmt.Errorf("scenario: crash-restart targets non-member node %d", f.Node)
+			}
+			if f.CrashAtMS < 0 || f.RestartAtMS < 0 {
+				return nil, fmt.Errorf("scenario: negative crash-restart schedule")
+			}
+			if f.RestartAtMS != 0 && f.RestartAtMS <= f.CrashAtMS {
+				return nil, fmt.Errorf("scenario: node %d restarts at %dms, before its crash at %dms", f.Node, f.RestartAtMS, f.CrashAtMS)
+			}
+			for _, c := range p.crashes {
+				if c.Node == f.Node {
+					return nil, fmt.Errorf("scenario: node %d has two crash-restart faults", f.Node)
+				}
+			}
+			p.crashes = append(p.crashes, f)
 		default:
 			return nil, fmt.Errorf("scenario: unknown fault type %q", f.Type)
 		}
 	}
+	for _, c := range p.crashes {
+		if p.byzByID[c.Node] != nil {
+			return nil, fmt.Errorf("scenario: node %d is both Byzantine and crash-restarted", c.Node)
+		}
+	}
 	if sc.Engine == EngineTCP {
-		if len(p.netwk) > 0 || hasNonSilent(p.byzByID) {
-			return nil, fmt.Errorf("scenario: engine %q supports only silent faults", EngineTCP)
+		if hasNonSilent(p.byzByID) {
+			return nil, fmt.Errorf("scenario: engine %q supports only silent node faults", EngineTCP)
+		}
+		// Message-level adversaries need to inspect decoded protocol
+		// traffic; over TCP only link-level partitions are honored (the
+		// chaos transport severs frames, not messages).
+		for _, f := range p.netwk {
+			if f.Type != FaultPartition {
+				return nil, fmt.Errorf("scenario: engine %q supports only partition network faults, not %q", EngineTCP, f.Type)
+			}
 		}
 		// Reject knobs the TCP engine cannot honor rather than silently
-		// dropping them (real sockets: no virtual clock, no seeded
-		// randomness, no message interception).
-		if nw != (NetworkSpec{}) {
-			return nil, fmt.Errorf("scenario: engine %q has a real network; remove the network spec", EngineTCP)
+		// dropping them. The network regime maps onto the chaos transport
+		// (constant/uniform delay, pre-GST loss, duplication); per-link
+		// delay, event budgets and virtual-time stops stay sim-only.
+		if nw.EventBudget != 0 {
+			return nil, fmt.Errorf("scenario: engine %q has no event budget", EngineTCP)
 		}
-		if sc.Seed != 0 {
-			return nil, fmt.Errorf("scenario: engine %q runs are not seed-deterministic; remove seed", EngineTCP)
+		if nw.Delay != nil && nw.Delay.Model == DelayPerLink {
+			return nil, fmt.Errorf("scenario: engine %q does not support per-link delays", EngineTCP)
 		}
 		if sc.Stop.Horizon != 0 || sc.Stop.AllDecided {
 			return nil, fmt.Errorf("scenario: engine %q stops on workload.slots + stop.wall_clock_ms only", EngineTCP)
@@ -542,6 +597,11 @@ func (sc Scenario) compile() (*plan, error) {
 		if sc.Collect.Trace {
 			return nil, fmt.Errorf("scenario: engine %q does not collect traces", EngineTCP)
 		}
+	} else if nw.Duplicate != 0 {
+		return nil, fmt.Errorf("scenario: network.duplicate applies only to engine %q", EngineTCP)
+	}
+	if nw.Duplicate < 0 || nw.Duplicate >= 1 {
+		return nil, fmt.Errorf("scenario: network.duplicate = %v outside [0, 1)", nw.Duplicate)
 	}
 
 	// Workload.

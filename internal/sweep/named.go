@@ -85,6 +85,30 @@ func Named() []Sweep {
 			Replicates: 3,
 		},
 		{
+			// Crash-recovery over real TCP across timeout bounds: a replica
+			// is hard-killed mid-run and restarted from its WAL; every cell
+			// must converge with the full chain on all four replicas and a
+			// constant-size persistent footprint (Section 3.1 / Table 1).
+			Name: "tcp-crash-recovery",
+			Base: scenario.Scenario{
+				Engine:   scenario.EngineTCP,
+				Protocol: scenario.TetraBFTMulti,
+				Nodes:    4,
+				Workload: scenario.WorkloadSpec{Slots: 3},
+				Faults: []scenario.FaultSpec{{
+					Type: scenario.FaultCrashRestart, Node: 2,
+					CrashAtMS: 150, RestartAtMS: 400,
+				}},
+				Stop: scenario.StopSpec{WallClockMS: 30000},
+			},
+			Axes: []Axis{{Field: "delta", Ints: []int64{20, 40}}},
+			Assert: []string{
+				"min_finalized >= 3", // the recovered replica re-finalizes too
+				"min_storage >= 1",   // the WAL was actually written
+				"max_storage <= 2048",
+			},
+		},
+		{
 			// Every protocol over the same wire: good-case latency, bytes
 			// and storage side by side (Table 1 as one grid).
 			Name: "protocol-shootout",

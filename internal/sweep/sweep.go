@@ -259,9 +259,6 @@ type plan struct {
 const maxCells = 10000
 
 func (sw Sweep) compile() (*plan, error) {
-	if sw.Base.Engine == scenario.EngineTCP {
-		return nil, fmt.Errorf("sweep: engine %q is not seed-deterministic; sweeps run on the simulator", scenario.EngineTCP)
-	}
 	p := &plan{replicates: sw.Replicates, seedBase: sw.Base.Seed}
 	if p.replicates == 0 {
 		p.replicates = 1

@@ -85,10 +85,11 @@ func TestSweepValidation(t *testing.T) {
 		{"bad assertion metric", Sweep{Base: base, Assert: []string{"p99_warp <= 9"}}, "unknown metric"},
 		{"bad assertion op", Sweep{Base: base, Assert: []string{"p99_latency ~ 9"}}, "unknown operator"},
 		{"bad assertion bound", Sweep{Base: base, Assert: []string{"p99_latency <= fast"}}, "bad bound"},
-		{"tcp base", Sweep{Base: scenario.Scenario{
+		{"tcp base with invalid fault", Sweep{Base: scenario.Scenario{
 			Engine: scenario.EngineTCP, Protocol: scenario.TetraBFTMulti, Nodes: 4,
 			Workload: scenario.WorkloadSpec{Slots: 2},
-		}}, "not seed-deterministic"},
+			Faults:   []scenario.FaultSpec{{Type: scenario.FaultCrashRestart, Node: 0, CrashAtMS: 100, RestartAtMS: 50}},
+		}}, "before its crash"},
 		{"grid explosion", Sweep{Base: base, Axes: []Axis{
 			{Field: "delta", Ints: make([]int64, 200)},
 			{Field: "gst", Ints: make([]int64, 200)},

@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"time"
+
+	"tetrabft/internal/types"
+)
+
+// Chaos is a deterministic frame-level fault policy for outbound links.
+//
+// Every outbound frame carries a per-link ordinal (the k-th frame sender
+// from ever sent to receiver to), and the drop/duplicate/delay verdict is a
+// pure function of (Seed, from, to, ordinal). Two runs with the same seed
+// therefore apply the same fault pattern to each link's frame sequence —
+// the policy is deterministic even though wall-clock interleaving across
+// links is not, which is what makes chaos runs comparable across repeats
+// and debuggable after the fact.
+//
+// Time-driven clauses (DropUntil, Partitioned) model the scenario layer's
+// network regimes: a pre-GST window of total loss and scheduled link
+// partitions. They depend on elapsed wall time by design.
+type Chaos struct {
+	// Seed keys the per-frame fault stream.
+	Seed uint64
+	// DropRate is the per-frame drop probability in [0, 1).
+	DropRate float64
+	// DupRate is the per-frame duplicate probability in [0, 1).
+	DupRate float64
+	// DelayMin/DelayMax bound the extra per-frame latency; a frame's delay
+	// is drawn deterministically from [DelayMin, DelayMax].
+	DelayMin time.Duration
+	DelayMax time.Duration
+	// DropUntil drops frames before this much elapsed run time — the
+	// pre-GST loss regime of the partial-synchrony model. DropUntilRate
+	// scales the loss: 0 (or 1) drops every pre-GST frame, a value in
+	// (0, 1) drops that fraction, deterministically per frame.
+	DropUntil     time.Duration
+	DropUntilRate float64
+	// Partitioned, when non-nil, severs the from→to link for as long as it
+	// reports true (scheduled partitions from the fault schedule).
+	Partitioned func(from, to types.NodeID, elapsed time.Duration) bool
+}
+
+// Action is one frame's verdict.
+type Action struct {
+	Drop      bool
+	Duplicate bool
+	Delay     time.Duration
+}
+
+// Decide returns the fault verdict for the ord-th frame on the from→to
+// link at the given elapsed run time. Exported so the scenario layer can
+// verify the compiled policy without opening sockets.
+func (c *Chaos) Decide(from, to types.NodeID, ord uint64, elapsed time.Duration) Action {
+	var act Action
+	h := chaosMix(c.Seed, uint64(from), uint64(to), ord)
+	if elapsed < c.DropUntil {
+		if c.DropUntilRate <= 0 || c.DropUntilRate >= 1 || chaosUnit(h, 3) < c.DropUntilRate {
+			act.Drop = true
+			return act
+		}
+	}
+	if c.Partitioned != nil && c.Partitioned(from, to, elapsed) {
+		act.Drop = true
+		return act
+	}
+	if c.DropRate > 0 && chaosUnit(h, 0) < c.DropRate {
+		act.Drop = true
+		return act
+	}
+	if c.DupRate > 0 && chaosUnit(h, 1) < c.DupRate {
+		act.Duplicate = true
+	}
+	if c.DelayMax > 0 && c.DelayMax >= c.DelayMin {
+		span := c.DelayMax - c.DelayMin
+		act.Delay = c.DelayMin
+		if span > 0 {
+			act.Delay += time.Duration(chaosUnit(h, 2) * float64(span))
+		}
+	}
+	return act
+}
+
+// chaosMix folds the link coordinates into one 64-bit state (splitmix64
+// finalizer over a Weyl-style combination — the same construction the sim
+// scheduler uses for its deterministic tie-breaking).
+func chaosMix(seed, from, to, ord uint64) uint64 {
+	x := seed
+	x ^= splitmix64(from + 0x9e3779b97f4a7c15)
+	x ^= splitmix64(to + 0xbf58476d1ce4e5b9)
+	x ^= splitmix64(ord + 0x94d049bb133111eb)
+	return splitmix64(x)
+}
+
+// chaosUnit derives stream n from h as a float in [0, 1).
+func chaosUnit(h, n uint64) float64 {
+	v := splitmix64(h + n*0x9e3779b97f4a7c15)
+	return float64(v>>11) / float64(1<<53)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

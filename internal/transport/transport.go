@@ -13,6 +13,11 @@
 // single-threaded as required); one reader goroutine per inbound
 // connection; one writer goroutine per peer with reconnect-and-retry. All
 // goroutines are owned by the Runtime and joined by Close.
+//
+// Fault injection: Kill hard-stops a runtime the way a crashing process
+// would (listener gone, connections reset mid-stream), and Config.Chaos
+// installs a deterministic frame-level interceptor on outbound links
+// (seeded drop/delay/duplicate/partition) — see chaos.go.
 package transport
 
 import (
@@ -20,8 +25,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tetrabft/internal/types"
@@ -29,6 +36,11 @@ import (
 
 // maxFrame bounds a single wire frame (defense against bogus lengths).
 const maxFrame = 1 << 20
+
+const (
+	initialBackoff = 10 * time.Millisecond
+	maxBackoff     = time.Second
+)
 
 // Config parameterizes a runtime.
 type Config struct {
@@ -40,6 +52,13 @@ type Config struct {
 	TickDuration time.Duration
 	// OnDecide observes decisions (called from the event loop goroutine).
 	OnDecide func(slot types.Slot, val types.Value)
+	// Chaos optionally intercepts outbound frames with seeded
+	// drop/delay/duplicate/partition faults (nil = clean links).
+	Chaos *Chaos
+	// HeldFrameTTL bounds how long the writer retries one frame across
+	// reconnects before abandoning it as stale (graceful degradation when
+	// a peer stays down; the protocols retransmit). Default 5s.
+	HeldFrameTTL time.Duration
 }
 
 // Runtime hosts one Machine over TCP.
@@ -53,9 +72,13 @@ type Runtime struct {
 	done   chan struct{}
 	wg     sync.WaitGroup
 
-	mu     sync.Mutex
-	peers  map[types.NodeID]*peer
-	timers []*time.Timer
+	mu       sync.Mutex
+	peers    map[types.NodeID]*peer
+	timers   map[uint64]*time.Timer
+	timerSeq uint64
+	conns    map[net.Conn]struct{}
+	closed   bool
+	killed   bool
 
 	closeOnce sync.Once
 }
@@ -67,15 +90,39 @@ type event struct {
 	msg     types.Message
 }
 
+// peer is one outbound link. ordinal is touched only from the event loop
+// goroutine (env.Send); the counters are shared with the writer goroutine.
 type peer struct {
-	addr  string
-	queue chan []byte
+	addr    string
+	queue   chan []byte
+	ordinal uint64
+
+	connects        atomic.Int64
+	droppedFrames   atomic.Int64
+	chaosDropped    atomic.Int64
+	chaosDuplicated atomic.Int64
+}
+
+// PeerStats counts one outbound link's health events.
+type PeerStats struct {
+	// Reconnects counts successful re-dials after the first connect.
+	Reconnects int64
+	// DroppedFrames counts frames abandoned: send-queue overflow, or a
+	// frame held past HeldFrameTTL while the peer stayed unreachable.
+	DroppedFrames int64
+	// ChaosDropped counts frames the chaos policy dropped.
+	ChaosDropped int64
+	// ChaosDuplicated counts frames the chaos policy duplicated.
+	ChaosDuplicated int64
 }
 
 // New creates a runtime and starts listening; call SetPeers then Run.
 func New(machine types.Machine, cfg Config) (*Runtime, error) {
 	if cfg.TickDuration <= 0 {
 		cfg.TickDuration = time.Millisecond
+	}
+	if cfg.HeldFrameTTL <= 0 {
+		cfg.HeldFrameTTL = 5 * time.Second
 	}
 	ln, err := net.Listen("tcp", cfg.ListenAddr)
 	if err != nil {
@@ -88,6 +135,8 @@ func New(machine types.Machine, cfg Config) (*Runtime, error) {
 		events:  make(chan event, 4096),
 		done:    make(chan struct{}),
 		peers:   make(map[types.NodeID]*peer),
+		timers:  make(map[uint64]*time.Timer),
+		conns:   make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -129,13 +178,87 @@ func (r *Runtime) Close() {
 		close(r.done)
 		r.ln.Close()
 		r.mu.Lock()
+		r.closed = true
 		for _, t := range r.timers {
 			t.Stop()
 		}
 		r.timers = nil
+		for conn := range r.conns {
+			if r.killed {
+				// Reset instead of FIN: peers see a connection that died
+				// mid-stream, exactly like a crashed process.
+				if tc, ok := conn.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+			}
+			conn.Close()
+		}
+		r.conns = nil
 		r.mu.Unlock()
 	})
 	r.wg.Wait()
+}
+
+// Kill hard-stops the runtime the way a crashing process would: the
+// listener vanishes and every live connection is reset (RST via SO_LINGER
+// 0) rather than cleanly closed, so peers observe a mid-stream failure.
+// Pending frames and timers are abandoned. Like Close, Kill joins every
+// goroutine before returning; the WAL (if any) retains whatever the hosted
+// machine last persisted, ready for a Restore-based relaunch.
+func (r *Runtime) Kill() {
+	r.mu.Lock()
+	r.killed = true
+	r.mu.Unlock()
+	r.Close()
+}
+
+// Stats snapshots the per-peer link counters.
+func (r *Runtime) Stats() map[types.NodeID]PeerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[types.NodeID]PeerStats, len(r.peers))
+	for id, p := range r.peers {
+		reconnects := p.connects.Load() - 1
+		if reconnects < 0 {
+			reconnects = 0
+		}
+		out[id] = PeerStats{
+			Reconnects:      reconnects,
+			DroppedFrames:   p.droppedFrames.Load(),
+			ChaosDropped:    p.chaosDropped.Load(),
+			ChaosDuplicated: p.chaosDuplicated.Load(),
+		}
+	}
+	return out
+}
+
+// ActiveTimers reports the number of pending (unfired) timers; fired and
+// stopped timers are pruned, so this stays bounded over long runs.
+func (r *Runtime) ActiveTimers() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.timers)
+}
+
+// track registers a connection for shutdown; returns false (and closes the
+// connection) when the runtime is already closing.
+func (r *Runtime) track(conn net.Conn) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		conn.Close()
+		return false
+	}
+	r.conns[conn] = struct{}{}
+	return true
+}
+
+func (r *Runtime) untrack(conn net.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conns != nil {
+		delete(r.conns, conn)
+	}
 }
 
 func (r *Runtime) eventLoop() {
@@ -173,6 +296,9 @@ func (r *Runtime) acceptLoop() {
 			}
 			continue
 		}
+		if !r.track(conn) {
+			return
+		}
 		r.wg.Add(1)
 		go r.readLoop(conn)
 	}
@@ -180,23 +306,12 @@ func (r *Runtime) acceptLoop() {
 
 func (r *Runtime) readLoop(conn net.Conn) {
 	defer r.wg.Done()
+	defer r.untrack(conn)
 	defer conn.Close()
-	// Close the connection promptly on shutdown so the blocking reads
-	// below unblock.
-	stop := make(chan struct{})
-	defer close(stop)
-	r.wg.Add(1)
-	go func() {
-		defer r.wg.Done()
-		select {
-		case <-r.done:
-			conn.Close()
-		case <-stop:
-		}
-	}()
 
 	// Hello frame: the peer's declared identity (the "authenticated
-	// channel" stand-in; see the package comment).
+	// channel" stand-in; see the package comment). Close/Kill unblock the
+	// reads below by closing the tracked connection.
 	var hello [8]byte
 	if _, err := io.ReadFull(conn, hello[:]); err != nil {
 		return
@@ -220,50 +335,83 @@ func (r *Runtime) readLoop(conn net.Conn) {
 	}
 }
 
+// writeLoop owns one outbound link. A frame pulled from the queue is held
+// until it is written to a live connection or it ages past HeldFrameTTL —
+// a dial failure, a failed hello, or a mid-stream write error no longer
+// loses it silently; it rides to the next reconnect. Reconnects use
+// exponential backoff with jitter, capped at maxBackoff.
 func (r *Runtime) writeLoop(p *peer) {
 	defer r.wg.Done()
 	var conn net.Conn
 	defer func() {
 		if conn != nil {
+			r.untrack(conn)
 			conn.Close()
 		}
 	}()
-	backoff := 10 * time.Millisecond
+	backoff := initialBackoff
+	var held []byte
+	var heldSince time.Time
 	for {
-		select {
-		case <-r.done:
-			return
-		case frame := <-p.queue:
-			for conn == nil {
-				c, err := net.Dial("tcp", p.addr)
-				if err != nil {
-					select {
-					case <-r.done:
-						return
-					case <-time.After(backoff):
-					}
-					if backoff < time.Second {
-						backoff *= 2
-					}
-					continue
-				}
-				conn = c
-				backoff = 10 * time.Millisecond
-				var hello [8]byte
-				binary.BigEndian.PutUint64(hello[:], uint64(r.machine.ID()))
-				if _, err := conn.Write(hello[:]); err != nil {
-					conn.Close()
-					conn = nil
-				}
-			}
-			if err := writeFrame(conn, frame); err != nil {
-				conn.Close()
-				conn = nil
-				// The frame is lost; the protocol's retransmission and
-				// view-change machinery tolerates loss (partial synchrony).
+		if held == nil {
+			select {
+			case <-r.done:
+				return
+			case held = <-p.queue:
+				heldSince = time.Now()
 			}
 		}
+		if conn == nil {
+			c, err := net.Dial("tcp", p.addr)
+			if err == nil {
+				var hello [8]byte
+				binary.BigEndian.PutUint64(hello[:], uint64(r.machine.ID()))
+				if _, werr := c.Write(hello[:]); werr != nil {
+					c.Close()
+				} else if !r.track(c) {
+					return
+				} else {
+					conn = c
+					backoff = initialBackoff
+					p.connects.Add(1)
+				}
+			}
+			if conn == nil {
+				// Degrade gracefully while the peer stays down: a frame
+				// held past its TTL is stale (the protocol will have
+				// retransmitted), so drop it, count it, and move on.
+				if time.Since(heldSince) > r.cfg.HeldFrameTTL {
+					held = nil
+					p.droppedFrames.Add(1)
+				}
+				select {
+				case <-r.done:
+					return
+				case <-time.After(jitter(backoff)):
+				}
+				if backoff < maxBackoff {
+					backoff *= 2
+				}
+				continue
+			}
+		}
+		if err := writeFrame(conn, held); err != nil {
+			r.untrack(conn)
+			conn.Close()
+			conn = nil
+			continue // the held frame retries on the next reconnect
+		}
+		held = nil
 	}
+}
+
+// jitter spreads reconnect attempts over [d/2, d) so a cluster of writers
+// does not thunder against a restarting peer in lockstep.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)))
 }
 
 func readFrame(conn net.Conn) ([]byte, error) {
@@ -315,11 +463,38 @@ func (e *env) Send(to types.NodeID, msg types.Message) {
 	if !ok {
 		return // unknown peer: drop, as the simulator does
 	}
+	frame := types.Encode(msg)
+	if ch := e.r.cfg.Chaos; ch != nil {
+		// The per-link frame ordinal keys the chaos decision, so a fixed
+		// seed yields the same drop/dup/delay verdict for the k-th frame
+		// on each link regardless of wall-clock interleaving.
+		ord := p.ordinal
+		p.ordinal++
+		act := ch.Decide(e.r.machine.ID(), to, ord, time.Since(e.r.started))
+		if act.Drop {
+			p.chaosDropped.Add(1)
+			return
+		}
+		if act.Duplicate {
+			p.chaosDuplicated.Add(1)
+			e.r.enqueue(p, frame)
+		}
+		if act.Delay > 0 {
+			rt := e.r
+			time.AfterFunc(act.Delay, func() { rt.enqueue(p, frame) })
+			return
+		}
+	}
+	e.r.enqueue(p, frame)
+}
+
+// enqueue hands a frame to the peer's writer, dropping (and counting) on
+// backpressure overflow — the protocols tolerate loss and retransmit.
+func (r *Runtime) enqueue(p *peer, frame []byte) {
 	select {
-	case p.queue <- types.Encode(msg):
+	case p.queue <- frame:
 	default:
-		// Backpressure overflow: drop. The protocols tolerate loss and
-		// retransmit through their timeout paths.
+		p.droppedFrames.Add(1)
 	}
 }
 
@@ -338,14 +513,27 @@ func (e *env) Broadcast(msg types.Message) {
 
 func (e *env) SetTimer(id types.TimerID, d types.Duration) {
 	r := e.r
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.timerSeq++
+	seq := r.timerSeq
 	timer := time.AfterFunc(time.Duration(d)*r.cfg.TickDuration, func() {
+		// Prune first: a fired timer must not linger in the set whether or
+		// not the event can still be delivered.
+		r.mu.Lock()
+		if r.timers != nil {
+			delete(r.timers, seq)
+		}
+		r.mu.Unlock()
 		select {
 		case r.events <- event{timer: true, timerID: id}:
 		case <-r.done:
 		}
 	})
-	r.mu.Lock()
-	r.timers = append(r.timers, timer)
+	r.timers[seq] = timer
 	r.mu.Unlock()
 }
 

@@ -6,18 +6,28 @@
 // Persist atomically replaces the previous snapshot (write temp + fsync +
 // rename), which keeps the on-disk footprint constant across any number of
 // views — the storage column of Table 1, measurable via Size.
+//
+// Snapshots carry a CRC32 (IEEE) prefix so a torn or partial write — a
+// crash mid-write, a bit flip, a truncation — surfaces as a "corrupt
+// snapshot" error on Load instead of decoding garbage into vote state.
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 
 	"tetrabft/internal/core"
+	"tetrabft/internal/multishot"
 )
 
-// WAL stores one node's durable state in a directory.
+// ErrCorrupt marks a snapshot whose checksum or encoding failed validation.
+var ErrCorrupt = errors.New("wal: corrupt snapshot")
+
+// WAL stores one single-shot node's durable state in a directory.
 type WAL struct {
 	path string
 }
@@ -26,10 +36,11 @@ var _ core.Persister = (*WAL)(nil)
 
 // Open creates (or reuses) the durable store rooted at dir.
 func Open(dir string) (*WAL, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("wal: open: %w", err)
+	path, err := open(dir)
+	if err != nil {
+		return nil, err
 	}
-	return &WAL{path: filepath.Join(dir, "state.bin")}, nil
+	return &WAL{path: path}, nil
 }
 
 // Persist implements core.Persister: atomically replace the snapshot.
@@ -38,12 +49,90 @@ func (w *WAL) Persist(state core.PersistentState) error {
 	if err != nil {
 		return fmt.Errorf("wal: encode: %w", err)
 	}
-	tmp := w.path + ".tmp"
+	return writeSnapshot(w.path, data)
+}
+
+// Load reads the last persisted state. The boolean reports whether a
+// snapshot existed.
+func (w *WAL) Load() (core.PersistentState, bool, error) {
+	var state core.PersistentState
+	data, found, err := readSnapshot(w.path)
+	if err != nil || !found {
+		return state, false, err
+	}
+	if err := state.UnmarshalBinary(data); err != nil {
+		return state, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return state, true, nil
+}
+
+// Size returns the on-disk footprint in bytes (0 if nothing persisted).
+func (w *WAL) Size() (int64, error) { return size(w.path) }
+
+// MultiWAL stores one multi-shot node's durable state: the finalized
+// watermark plus the ≤5-slot in-flight pipeline window. Like WAL, each
+// Persist atomically replaces the snapshot, so the footprint stays constant
+// no matter how long the finalized chain grows.
+type MultiWAL struct {
+	path string
+}
+
+var _ multishot.Persister = (*MultiWAL)(nil)
+
+// OpenMulti creates (or reuses) a multi-shot durable store rooted at dir.
+func OpenMulti(dir string) (*MultiWAL, error) {
+	path, err := open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiWAL{path: path}, nil
+}
+
+// Persist implements multishot.Persister.
+func (w *MultiWAL) Persist(state multishot.PersistentState) error {
+	data, err := state.MarshalBinary()
+	if err != nil {
+		return fmt.Errorf("wal: encode: %w", err)
+	}
+	return writeSnapshot(w.path, data)
+}
+
+// Load reads the last persisted state. The boolean reports whether a
+// snapshot existed.
+func (w *MultiWAL) Load() (multishot.PersistentState, bool, error) {
+	var state multishot.PersistentState
+	data, found, err := readSnapshot(w.path)
+	if err != nil || !found {
+		return state, false, err
+	}
+	if err := state.UnmarshalBinary(data); err != nil {
+		return state, false, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return state, true, nil
+}
+
+// Size returns the on-disk footprint in bytes (0 if nothing persisted).
+func (w *MultiWAL) Size() (int64, error) { return size(w.path) }
+
+func open(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("wal: open: %w", err)
+	}
+	return filepath.Join(dir, "state.bin"), nil
+}
+
+// writeSnapshot atomically replaces the snapshot at path with a
+// CRC32-prefixed encoding of data (write temp + fsync + rename).
+func writeSnapshot(path string, data []byte) error {
+	framed := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(framed, crc32.ChecksumIEEE(data))
+	copy(framed[4:], data)
+	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: create temp: %w", err)
 	}
-	if _, err := f.Write(data); err != nil {
+	if _, err := f.Write(framed); err != nil {
 		f.Close()
 		return fmt.Errorf("wal: write: %w", err)
 	}
@@ -54,32 +143,39 @@ func (w *WAL) Persist(state core.PersistentState) error {
 	if err := f.Close(); err != nil {
 		return fmt.Errorf("wal: close: %w", err)
 	}
-	if err := os.Rename(tmp, w.path); err != nil {
+	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("wal: rename: %w", err)
 	}
 	return nil
 }
 
-// Load reads the last persisted state. The boolean reports whether a
-// snapshot existed.
-func (w *WAL) Load() (core.PersistentState, bool, error) {
-	var state core.PersistentState
-	data, err := os.ReadFile(w.path)
+// readSnapshot reads the snapshot at path and validates its checksum. A
+// missing file is (nil, false, nil) — a fresh store, not an error; the
+// write path's temp+rename discipline means a crash mid-Persist leaves
+// either the old complete snapshot or none at all, never a torn one at the
+// final path. The checksum catches everything else (bit rot, truncation,
+// external tampering).
+func readSnapshot(path string) ([]byte, bool, error) {
+	framed, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
-		return state, false, nil
+		return nil, false, nil
 	}
 	if err != nil {
-		return state, false, fmt.Errorf("wal: read: %w", err)
+		return nil, false, fmt.Errorf("wal: read: %w", err)
 	}
-	if err := state.UnmarshalBinary(data); err != nil {
-		return state, false, fmt.Errorf("wal: corrupt snapshot: %w", err)
+	if len(framed) < 4 {
+		return nil, false, fmt.Errorf("%w: %d bytes, shorter than the checksum", ErrCorrupt, len(framed))
 	}
-	return state, true, nil
+	want := binary.BigEndian.Uint32(framed)
+	data := framed[4:]
+	if got := crc32.ChecksumIEEE(data); got != want {
+		return nil, false, fmt.Errorf("%w: checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, want, got)
+	}
+	return data, true, nil
 }
 
-// Size returns the on-disk footprint in bytes (0 if nothing persisted).
-func (w *WAL) Size() (int64, error) {
-	info, err := os.Stat(w.path)
+func size(path string) (int64, error) {
+	info, err := os.Stat(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}

@@ -1,12 +1,14 @@
 package wal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
 	"tetrabft/internal/core"
+	"tetrabft/internal/multishot"
 	"tetrabft/internal/types"
 )
 
@@ -122,6 +124,179 @@ func TestCrashRecoveryWithNode(t *testing.T) {
 		if vm, ok := m.(types.VoteMsg); ok && vm.Phase == 1 {
 			t.Fatalf("restored node double-voted: %v", vm)
 		}
+	}
+}
+
+// TestBitFlipRejected: flipping any byte of a valid snapshot must surface
+// as ErrCorrupt on Load, not decode into different vote state.
+func TestBitFlipRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := core.PersistentState{
+		View:      9,
+		HighestVC: 9,
+		Votes:     core.VoteState{Vote1: types.Vote(9, "abc"), Vote2: types.Vote(8, "abc")},
+	}
+	if err := w.Persist(state); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "state.bin")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		bad := append([]byte{}, orig...)
+		bad[i] ^= 0x40
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Load(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: got err=%v, want ErrCorrupt", i, err)
+		}
+	}
+}
+
+// TestTruncationRejected: every strict prefix of a snapshot is corrupt.
+func TestTruncationRejected(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Persist(core.PersistentState{View: 3, HighestVC: 4}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "state.bin")
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 0; cut < len(orig); cut++ {
+		if err := os.WriteFile(path, orig[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Load(); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: got err=%v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestCrashBetweenTempWriteAndRename: a crash after writing the temp file
+// but before the rename must leave the previous snapshot intact — Load
+// returns the old state, and the orphaned temp file is ignored.
+func TestCrashBetweenTempWriteAndRename(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldState := core.PersistentState{View: 1, HighestVC: 1}
+	if err := w.Persist(oldState); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash: the next snapshot reached the temp path (possibly
+	// torn) but the rename never happened.
+	tmp := filepath.Join(dir, "state.bin.tmp")
+	if err := os.WriteFile(tmp, []byte("torn half-written snapsh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := w.Load()
+	if err != nil || !found {
+		t.Fatalf("Load after simulated crash: found=%v err=%v", found, err)
+	}
+	if !reflect.DeepEqual(got, oldState) {
+		t.Errorf("recovered %+v, want the pre-crash state %+v", got, oldState)
+	}
+	// A subsequent Persist must overwrite the orphan and succeed.
+	newState := core.PersistentState{View: 2, HighestVC: 2}
+	if err := w.Persist(newState); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = w.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, newState) {
+		t.Errorf("after recovery persist: got %+v, want %+v", got, newState)
+	}
+}
+
+func TestMultiWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenMulti(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found, err := w.Load(); err != nil || found {
+		t.Fatalf("fresh MultiWAL: found=%v err=%v", found, err)
+	}
+	var votes core.VoteState
+	votes.Record(1, 2, "x")
+	want := multishot.PersistentState{
+		Finalized: 5,
+		FinalHead: types.Block{Slot: 5}.ID(),
+		Slots: []multishot.SlotPersist{
+			{Slot: 6, View: 2, HighestVC: 3, Votes: votes},
+			{Slot: 7, View: 0, HighestVC: 0},
+		},
+	}
+	if err := w.Persist(want); err != nil {
+		t.Fatal(err)
+	}
+	got, found, err := w.Load()
+	if err != nil || !found {
+		t.Fatalf("Load: found=%v err=%v", found, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %+v want %+v", got, want)
+	}
+	// Corruption detection applies to the multi-shot snapshot too.
+	path := filepath.Join(dir, "state.bin")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Load(); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt multi snapshot: got err=%v, want ErrCorrupt", err)
+	}
+}
+
+// TestMultiWALSizeConstant: the multi-shot footprint is bounded by the
+// in-flight window, independent of the finalized chain length (Table 1).
+func TestMultiWALSizeConstant(t *testing.T) {
+	w, err := OpenMulti(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSize int64
+	for fin := types.Slot(1); fin <= 200; fin++ {
+		st := multishot.PersistentState{Finalized: fin, FinalHead: types.Block{Slot: fin}.ID()}
+		for s := fin + 1; s <= fin+5; s++ {
+			var votes core.VoteState
+			votes.Record(1, types.View(fin%7), "v")
+			st.Slots = append(st.Slots, multishot.SlotPersist{Slot: s, View: types.View(fin % 7), Votes: votes})
+		}
+		if err := w.Persist(st); err != nil {
+			t.Fatal(err)
+		}
+		size, err := w.Size()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size > maxSize {
+			maxSize = size
+		}
+	}
+	if maxSize > 1024 {
+		t.Errorf("multi-shot footprint grew to %d bytes over 200 finalized slots; Table 1 requires constant storage", maxSize)
 	}
 }
 

@@ -265,6 +265,9 @@ type (
 	CollectSpec = scenario.CollectSpec
 	// NodeDecision records one node's decision in a scenario result.
 	NodeDecision = scenario.NodeDecision
+	// NodeTransport is one replica's TCP link counters in a scenario
+	// result (reconnects, frame drops, chaos verdicts).
+	NodeTransport = scenario.NodeTransport
 )
 
 // Scenario protocols.
@@ -305,6 +308,9 @@ const (
 	// FaultForgedHistory replaces a node with the Lemma 8 Byzantine
 	// leader pushing a conflicting value with a forged clean history.
 	FaultForgedHistory = scenario.FaultForgedHistory
+	// FaultCrashRestart hard-kills a TCP replica's process mid-run and
+	// relaunches it from its write-ahead log (engine "tcp" only).
+	FaultCrashRestart = scenario.FaultCrashRestart
 )
 
 // Deliberately broken protocol variants for adversarial harnesses (the
