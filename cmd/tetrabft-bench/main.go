@@ -22,25 +22,27 @@ import (
 
 func main() {
 	var (
-		table1   = flag.Bool("table1", false, "reproduce Table 1 latency columns (E1)")
-		comm     = flag.Bool("comm", false, "reproduce the communication column (E2)")
-		storage  = flag.Bool("storage", false, "reproduce the storage column (E3)")
-		resp     = flag.Bool("resp", false, "reproduce the responsiveness comparison (E4)")
-		fig2     = flag.Bool("fig2", false, "reproduce Figure 2: pipelining (E5)")
-		fig3     = flag.Bool("fig3", false, "reproduce Figure 3: multi-shot view change (E6)")
-		verify   = flag.Bool("verify", false, "reproduce Section 5: formal verification (E7)")
-		timeout  = flag.Bool("timeout", false, "reproduce the 9Δ timeout analysis (E8)")
-		ablation = flag.Bool("ablation", false, "timeout-factor ablation around the 9Δ choice")
-		all      = flag.Bool("all", false, "run every experiment")
-		n        = flag.Int("n", 4, "cluster size for Table 1")
-		effort   = flag.Int("effort", 1, "verification effort multiplier")
-		jsonPath = flag.String("json", "", "write a BENCH_*.json-compatible perf snapshot to this path")
+		table1     = flag.Bool("table1", false, "reproduce Table 1 latency columns (E1)")
+		comm       = flag.Bool("comm", false, "reproduce the communication column (E2)")
+		storage    = flag.Bool("storage", false, "reproduce the storage column (E3)")
+		resp       = flag.Bool("resp", false, "reproduce the responsiveness comparison (E4)")
+		fig2       = flag.Bool("fig2", false, "reproduce Figure 2: pipelining (E5)")
+		fig3       = flag.Bool("fig3", false, "reproduce Figure 3: multi-shot view change (E6)")
+		verify     = flag.Bool("verify", false, "reproduce Section 5: formal verification (E7)")
+		timeout    = flag.Bool("timeout", false, "reproduce the 9Δ timeout analysis (E8)")
+		ablation   = flag.Bool("ablation", false, "timeout-factor ablation around the 9Δ choice")
+		throughput = flag.Bool("throughput", false, "batched-pipeline throughput across batch caps (E10)")
+		all        = flag.Bool("all", false, "run every experiment")
+		n          = flag.Int("n", 4, "cluster size for Table 1")
+		effort     = flag.Int("effort", 1, "verification effort multiplier")
+		jsonPath   = flag.String("json", "", "write a BENCH_*.json-compatible perf snapshot to this path")
 	)
 	flag.Parse()
 	opts := options{
 		table1: *table1, comm: *comm, storage: *storage, resp: *resp,
 		fig2: *fig2, fig3: *fig3, verify: *verify, timeout: *timeout,
-		ablation: *ablation, all: *all, n: *n, effort: *effort, jsonPath: *jsonPath,
+		ablation: *ablation, throughput: *throughput,
+		all: *all, n: *n, effort: *effort, jsonPath: *jsonPath,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-bench:", err)
@@ -49,7 +51,7 @@ func main() {
 }
 
 type options struct {
-	table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, all bool
+	table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, throughput, all bool
 
 	n, effort int
 	jsonPath  string
@@ -115,13 +117,14 @@ func (s *snapshot) write(path string) error {
 
 func run(opts options) error {
 	anySelected := opts.table1 || opts.comm || opts.storage || opts.resp || opts.fig2 ||
-		opts.fig3 || opts.verify || opts.timeout || opts.ablation
+		opts.fig3 || opts.verify || opts.timeout || opts.ablation || opts.throughput
 	if !anySelected {
 		opts.all = true
 	}
 	if opts.all {
 		opts.table1, opts.comm, opts.storage, opts.resp = true, true, true, true
 		opts.fig2, opts.fig3, opts.verify, opts.timeout, opts.ablation = true, true, true, true, true
+		opts.throughput = true
 	}
 	var snap *snapshot
 	if opts.jsonPath != "" {
@@ -250,6 +253,18 @@ func run(opts options) error {
 			fmt.Printf("%-8d %-28s %-22s\n", row.Factor, good, crash)
 		}
 		fmt.Println("shape: below 8Δ liveness dies; 9Δ is safe; larger only delays crash recovery")
+		fmt.Println()
+	}
+	if opts.throughput {
+		fmt.Println("── E10: batched-pipeline throughput (30 slots, saturating offered load) ──")
+		r, err := snap.record("throughput", func() (any, error) {
+			return bench.Throughput([]int{1, 4, 16, 64})
+		})
+		if err != nil {
+			return err
+		}
+		bench.WriteThroughput(os.Stdout, r.([]bench.ThroughputRow))
+		fmt.Println("shape: tx/tick scales with the batch cap; consensus ticks stay flat")
 		fmt.Println()
 	}
 	if snap != nil {

@@ -27,6 +27,10 @@ func main() {
 		silent       = flag.Int("silent", 0, "number of silent (crashed) nodes, taken from the lowest IDs")
 		multi        = flag.Bool("multi", false, "run multi-shot (pipelined) TetraBFT instead of single-shot")
 		slots        = flag.Int("slots", 10, "finalized slots to target in multi-shot mode")
+		txs          = flag.Int("txs", 0, "multi-shot offered load: this many transactions streamed through batched blocks")
+		rate         = flag.Int64("rate", 0, "offered-load arrival rate, transactions per 100 ticks (0 = all at t=0)")
+		batch        = flag.Int("batch", 0, "per-block transaction batch cap (0 = default 8)")
+		window       = flag.Int("window", 0, "pipeline window: slots proposed optimistically ahead of the notarization rule (0 = paper's rule)")
 		seed         = flag.Int64("seed", 1, "simulation seed")
 		delta        = flag.Int64("delta", 10, "network bound Δ in ticks (timeout = 9Δ)")
 		gst          = flag.Int64("gst", 0, "global stabilization time (0 = synchronous from the start)")
@@ -62,7 +66,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		sc = fromFlags(*n, *silent, *multi, *slots, *seed, *delta, *gst, *drop, *showTrace, *horizon)
+		sc = fromFlags(*n, *silent, *multi, *slots, *txs, *rate, *batch, *window, *seed, *delta, *gst, *drop, *showTrace, *horizon)
 	}
 	if err := run(sc); err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-sim:", err)
@@ -71,7 +75,7 @@ func main() {
 }
 
 // fromFlags assembles the declarative spec the flag set describes.
-func fromFlags(n, silent int, multi bool, slots int, seed, delta, gst int64, drop float64, showTrace bool, horizon int64) scenario.Scenario {
+func fromFlags(n, silent int, multi bool, slots, txs int, rate int64, batch, window int, seed, delta, gst int64, drop float64, showTrace bool, horizon int64) scenario.Scenario {
 	sc := scenario.Scenario{
 		Protocol: scenario.TetraBFT,
 		Nodes:    n,
@@ -84,7 +88,10 @@ func fromFlags(n, silent int, multi bool, slots int, seed, delta, gst int64, dro
 	}
 	if multi {
 		sc.Protocol = scenario.TetraBFTMulti
-		sc.Workload = scenario.WorkloadSpec{MaxSlot: int64(slots + 3)}
+		sc.Workload = scenario.WorkloadSpec{
+			MaxSlot: int64(slots + 3),
+			TxCount: txs, TxRate: rate, BatchSize: batch, Window: window,
+		}
 		sc.Collect.Chain = true
 	}
 	for i := 0; i < silent; i++ {
@@ -119,7 +126,15 @@ func run(sc scenario.Scenario) error {
 			fmt.Printf("node %d finalized %d slots\n", f.Node, f.Slot)
 		}
 		for _, b := range res.Chain {
-			fmt.Printf("  slot %2d  block %s  (%d-byte payload)\n", b.Slot, b.ID(), len(b.Payload))
+			if b.NumTxs() > 0 {
+				fmt.Printf("  slot %2d  block %s  (%d txs, %d-byte payload)\n", b.Slot, b.ID(), b.NumTxs(), len(b.Payload))
+			} else {
+				fmt.Printf("  slot %2d  block %s  (%d-byte payload)\n", b.Slot, b.ID(), len(b.Payload))
+			}
+		}
+		if res.DecidedTxs > 0 {
+			fmt.Printf("decided transactions: %d (commit latency p50 %d, p99 %d ticks)\n",
+				res.DecidedTxs, res.TxLatencyP50, res.TxLatencyP99)
 		}
 	} else {
 		for _, tr := range res.Traffic {

@@ -116,6 +116,91 @@ func (m *Mempool) PayloadSource(txPerBlock int) func(types.Slot) []byte {
 	}
 }
 
+// TimedTx is a transaction tagged with its arrival time.
+type TimedTx struct {
+	At types.Time
+	Tx Tx
+}
+
+// TimedMempool is an arrival-gated FIFO: each transaction carries the time
+// it entered the system, and a drain at time t only sees transactions that
+// had arrived by t. It backs offered-load workloads on the deterministic
+// simulator, where the whole transaction stream is known up front but must
+// not become proposable before its arrival instant.
+type TimedMempool struct {
+	mu    sync.Mutex
+	queue []TimedTx
+	limit int
+}
+
+// NewTimedMempool creates a timed mempool holding at most limit pending
+// transactions (limit <= 0 means 65536 — offered-load streams are bursty).
+func NewTimedMempool(limit int) *TimedMempool {
+	if limit <= 0 {
+		limit = 65536
+	}
+	return &TimedMempool{limit: limit}
+}
+
+// Submit enqueues a transaction arriving at the given time; it reports
+// false when the pool is full. Arrivals must be submitted in time order
+// (the FIFO gate checks only the head).
+func (m *TimedMempool) Submit(at types.Time, tx Tx) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) >= m.limit {
+		return false
+	}
+	cp := make(Tx, len(tx))
+	copy(cp, tx)
+	m.queue = append(m.queue, TimedTx{At: at, Tx: cp})
+	return true
+}
+
+// Len returns the number of pending transactions, arrived or not.
+func (m *TimedMempool) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// DrainReady removes and returns up to max transactions that had arrived
+// by now (max <= 0 means all ready ones).
+func (m *TimedMempool) DrainReady(now types.Time, max int) []Tx {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for n < len(m.queue) && m.queue[n].At <= now && (max <= 0 || n < max) {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]Tx, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.queue[i].Tx
+	}
+	m.queue = append(m.queue[:0:0], m.queue[n:]...)
+	return out
+}
+
+// BatchSource adapts the timed mempool to multishot.Config.Batch: each
+// proposed block carries up to txPerBlock transactions that have arrived by
+// proposal time, as its ordered batch.
+func (m *TimedMempool) BatchSource(txPerBlock int) func(types.Slot, types.Time) [][]byte {
+	return func(_ types.Slot, now types.Time) [][]byte {
+		txs := m.DrainReady(now, txPerBlock)
+		if len(txs) == 0 {
+			return nil
+		}
+		out := make([][]byte, len(txs))
+		for i, tx := range txs {
+			out[i] = tx
+		}
+		return out
+	}
+}
+
 // Store validates and records the finalized chain.
 type Store struct {
 	mu    sync.Mutex

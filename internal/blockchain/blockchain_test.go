@@ -216,3 +216,63 @@ func TestKVDeterminism(t *testing.T) {
 		t.Error("same chain produced different states")
 	}
 }
+
+func TestTimedMempoolGatesOnArrival(t *testing.T) {
+	m := NewTimedMempool(0)
+	for i, at := range []types.Time{2, 5, 5, 9} {
+		if !m.Submit(at, Tx{byte('a' + i)}) {
+			t.Fatalf("submit %d rejected", i)
+		}
+	}
+	if got := m.DrainReady(1, 0); got != nil {
+		t.Fatalf("drained %d txs before any arrived", len(got))
+	}
+	if got := m.DrainReady(5, 0); len(got) != 3 {
+		t.Fatalf("drained %d txs by t=5, want 3", len(got))
+	} else if string(got[0]) != "a" || string(got[2]) != "c" {
+		t.Fatalf("drain broke FIFO order: %q", got)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d after drain, want 1", m.Len())
+	}
+	if got := m.DrainReady(100, 0); len(got) != 1 || string(got[0]) != "d" {
+		t.Fatalf("final drain = %q", got)
+	}
+}
+
+func TestTimedMempoolRespectsCap(t *testing.T) {
+	m := NewTimedMempool(2)
+	if !m.Submit(1, Tx("a")) || !m.Submit(1, Tx("b")) {
+		t.Fatal("submits under the cap rejected")
+	}
+	if m.Submit(1, Tx("c")) {
+		t.Fatal("submit over the cap accepted")
+	}
+	got := m.DrainReady(1, 1)
+	if len(got) != 1 || string(got[0]) != "a" {
+		t.Fatalf("bounded drain = %q", got)
+	}
+	if !m.Submit(2, Tx("c")) {
+		t.Fatal("submit after drain rejected")
+	}
+}
+
+func TestTimedMempoolBatchSource(t *testing.T) {
+	m := NewTimedMempool(0)
+	for i := 0; i < 5; i++ {
+		m.Submit(types.Time(i), Tx{byte('0' + i)})
+	}
+	src := m.BatchSource(2)
+	if b := src(1, 0); len(b) != 1 || string(b[0]) != "0" {
+		t.Fatalf("slot-1 batch = %q", b)
+	}
+	if b := src(2, 10); len(b) != 2 || string(b[0]) != "1" {
+		t.Fatalf("slot-2 batch = %q", b)
+	}
+	if b := src(3, 10); len(b) != 2 {
+		t.Fatalf("slot-3 batch has %d txs", len(b))
+	}
+	if b := src(4, 10); b != nil {
+		t.Fatalf("empty pool produced batch %q (must be nil to keep blocks unbatched)", b)
+	}
+}

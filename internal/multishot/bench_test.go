@@ -1,0 +1,137 @@
+package multishot
+
+import (
+	"testing"
+
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+// recordedMsg is one message a peer addressed to the observed node.
+type recordedMsg struct {
+	from types.NodeID
+	msg  types.Message
+}
+
+// recordDeliveries runs an n-node good-case pipeline on the simulator and
+// records every message peers send to node 0, in send order (with unit
+// delays that is also delivery order). Replaying the stream into a fresh
+// node exercises exactly the steady-state deliver path, with nothing else
+// on the profile.
+func recordDeliveries(tb testing.TB, nodes int, maxSlot types.Slot) []recordedMsg {
+	tb.Helper()
+	var msgs []recordedMsg
+	rec := adversaryFunc(func(from, to types.NodeID, msg types.Message, _ types.Time) sim.Verdict {
+		if to == 0 && from != 0 {
+			msgs = append(msgs, recordedMsg{from: from, msg: msg})
+		}
+		return sim.Verdict{}
+	})
+	r := sim.New(sim.Config{Seed: 1, Adversary: rec})
+	all := make([]*Node, nodes)
+	for i := range all {
+		n, err := NewNode(Config{ID: types.NodeID(i), Nodes: nodes, Delta: 10, MaxSlot: maxSlot})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		all[i] = n
+		r.Add(n)
+	}
+	if err := r.Run(5000, nil); err != nil {
+		tb.Fatal(err)
+	}
+	if got, want := all[0].FinalizedSlot(), maxSlot-3; got != want {
+		tb.Fatalf("trace recording run finalized %d slots, want %d", got, want)
+	}
+	return msgs
+}
+
+// replayEnv feeds a node's own broadcasts back to it (the simulator's
+// immediate self-delivery) and swallows everything else.
+type replayEnv struct {
+	node *Node
+}
+
+func (e *replayEnv) Now() types.Time                  { return 0 }
+func (e *replayEnv) Send(types.NodeID, types.Message) {}
+func (e *replayEnv) Broadcast(m types.Message) {
+	e.node.Deliver(e, e.node.ID(), m)
+}
+func (e *replayEnv) SetTimer(types.TimerID, types.Duration) {}
+func (e *replayEnv) Decide(types.Slot, types.Value)         {}
+
+// replay drives a fresh node through the recorded stream and returns it.
+func replay(tb testing.TB, nodes int, maxSlot types.Slot, msgs []recordedMsg) *Node {
+	tb.Helper()
+	n, err := NewNode(Config{ID: 0, Nodes: nodes, Delta: 10, MaxSlot: maxSlot})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	env := &replayEnv{node: n}
+	n.Start(env)
+	for _, m := range msgs {
+		n.Deliver(env, m.from, m.msg)
+	}
+	return n
+}
+
+// BenchmarkMultishotDeliver measures the steady-state deliver path at n=16:
+// one op replays a full recorded good-case pipeline stream (proposals and
+// votes for 20 finalized slots) into a fresh node. Run with -benchmem; the
+// allocs/op figure is the hot-path allocation budget the CI pin guards.
+func BenchmarkMultishotDeliver(b *testing.B) {
+	const nodes, maxSlot = 16, 23
+	msgs := recordDeliveries(b, nodes, maxSlot)
+	b.ReportMetric(float64(len(msgs)), "msgs/op")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := replay(b, nodes, maxSlot, msgs)
+		if n.FinalizedSlot() != maxSlot-3 {
+			b.Fatalf("replay finalized %d slots, want %d", n.FinalizedSlot(), maxSlot-3)
+		}
+	}
+}
+
+// TestDeliverAllocsBound pins the steady-state deliver path's allocation
+// budget: the average allocations per delivered message across a full n=16
+// pipeline replay (node setup amortized over the stream) must not regress.
+// The CI perf job runs this by name.
+func TestDeliverAllocsBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation pin needs an undisturbed heap")
+	}
+	const nodes, maxSlot = 16, 23
+	msgs := recordDeliveries(t, nodes, maxSlot)
+	perRun := testing.AllocsPerRun(10, func() {
+		n := replay(t, nodes, maxSlot, msgs)
+		if n.FinalizedSlot() != maxSlot-3 {
+			t.Fatalf("replay finalized %d slots", n.FinalizedSlot())
+		}
+	})
+	perMsg := perRun / float64(len(msgs))
+	t.Logf("deliver path: %.0f allocs per replay, %.2f allocs per message (%d messages)", perRun, perMsg, len(msgs))
+	// Pre-refactor the map-of-maps bookkeeping costs ~5 allocs per
+	// delivered message at n=16; the flattened slot window must stay under 4.
+	const bound = 4.0
+	if perMsg > bound {
+		t.Errorf("deliver path allocates %.2f per message, budget %.2f", perMsg, bound)
+	}
+}
+
+// TestDeliverAllocsReport prints the per-message allocation figure without
+// enforcing a bound, for quick before/after comparisons at several sizes.
+func TestDeliverAllocsReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation report needs an undisturbed heap")
+	}
+	for _, nodes := range []int{4, 16} {
+		const maxSlot = 23
+		msgs := recordDeliveries(t, nodes, maxSlot)
+		perRun := testing.AllocsPerRun(5, func() {
+			replay(t, nodes, maxSlot, msgs)
+		})
+		t.Logf("n=%d: %.0f allocs per replay, %.2f per message (%d messages)",
+			nodes, perRun, perRun/float64(len(msgs)), len(msgs))
+	}
+}

@@ -11,6 +11,13 @@
 // message delay (Figure 2); leader failure aborts at most the five
 // in-flight blocks and recovers through a per-slot view change with
 // suggest/proof messages and Rules 1/3 (Figure 3, Algorithms 2-3).
+//
+// Storage layout: the per-slot consensus state lives in a fixed-size ring
+// of slot records indexed by slot number modulo the window, not in a
+// map-of-maps. Vote tallies are dense bitsets over member indices, view
+// records are small flat structs found by linear scan (a slot sees one or
+// two views in practice), and finalized slots recycle their records through
+// free lists — the steady-state deliver path allocates nothing.
 package multishot
 
 import (
@@ -41,6 +48,19 @@ type Config struct {
 	// Payload produces the block body this node proposes for a slot.
 	// Nil yields a deterministic placeholder payload.
 	Payload func(slot types.Slot) []byte
+	// Batch produces the ordered transaction batch a proposal for the slot
+	// carries (nil = headers only). Batching changes only what rides inside
+	// a block, never the consensus rules: an empty batch keeps the block
+	// byte-identical to an unbatched one.
+	Batch func(slot types.Slot, now types.Time) [][]byte
+	// Window is the pipeline depth: how many consecutive unnotarized
+	// current-view proposals a leader may stack when extending the chain
+	// (Section 6.1 requires the grandparent chain notarized beneath a new
+	// proposal; Window relaxes that to a bounded run of optimistic
+	// ancestors). It is a liveness/throughput knob only — voting rules are
+	// untouched, so safety never depends on it. ≤1 (the default) reproduces
+	// the paper's pipeline exactly.
+	Window int
 	// MaxSlot stops the pipeline: leaders do not propose beyond it
 	// (0 = unbounded).
 	MaxSlot types.Slot
@@ -50,38 +70,93 @@ type Config struct {
 	Tracer trace.Tracer
 }
 
-// slotState is the per-slot consensus state. Only the ≤5 in-flight slots
-// are ever active; finalized slots keep just their final block.
+// tally counts the votes one block gathered in one (slot, view).
+type tally struct {
+	block types.BlockID
+	votes quorum.Bits
+}
+
+// notRec is one notarized block at a slot, tagged with the view it first
+// reached a quorum in. The per-slot list is kept sorted by block ID bytes
+// so every "pick some notarized block" site enumerates deterministically
+// (Go map iteration is randomized; see the note on slotState.notarized).
+type notRec struct {
+	id   types.BlockID
+	view types.View
+}
+
+// viewRec is the consensus state of one (slot, view): the flat replacement
+// for the per-view inner maps. A slot sees view 0 plus at most a few
+// recovery views, so records are found by linear scan and recycled through
+// the node's free list when the slot finalizes.
+type viewRec struct {
+	view        types.View
+	proposed    bool // this node (as leader) proposed in this view
+	sentVote    bool
+	hasProposal bool
+	proposal    types.Block
+	proposalID  types.BlockID // proposal.ID(), hashed once on arrival
+
+	// suggests and proofs stay as lazily allocated maps: they are only
+	// populated on the view-change path, and core.LeaderSafeValue /
+	// core.ProposalSafe take them by map (nil is a valid empty history).
+	suggests map[types.NodeID]types.SuggestMsg
+	proofs   map[types.NodeID]types.ProofMsg
+
+	vcVotes quorum.Bits // view-change senders, lazily sized to the membership
+	tallies []tally     // per-block vote tallies, backing array recycled
+}
+
+// slotState is the per-slot consensus state. Only the in-flight window is
+// ever live; finalized slots move their block to the node's chain cache and
+// return their record to the free list.
+//
+// notarized is kept sorted by block ID bytes: chainAt, childNotarizedOf and
+// someNotarized all enumerate it in order, which preserves the fixed
+// iteration order the map-based implementation got from sortedBlockIDs
+// (observable as a flaky TestBlockEquivocatingLeader otherwise: with an
+// equivocating leader several notarized blocks coexist at a slot and the
+// picked one steers the run).
 type slotState struct {
+	slot      types.Slot
 	started   bool
 	view      types.View
 	votes     core.VoteState // implicit vote-1..4 history for this slot
 	highestVC types.View
 
-	proposals map[types.View]types.Block
-	proposed  map[types.View]bool
-	sentVote  map[types.View]bool
-	suggests  map[types.View]map[types.NodeID]types.SuggestMsg
-	proofs    map[types.View]map[types.NodeID]types.ProofMsg
-	tallies   map[types.View]map[types.BlockID]quorum.Set
-	vcSets    map[types.View]quorum.Set
-	notarized map[types.BlockID]types.View
-
-	finalized  bool
-	finalBlock types.BlockID
+	views     []*viewRec
+	notarized []notRec
 }
 
-func newSlotState() *slotState {
-	return &slotState{
-		proposals: make(map[types.View]types.Block),
-		proposed:  make(map[types.View]bool),
-		sentVote:  make(map[types.View]bool),
-		suggests:  make(map[types.View]map[types.NodeID]types.SuggestMsg),
-		proofs:    make(map[types.View]map[types.NodeID]types.ProofMsg),
-		tallies:   make(map[types.View]map[types.BlockID]quorum.Set),
-		vcSets:    make(map[types.View]quorum.Set),
-		notarized: make(map[types.BlockID]types.View),
+// recIf returns the slot's record for view v, or nil.
+func (st *slotState) recIf(v types.View) *viewRec {
+	for _, vr := range st.views {
+		if vr.view == v {
+			return vr
+		}
 	}
+	return nil
+}
+
+// isNotarized reports whether id is notarized at this slot.
+func (st *slotState) isNotarized(id types.BlockID) bool {
+	for i := range st.notarized {
+		if st.notarized[i].id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// noteNotarized inserts id keeping the list sorted by ID bytes.
+func (st *slotState) noteNotarized(id types.BlockID, v types.View) {
+	i := 0
+	for i < len(st.notarized) && bytes.Compare(st.notarized[i].id[:], id[:]) < 0 {
+		i++
+	}
+	st.notarized = append(st.notarized, notRec{})
+	copy(st.notarized[i+1:], st.notarized[i:])
+	st.notarized[i] = notRec{id: id, view: v}
 }
 
 // Node is a multi-shot TetraBFT node; it implements types.Machine.
@@ -89,11 +164,37 @@ type Node struct {
 	cfg     Config
 	qs      quorum.System
 	members []types.NodeID
+	// memberIdx maps identities to dense indices for the bitset tallies;
+	// non-members (forged senders) miss and are dropped, the same guard
+	// Threshold.countMembers applies to Sets.
+	memberIdx map[types.NodeID]int
+	// thrQuorum/thrBlocking cache the threshold cardinalities so the hot
+	// path answers quorum questions with a popcount; isThr is false for
+	// heterogeneous systems (Slices), which fall back to materialized Sets.
+	thrQuorum   int
+	thrBlocking int
+	isThr       bool
+	window      types.Slot // pipeline depth, ≥1
 
-	slots     map[types.Slot]*slotState
+	// ring holds the in-flight slot records, indexed by slot % len(ring).
+	// Live slots span at most the catch-up window, which is smaller than
+	// the ring, so two live slots never collide; each record carries its
+	// slot number to disambiguate stale cells. extra spills records that
+	// Restore places beyond the window (a crashed node's persisted slots
+	// can sit far above its reset finalized watermark).
+	ring  []*slotState
+	extra map[types.Slot]*slotState
+
 	blocks    map[types.BlockID]types.Block
 	maxSlot   types.Slot // highest started slot
 	finalized types.Slot // highest finalized slot
+
+	// chain/chainIDs cache the finalized prefix incrementally: slot i+1 at
+	// index i. FinalizedChain returns chain without copying and the
+	// straggler-serving path reads bodies from it, so finalized slots need
+	// no entries in blocks.
+	chain    []types.Block
+	chainIDs []types.BlockID
 
 	// claims tracks MSFinal finality claims per slot: last claimed block
 	// per sender. f+1 matching claims let a straggler adopt a finalized
@@ -103,6 +204,11 @@ type Node struct {
 	timers    map[types.TimerID]timerRef
 	nextTimer types.TimerID
 
+	// freeSlots/freeViews recycle finalized slots' records so the pipeline
+	// reaches a steady state with no per-slot allocation.
+	freeSlots []*slotState
+	freeViews []*viewRec
+
 	// halted is set when a Persist fails: a node that cannot write ahead
 	// must stop participating (see core.Persister).
 	halted bool
@@ -111,10 +217,15 @@ type Node struct {
 	restored bool
 }
 
-// catchupWindow bounds how far ahead of the local finalized head finality
-// claims are buffered (spam bound; catch-up is sequential anyway and the
-// claim protocol retries on every view-change retransmission).
+// catchupWindow bounds how far ahead of the local finalized head messages
+// are buffered (spam bound; catch-up is sequential anyway and the claim
+// protocol retries on every view-change retransmission).
 const catchupWindow = 64
+
+// slotRingLen sizes the slot ring with headroom over the accept window:
+// a proposal at the window edge still starts the next slot and probes the
+// pipeline leader two ahead.
+const slotRingLen = catchupWindow + 8
 
 type timerRef struct {
 	slot types.Slot
@@ -148,25 +259,34 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 	}
 	members := cfg.Quorum.Members()
-	found := false
-	for _, m := range members {
-		if m == cfg.ID {
-			found = true
-			break
-		}
+	idx := make(map[types.NodeID]int, len(members))
+	for i, m := range members {
+		idx[m] = i
 	}
-	if !found {
+	if _, ok := idx[cfg.ID]; !ok {
 		return nil, fmt.Errorf("multishot: node %d is not a member of the quorum system", cfg.ID)
 	}
-	return &Node{
-		cfg:     cfg,
-		qs:      cfg.Quorum,
-		members: members,
-		slots:   make(map[types.Slot]*slotState),
-		blocks:  make(map[types.BlockID]types.Block),
-		claims:  make(map[types.Slot]map[types.NodeID]types.BlockID),
-		timers:  make(map[types.TimerID]timerRef),
-	}, nil
+	window := types.Slot(cfg.Window)
+	if window < 1 {
+		window = 1
+	}
+	n := &Node{
+		cfg:       cfg,
+		qs:        cfg.Quorum,
+		members:   members,
+		memberIdx: idx,
+		window:    window,
+		ring:      make([]*slotState, slotRingLen),
+		blocks:    make(map[types.BlockID]types.Block),
+		claims:    make(map[types.Slot]map[types.NodeID]types.BlockID),
+		timers:    make(map[types.TimerID]timerRef),
+	}
+	if t, ok := cfg.Quorum.(quorum.Threshold); ok {
+		n.isThr = true
+		n.thrQuorum = t.QuorumSize()
+		n.thrBlocking = t.BlockingSize()
+	}
+	return n, nil
 }
 
 // ID implements types.Machine.
@@ -181,19 +301,37 @@ func (n *Node) Leader(slot types.Slot, view types.View) types.NodeID {
 // FinalizedSlot returns the highest finalized slot.
 func (n *Node) FinalizedSlot() types.Slot { return n.finalized }
 
-// FinalizedChain returns the finalized blocks in slot order.
-func (n *Node) FinalizedChain() []types.Block {
-	out := make([]types.Block, 0, n.finalized)
-	for s := types.Slot(1); s <= n.finalized; s++ {
-		if b, ok := n.blocks[n.slots[s].finalBlock]; ok {
-			out = append(out, b)
-		}
+// FinalizedChain returns the finalized blocks in slot order. The slice is
+// the node's incrementally maintained cache — callers must treat it as
+// read-only.
+func (n *Node) FinalizedChain() []types.Block { return n.chain }
+
+// ViewOf returns the node's current view for a slot (0 for slots it holds
+// no live state for).
+func (n *Node) ViewOf(slot types.Slot) types.View {
+	if st := n.peekSlot(slot); st != nil {
+		return st.view
 	}
-	return out
+	return 0
 }
 
-// ViewOf returns the node's current view for a slot.
-func (n *Node) ViewOf(slot types.Slot) types.View { return n.slot(slot).view }
+// bitsQuorum answers "is this tally a quorum" with a popcount for the
+// threshold system, falling back to a materialized Set for heterogeneous
+// quorum systems.
+func (n *Node) bitsQuorum(b quorum.Bits) bool {
+	if n.isThr {
+		return b.Count() >= n.thrQuorum
+	}
+	return n.qs.IsQuorum(b.Set(n.members))
+}
+
+// bitsBlocking is the blocking-set analogue of bitsQuorum.
+func (n *Node) bitsBlocking(b quorum.Bits) bool {
+	if n.isThr {
+		return b.Count() >= n.thrBlocking
+	}
+	return n.qs.IsBlocking(n.cfg.ID, b.Set(n.members))
+}
 
 // Start implements types.Machine: slot 1 begins at time zero. A restored
 // node instead rejoins: it re-arms the timers of its recovered in-flight
@@ -208,8 +346,8 @@ func (n *Node) Start(env types.Env) {
 	}
 	if n.restored {
 		for s := n.finalized + 1; s <= n.maxSlot; s++ {
-			if st, ok := n.slots[s]; ok && st.started && !st.finalized {
-				n.emit(env, "rejoin-slot", s, st.view, "")
+			if st := n.peekSlot(s); st != nil && st.started {
+				n.emit(env, "rejoin-slot", s, st.view)
 				n.armTimer(env, s, st.view)
 			}
 		}
@@ -262,8 +400,8 @@ func (n *Node) Tick(env types.Env, id types.TimerID) {
 	if n.cfg.MaxSlot > 0 && n.finalized >= n.cfg.MaxSlot-3 {
 		return // bounded run complete: the tail slots can never finalize
 	}
-	st := n.slot(ref.slot)
-	if st.finalized || st.view != ref.view {
+	st := n.peekSlot(ref.slot)
+	if st == nil || st.view != ref.view {
 		return // stale: the slot finalized or moved on
 	}
 	n.callForViewChange(env)
@@ -278,14 +416,14 @@ func (n *Node) callForViewChange(env types.Env) {
 	if lowest == 0 {
 		return
 	}
-	ls := n.slot(lowest)
+	ls := n.peekSlot(lowest)
 	want := ls.view + 1
 	if want > ls.highestVC {
 		ls.highestVC = want
 		if !n.persist() {
 			return
 		}
-		n.emit(env, "view-change", lowest, want, "")
+		n.emit(env, "view-change", lowest, want)
 		env.Broadcast(types.MSViewChange{Slot: lowest, View: want})
 	} else {
 		// Retransmit the pending call (it may have been lost pre-GST).
@@ -296,7 +434,7 @@ func (n *Node) callForViewChange(env types.Env) {
 // lowestAborted returns the lowest started-but-unfinalized slot (0 = none).
 func (n *Node) lowestAborted() types.Slot {
 	for s := n.finalized + 1; s <= n.maxSlot; s++ {
-		if st, ok := n.slots[s]; ok && st.started && !st.finalized {
+		if st := n.peekSlot(s); st != nil && st.started {
 			return s
 		}
 	}
@@ -311,15 +449,21 @@ func (n *Node) onPropose(env types.Env, from types.NodeID, m types.MSPropose) {
 	if from != n.Leader(s, m.View) {
 		return
 	}
-	st := n.slot(s)
-	if st.finalized || m.View < st.view {
+	if s <= n.finalized || s > n.finalized+catchupWindow {
 		return
 	}
-	if _, dup := st.proposals[m.View]; dup {
+	st := n.slot(s)
+	if m.View < st.view {
+		return
+	}
+	vr := n.rec(st, m.View)
+	if vr.hasProposal {
 		return // first proposal per (slot, view) wins
 	}
-	st.proposals[m.View] = m.Block
-	n.blocks[m.Block.ID()] = m.Block
+	vr.hasProposal = true
+	vr.proposal = m.Block
+	vr.proposalID = m.Block.ID()
+	n.blocks[vr.proposalID] = m.Block
 	// Receiving the proposal for slot s starts slot s+1 (Section 6.2).
 	if !st.started {
 		n.startSlot(env, s)
@@ -331,27 +475,20 @@ func (n *Node) onPropose(env types.Env, from types.NodeID, m types.MSPropose) {
 }
 
 func (n *Node) onVote(env types.Env, from types.NodeID, m types.MSVote) {
-	if m.Slot < 1 {
+	if m.Slot < 1 || m.Slot <= n.finalized || m.Slot > n.finalized+catchupWindow {
 		return
+	}
+	idx, member := n.memberIdx[from]
+	if !member {
+		return // forged identities can never move a tally
 	}
 	st := n.slot(m.Slot)
-	if st.finalized {
-		return
-	}
-	byView := st.tallies[m.View]
-	if byView == nil {
-		byView = make(map[types.BlockID]quorum.Set)
-		st.tallies[m.View] = byView
-	}
-	set := byView[m.Block]
-	if set == nil {
-		set = quorum.NewSet()
-		byView[m.Block] = set
-	}
-	set.Add(from)
-	if _, already := st.notarized[m.Block]; !already && n.qs.IsQuorum(set) {
-		st.notarized[m.Block] = m.View
-		n.emit(env, "notarize", m.Slot, m.View, m.Block.String())
+	vr := n.rec(st, m.View)
+	set := n.tallyOf(vr, m.Block)
+	set.Add(idx)
+	if !st.isNotarized(m.Block) && n.bitsQuorum(set) {
+		st.noteNotarized(m.Block, m.View)
+		n.emitB(env, "notarize", m.Slot, m.View, m.Block)
 		n.tryVote(env, m.Slot+1)    // child slot's parent condition may now hold
 		n.tryPropose(env, m.Slot+2) // pipeline leader two ahead may be unblocked
 		n.tryFinalize(env)
@@ -370,21 +507,25 @@ func (n *Node) onViewChange(env types.Env, from types.NodeID, m types.MSViewChan
 			last = n.finalized
 		}
 		for s := m.Slot; s <= last; s++ {
-			if b, known := n.blocks[n.slot(s).finalBlock]; known {
-				env.Send(from, types.MSFinal{Block: b})
-			}
+			env.Send(from, types.MSFinal{Block: n.chain[s-1]})
 		}
 		return
 	}
-	st := n.slot(m.Slot)
-	set := st.vcSets[m.View]
-	if set == nil {
-		set = quorum.NewSet()
-		st.vcSets[m.View] = set
+	if m.Slot > n.finalized+catchupWindow {
+		return
 	}
-	set.Add(from)
+	idx, member := n.memberIdx[from]
+	if !member {
+		return
+	}
+	st := n.slot(m.Slot)
+	vr := n.rec(st, m.View)
+	if vr.vcVotes == nil {
+		vr.vcVotes = quorum.NewBits(len(n.members))
+	}
+	vr.vcVotes.Add(idx)
 	// Echo on f+1 unless already sent for this slot at this view or higher.
-	if m.View > st.highestVC && n.qs.IsBlocking(n.cfg.ID, set) {
+	if m.View > st.highestVC && n.bitsBlocking(vr.vcVotes) {
 		st.highestVC = m.View
 		if !n.persist() {
 			return
@@ -392,7 +533,7 @@ func (n *Node) onViewChange(env types.Env, from types.NodeID, m types.MSViewChan
 		env.Broadcast(types.MSViewChange{Slot: m.Slot, View: m.View})
 	}
 	// Apply on n−f.
-	if m.View > st.view && n.qs.IsQuorum(set) {
+	if m.View > st.view && n.bitsQuorum(vr.vcVotes) {
 		n.applyViewChange(env, m.Slot, m.View)
 	}
 }
@@ -403,71 +544,74 @@ func (n *Node) onViewChange(env types.Env, from types.NodeID, m types.MSViewChan
 func (n *Node) applyViewChange(env types.Env, s types.Slot, v types.View) {
 	// Two passes: first move every affected slot to the new view, then
 	// persist once, then broadcast — the write-ahead discipline with one
-	// snapshot write for the whole batch instead of one per slot.
-	var entered []types.Slot
+	// snapshot write for the whole batch instead of one per slot. The vote
+	// histories are captured in the first pass because the broadcast
+	// cascade below can finalize (and recycle) a slot mid-loop.
+	type entered struct {
+		slot  types.Slot
+		votes core.VoteState
+	}
+	var batch []entered
 	for k := s; k <= n.maxSlot; k++ {
-		st := n.slot(k)
-		if st.finalized || !st.started || st.view >= v {
+		st := n.peekSlot(k)
+		if st == nil || !st.started || st.view >= v {
 			continue
 		}
 		st.view = v
-		n.emit(env, "enter-view", k, v, "")
+		n.emit(env, "enter-view", k, v)
 		n.armTimer(env, k, v)
-		entered = append(entered, k)
+		batch = append(batch, entered{slot: k, votes: st.votes})
 	}
-	if len(entered) == 0 {
+	if len(batch) == 0 {
 		return
 	}
 	if !n.persist() {
 		return
 	}
-	for _, k := range entered {
-		st := n.slot(k)
-		env.Broadcast(msProof(k, v, st.votes))
-		env.Send(n.Leader(k, v), msSuggest(k, v, st.votes))
-		if n.Leader(k, v) == n.cfg.ID {
-			n.tryPropose(env, k)
+	for _, e := range batch {
+		env.Broadcast(msProof(e.slot, v, e.votes))
+		env.Send(n.Leader(e.slot, v), msSuggest(e.slot, v, e.votes))
+		if n.Leader(e.slot, v) == n.cfg.ID {
+			n.tryPropose(env, e.slot)
 		}
 	}
 }
 
 func (n *Node) onSuggest(env types.Env, from types.NodeID, m types.MSSuggest) {
-	if m.Slot < 1 {
+	if m.Slot < 1 || m.Slot <= n.finalized || m.Slot > n.finalized+catchupWindow {
 		return
 	}
 	st := n.slot(m.Slot)
-	if st.finalized || m.View < st.view || n.Leader(m.Slot, m.View) != n.cfg.ID {
+	if m.View < st.view || n.Leader(m.Slot, m.View) != n.cfg.ID {
 		return
 	}
-	perView := st.suggests[m.View]
-	if perView == nil {
-		perView = make(map[types.NodeID]types.SuggestMsg)
-		st.suggests[m.View] = perView
+	vr := n.rec(st, m.View)
+	if vr.suggests == nil {
+		vr.suggests = make(map[types.NodeID]types.SuggestMsg)
 	}
-	if _, dup := perView[from]; dup {
+	if _, dup := vr.suggests[from]; dup {
 		return
 	}
-	perView[from] = types.SuggestMsg{View: m.View, Vote2: m.Vote2, PrevVote2: m.PrevVote2, Vote3: m.Vote3}
+	vr.suggests[from] = types.SuggestMsg{View: m.View, Vote2: m.Vote2, PrevVote2: m.PrevVote2, Vote3: m.Vote3}
 	n.tryPropose(env, m.Slot)
 }
 
 func (n *Node) onProof(env types.Env, from types.NodeID, m types.MSProof) {
-	if m.Slot < 1 {
+	if m.Slot < 1 || m.Slot <= n.finalized || m.Slot > n.finalized+catchupWindow {
 		return
 	}
 	st := n.slot(m.Slot)
-	if st.finalized || m.View < st.view {
+	if m.View < st.view {
 		return
 	}
-	perView := st.proofs[m.View]
-	if perView == nil {
-		perView = make(map[types.NodeID]types.ProofMsg)
-		st.proofs[m.View] = perView
+	vr := n.rec(st, m.View)
+	if vr.proofs == nil {
+		vr.proofs = make(map[types.NodeID]types.ProofMsg)
 	}
-	if _, dup := perView[from]; dup {
+	if _, dup := vr.proofs[from]; dup {
 		return
 	}
-	perView[from] = types.ProofMsg{View: m.View, Vote1: m.Vote1, PrevVote1: m.PrevVote1, Vote4: m.Vote4}
+	vr.proofs[from] = types.ProofMsg{View: m.View, Vote1: m.Vote1, PrevVote1: m.PrevVote1, Vote4: m.Vote4}
 	n.tryVote(env, m.Slot)
 }
 
@@ -502,17 +646,19 @@ func (n *Node) onFinal(env types.Env, from types.NodeID, m types.MSFinal) {
 		}
 		want := types.ZeroBlockID
 		if n.finalized >= 1 {
-			want = n.slot(n.finalized).finalBlock
+			want = n.chainIDs[n.finalized-1]
 		}
 		if b.Parent != want {
 			break
 		}
-		st := n.slot(next)
-		st.finalized = true
-		st.finalBlock = candidate
+		view := types.View(0)
+		if st := n.peekSlot(next); st != nil {
+			view = st.view
+		}
+		n.chain = append(n.chain, b)
+		n.chainIDs = append(n.chainIDs, candidate)
 		n.finalized = next
-		delete(n.claims, next)
-		n.emit(env, "adopt-final", next, st.view, candidate.String())
+		n.emitB(env, "adopt-final", next, view, candidate)
 		env.Decide(next, candidate.Value())
 		n.releaseSlot(next)
 		adopted = true
@@ -555,15 +701,18 @@ func (n *Node) startSlot(env types.Env, s types.Slot) {
 	if s < 1 || (n.cfg.MaxSlot > 0 && s > n.cfg.MaxSlot) {
 		return
 	}
+	if s <= n.finalized || !n.inWindow(s) {
+		return
+	}
 	st := n.slot(s)
-	if st.started || st.finalized {
+	if st.started {
 		return
 	}
 	st.started = true
 	if s > n.maxSlot {
 		n.maxSlot = s
 	}
-	n.emit(env, "start-slot", s, st.view, "")
+	n.emit(env, "start-slot", s, st.view)
 	n.armTimer(env, s, st.view)
 }
 
@@ -580,9 +729,16 @@ func (n *Node) tryPropose(env types.Env, s types.Slot) {
 	if s < 1 || (n.cfg.MaxSlot > 0 && s > n.cfg.MaxSlot) {
 		return
 	}
+	if s <= n.finalized || !n.inWindow(s) {
+		return
+	}
 	st := n.slot(s)
 	v := st.view
-	if st.finalized || st.proposed[v] || n.Leader(s, v) != n.cfg.ID {
+	if n.Leader(s, v) != n.cfg.ID {
+		return
+	}
+	vr := n.rec(st, v)
+	if vr.proposed {
 		return
 	}
 	parent, ok := n.parentFor(s, v)
@@ -591,15 +747,15 @@ func (n *Node) tryPropose(env types.Env, s types.Slot) {
 	}
 	var block types.Block
 	if v == 0 {
-		block = types.Block{Slot: s, Parent: parent, Payload: n.cfg.Payload(s)}
+		block = n.freshBlock(env, s, parent)
 	} else {
 		// Rule 1 over the per-slot suggest histories (Algorithm 4).
-		val, safe := core.LeaderSafeValue(n.qs, n.cfg.ID, st.suggests[v], v, types.Value("*any*"))
+		val, safe := core.LeaderSafeValue(n.qs, n.cfg.ID, vr.suggests, v, types.Value("*any*"))
 		if !safe {
 			return
 		}
 		if val == "*any*" {
-			block = types.Block{Slot: s, Parent: parent, Payload: n.cfg.Payload(s)}
+			block = n.freshBlock(env, s, parent)
 		} else {
 			id, idOK := types.BlockIDFromValue(val)
 			if !idOK {
@@ -612,56 +768,87 @@ func (n *Node) tryPropose(env types.Env, s types.Slot) {
 			block = body
 		}
 	}
-	st.proposed[v] = true
-	n.blocks[block.ID()] = block
-	n.emit(env, "propose", s, v, block.ID().String())
+	vr.proposed = true
+	id := block.ID()
+	n.blocks[id] = block
+	n.emitB(env, "propose", s, v, id)
 	env.Broadcast(types.MSPropose{View: v, Block: block})
+}
+
+// freshBlock assembles a new proposal body: the payload header plus the
+// transaction batch the configured source offers for this slot.
+func (n *Node) freshBlock(env types.Env, s types.Slot, parent types.BlockID) types.Block {
+	b := types.Block{Slot: s, Parent: parent, Payload: n.cfg.Payload(s)}
+	if n.cfg.Batch != nil {
+		b.Txs = n.cfg.Batch(s, env.Now())
+	}
+	return b
 }
 
 // parentFor returns the parent block ID a slot-s proposal must extend, and
 // whether it is known yet. In the good case the parent is the previous
 // slot's (possibly still unnotarized) proposal — that is the pipelining; the
-// previous-but-one slot must already be notarized (Section 6.1).
+// grandparent chain must be notarized within the configured window beneath
+// it (Section 6.1 with Window=1).
 func (n *Node) parentFor(s types.Slot, v types.View) (types.BlockID, bool) {
 	if s == 1 {
 		return types.ZeroBlockID, true
 	}
-	prev := n.slot(s - 1)
-	if prev.finalized {
-		return prev.finalBlock, true
+	if s-1 <= n.finalized {
+		return n.chainIDs[s-2], true
+	}
+	prev := n.peekSlot(s - 1)
+	if prev == nil {
+		return types.ZeroBlockID, false
 	}
 	// Prefer the previous slot's proposal in its current view, provided the
-	// grandparent chain is notarized beneath it.
-	if b, ok := prev.proposals[prev.view]; ok && n.ancestorNotarized(b) {
-		return b.ID(), true
+	// ancestor chain is notarized within the pipeline window beneath it.
+	if vr := prev.recIf(prev.view); vr != nil && vr.hasProposal && n.pipelineAnchored(vr.proposal, n.window-1) {
+		return vr.proposalID, true
 	}
 	// Otherwise any notarized block at s−1 can anchor a new proposal
 	// (view-change recovery path).
-	if id, ok := n.someNotarized(s - 1); ok {
+	if id, ok := n.someNotarized(prev); ok {
 		return id, true
 	}
 	return types.ZeroBlockID, false
 }
 
-// ancestorNotarized checks the pipeline precondition for building on block
-// b at slot s: b's parent (slot s−1) is notarized — or the boundary.
-func (n *Node) ancestorNotarized(b types.Block) bool {
-	if b.Slot <= 1 {
-		return b.Parent == types.ZeroBlockID
+// pipelineAnchored checks the pipeline precondition for building on block b:
+// b's ancestor chain reaches a notarized (or finalized) block within budget
+// optimistic hops, where each hop may ride an unnotarized current-view
+// proposal. budget 0 is exactly the paper's rule — b's direct parent must be
+// notarized.
+func (n *Node) pipelineAnchored(b types.Block, budget types.Slot) bool {
+	for {
+		if b.Slot <= 1 {
+			return b.Parent == types.ZeroBlockID
+		}
+		if b.Slot-1 <= n.finalized {
+			return n.chainIDs[b.Slot-2] == b.Parent
+		}
+		prev := n.peekSlot(b.Slot - 1)
+		if prev == nil {
+			return false
+		}
+		if prev.isNotarized(b.Parent) {
+			return true
+		}
+		if budget <= 0 {
+			return false
+		}
+		vr := prev.recIf(prev.view)
+		if vr == nil || !vr.hasProposal || vr.proposalID != b.Parent {
+			return false
+		}
+		budget--
+		b = vr.proposal
 	}
-	prev := n.slot(b.Slot - 1)
-	if prev.finalized {
-		return prev.finalBlock == b.Parent
-	}
-	_, ok := prev.notarized[b.Parent]
-	return ok
 }
 
 // sortedBlockIDs returns m's keys in byte order. Go randomizes map
 // iteration, so every place that picks "some" block from a set must
-// enumerate in a fixed order or same-seed runs diverge (observable as a
-// flaky TestBlockEquivocatingLeader: with an equivocating leader several
-// notarized blocks coexist at a slot and the picked one steered the run).
+// enumerate in a fixed order or same-seed runs diverge.
 func sortedBlockIDs[T any](m map[types.BlockID]T) []types.BlockID {
 	ids := make([]types.BlockID, 0, len(m))
 	for id := range m {
@@ -673,21 +860,20 @@ func sortedBlockIDs[T any](m map[types.BlockID]T) []types.BlockID {
 	return ids
 }
 
-// someNotarized returns a deterministic notarized block at slot s, if any.
-func (n *Node) someNotarized(s types.Slot) (types.BlockID, bool) {
-	st := n.slot(s)
+// someNotarized returns a deterministic notarized block at the slot, if
+// any: the first in ID byte order among those notarized in the highest view
+// (latest recovery).
+func (n *Node) someNotarized(st *slotState) (types.BlockID, bool) {
 	if len(st.notarized) == 0 {
 		return types.ZeroBlockID, false
 	}
-	ids := sortedBlockIDs(st.notarized)
-	// Prefer the one notarized in the highest view (latest recovery).
-	best := ids[0]
-	for _, id := range ids[1:] {
-		if st.notarized[id] > st.notarized[best] {
-			best = id
+	best := 0
+	for i := 1; i < len(st.notarized); i++ {
+		if st.notarized[i].view > st.notarized[best].view {
+			best = i
 		}
 	}
-	return best, true
+	return st.notarized[best].id, true
 }
 
 // tryVote broadcasts this node's vote for slot s's current proposal once
@@ -697,9 +883,13 @@ func (n *Node) tryVote(env types.Env, s types.Slot) {
 	if s < 1 {
 		return
 	}
-	st := n.slot(s)
+	st := n.peekSlot(s)
+	if st == nil {
+		return
+	}
 	v := st.view
-	if st.finalized || st.sentVote[v] {
+	vr := st.recIf(v)
+	if vr == nil || vr.sentVote || !vr.hasProposal {
 		return
 	}
 	// The durable vote history survives crashes where sentVote does not: a
@@ -709,23 +899,19 @@ func (n *Node) tryVote(env types.Env, s types.Slot) {
 	if st.votes.Vote1.Valid && st.votes.Vote1.View >= v {
 		return
 	}
-	b, ok := st.proposals[v]
-	if !ok {
+	if !n.parentLinkOK(vr.proposal) {
 		return
 	}
-	if !n.parentLinkOK(b) {
+	if v > 0 && !core.ProposalSafe(n.qs, n.cfg.ID, vr.proofs, v, vr.proposalID.Value()) {
 		return
 	}
-	if v > 0 && !core.ProposalSafe(n.qs, n.cfg.ID, st.proofs[v], v, b.ID().Value()) {
-		return
-	}
-	st.sentVote[v] = true
-	n.recordImplicitVotes(s, v, b)
+	vr.sentVote = true
+	n.recordImplicitVotes(s, v, vr.proposal)
 	if !n.persist() {
 		return
 	}
-	n.emit(env, "vote", s, v, b.ID().String())
-	env.Broadcast(types.MSVote{Slot: s, View: v, Block: b.ID()})
+	n.emitB(env, "vote", s, v, vr.proposalID)
+	env.Broadcast(types.MSVote{Slot: s, View: v, Block: vr.proposalID})
 }
 
 // parentLinkOK checks conditions 1) and 2) of Section 6.1: the parent block
@@ -734,23 +920,23 @@ func (n *Node) parentLinkOK(b types.Block) bool {
 	if b.Slot == 1 {
 		return b.Parent == types.ZeroBlockID
 	}
-	prev := n.slot(b.Slot - 1)
-	if prev.finalized {
-		return prev.finalBlock == b.Parent
+	if b.Slot-1 <= n.finalized {
+		return n.chainIDs[b.Slot-2] == b.Parent
 	}
-	_, ok := prev.notarized[b.Parent]
-	return ok
+	prev := n.peekSlot(b.Slot - 1)
+	return prev != nil && prev.isNotarized(b.Parent)
 }
 
 // recordImplicitVotes updates the per-slot vote histories for the four
 // phases a single multi-shot vote represents (Section 6.3: "every vote
-// serves multiple purposes").
+// serves multiple purposes"). Phases landing on already-finalized slots are
+// skipped: their state is recycled and never persisted or consulted again.
 func (n *Node) recordImplicitVotes(s types.Slot, v types.View, b types.Block) {
 	n.slot(s).votes.Record(1, v, b.ID().Value())
 	cur := b
 	for phase := uint8(2); phase <= 4; phase++ {
 		prevSlot := s - types.Slot(phase) + 1
-		if prevSlot < 1 || cur.Parent == types.ZeroBlockID {
+		if prevSlot < 1 || prevSlot <= n.finalized || cur.Parent == types.ZeroBlockID {
 			return
 		}
 		parent, known := n.blocks[cur.Parent]
@@ -791,8 +977,12 @@ func (n *Node) highestChainStart() (types.Slot, bool) {
 // chainAt reports the block starting a notarized, parent-linked 4-chain at
 // slots k..k+3.
 func (n *Node) chainAt(k types.Slot) (types.BlockID, bool) {
-	for _, id := range sortedBlockIDs(n.slot(k).notarized) {
-		cur := id
+	st := n.peekSlot(k)
+	if st == nil {
+		return types.ZeroBlockID, false
+	}
+	for i := range st.notarized {
+		cur := st.notarized[i].id
 		ok := true
 		for step := types.Slot(1); step <= 3; step++ {
 			next, found := n.childNotarizedOf(k+step, cur)
@@ -803,7 +993,7 @@ func (n *Node) chainAt(k types.Slot) (types.BlockID, bool) {
 			cur = next
 		}
 		if ok {
-			return id, true
+			return st.notarized[i].id, true
 		}
 	}
 	return types.ZeroBlockID, false
@@ -811,9 +1001,13 @@ func (n *Node) chainAt(k types.Slot) (types.BlockID, bool) {
 
 // childNotarizedOf finds a notarized block at slot s whose parent is id.
 func (n *Node) childNotarizedOf(s types.Slot, id types.BlockID) (types.BlockID, bool) {
-	for _, cand := range sortedBlockIDs(n.slot(s).notarized) {
-		if b, known := n.blocks[cand]; known && b.Parent == id {
-			return cand, true
+	st := n.peekSlot(s)
+	if st == nil {
+		return types.ZeroBlockID, false
+	}
+	for i := range st.notarized {
+		if b, known := n.blocks[st.notarized[i].id]; known && b.Parent == id {
+			return st.notarized[i].id, true
 		}
 	}
 	return types.ZeroBlockID, false
@@ -827,20 +1021,25 @@ func (n *Node) finalizePrefix(env types.Env, k types.Slot) bool {
 	if !ok {
 		return false
 	}
-	// Walk ancestors down to the finalized boundary.
-	path := make([]types.BlockID, 0, k-n.finalized)
+	// Walk ancestors down to the finalized boundary, keeping the bodies:
+	// the commit loop below recycles each slot's state as it goes.
+	type ent struct {
+		id   types.BlockID
+		body types.Block
+	}
+	path := make([]ent, 0, k-n.finalized)
 	cur := head
 	for s := k; s > n.finalized; s-- {
-		path = append(path, cur)
 		b, known := n.blocks[cur]
 		if !known {
 			return false
 		}
+		path = append(path, ent{id: cur, body: b})
 		if s == n.finalized+1 {
 			// Must anchor on the previous final block (or genesis).
 			want := types.ZeroBlockID
 			if n.finalized >= 1 {
-				want = n.slot(n.finalized).finalBlock
+				want = n.chainIDs[n.finalized-1]
 			}
 			if b.Parent != want {
 				return false
@@ -852,12 +1051,15 @@ func (n *Node) finalizePrefix(env types.Env, k types.Slot) bool {
 	// Commit from lowest slot upward.
 	for i := len(path) - 1; i >= 0; i-- {
 		s := k - types.Slot(i)
-		st := n.slot(s)
-		st.finalized = true
-		st.finalBlock = path[i]
+		view := types.View(0)
+		if st := n.peekSlot(s); st != nil {
+			view = st.view
+		}
+		n.chain = append(n.chain, path[i].body)
+		n.chainIDs = append(n.chainIDs, path[i].id)
 		n.finalized = s
-		n.emit(env, "finalize", s, st.view, path[i].String())
-		env.Decide(s, path[i].Value())
+		n.emitB(env, "finalize", s, view, path[i].id)
+		env.Decide(s, path[i].id.Value())
 		n.releaseSlot(s)
 	}
 	// Advancing the finalized watermark also shrinks the persisted window.
@@ -865,35 +1067,165 @@ func (n *Node) finalizePrefix(env types.Env, k types.Slot) bool {
 	return true
 }
 
-// releaseSlot drops a finalized slot's transient state (tallies, message
-// buffers), keeping the node's live footprint bounded by the in-flight
-// window — the multi-shot analogue of the constant-storage property.
+// releaseSlot retires a just-finalized slot: its claim and proposal bodies
+// leave the block store (the finalized body now lives in the chain cache)
+// and its records return to the free lists, keeping the node's live
+// footprint bounded by the in-flight window — the multi-shot analogue of
+// the constant-storage property.
 func (n *Node) releaseSlot(s types.Slot) {
-	st := n.slot(s)
-	st.proposals = nil
-	st.proposed = nil
-	st.sentVote = nil
-	st.suggests = nil
-	st.proofs = nil
-	st.tallies = nil
-	st.vcSets = nil
-	st.notarized = nil
+	for _, id := range n.claims[s] {
+		delete(n.blocks, id)
+	}
+	delete(n.claims, s)
+	var st *slotState
+	if c := n.ring[int(s)%len(n.ring)]; c != nil && c.slot == s {
+		st = c
+		n.ring[int(s)%len(n.ring)] = nil
+	} else if c := n.extra[s]; c != nil {
+		st = c
+		delete(n.extra, s)
+	}
+	if st == nil {
+		return
+	}
+	for _, vr := range st.views {
+		if vr.hasProposal {
+			delete(n.blocks, vr.proposalID)
+		}
+		n.recycleView(vr)
+	}
+	st.slot = 0
+	st.started = false
+	st.view = 0
+	st.highestVC = 0
+	st.votes = core.VoteState{}
+	st.views = st.views[:0]
+	st.notarized = st.notarized[:0]
+	n.freeSlots = append(n.freeSlots, st)
 }
 
+// recycleView scrubs a view record and returns it to the free list. The
+// tally backing array keeps its bitsets — tallyOf clears them on reuse.
+func (n *Node) recycleView(vr *viewRec) {
+	vr.view = 0
+	vr.proposed = false
+	vr.sentVote = false
+	vr.hasProposal = false
+	vr.proposal = types.Block{}
+	vr.proposalID = types.ZeroBlockID
+	vr.suggests = nil
+	vr.proofs = nil
+	vr.vcVotes.Clear()
+	for i := range vr.tallies {
+		vr.tallies[i].block = types.ZeroBlockID
+	}
+	vr.tallies = vr.tallies[:0]
+	n.freeViews = append(n.freeViews, vr)
+}
+
+// inWindow reports whether slot s may hold live state in the ring.
+func (n *Node) inWindow(s types.Slot) bool {
+	return s > n.finalized && s <= n.finalized+types.Slot(slotRingLen)-4
+}
+
+// peekSlot returns slot s's live state, or nil. Finalized slots have none.
+func (n *Node) peekSlot(s types.Slot) *slotState {
+	if s < 1 || s <= n.finalized {
+		return nil
+	}
+	if st := n.ring[int(s)%len(n.ring)]; st != nil && st.slot == s {
+		return st
+	}
+	if len(n.extra) > 0 {
+		return n.extra[s]
+	}
+	return nil
+}
+
+// slot returns slot s's state, creating it if needed. Callers must not ask
+// for finalized slots — their state is recycled, and finalized facts live
+// in chain/chainIDs instead.
 func (n *Node) slot(s types.Slot) *slotState {
-	st, ok := n.slots[s]
-	if !ok {
-		st = newSlotState()
-		n.slots[s] = st
+	if st := n.peekSlot(s); st != nil {
+		return st
+	}
+	var st *slotState
+	if k := len(n.freeSlots); k > 0 {
+		st = n.freeSlots[k-1]
+		n.freeSlots = n.freeSlots[:k-1]
+	} else {
+		st = new(slotState)
+	}
+	st.slot = s
+	if i := int(s) % len(n.ring); n.inWindow(s) && n.ring[i] == nil {
+		n.ring[i] = st
+	} else {
+		// Out-of-window slots (a restored node's far-ahead persisted state)
+		// spill to the side map.
+		if n.extra == nil {
+			n.extra = make(map[types.Slot]*slotState)
+		}
+		n.extra[s] = st
 	}
 	return st
 }
 
-func (n *Node) emit(env types.Env, typ string, s types.Slot, v types.View, note string) {
+// rec returns the slot's record for view v, creating it if needed.
+func (n *Node) rec(st *slotState, v types.View) *viewRec {
+	if vr := st.recIf(v); vr != nil {
+		return vr
+	}
+	var vr *viewRec
+	if k := len(n.freeViews); k > 0 {
+		vr = n.freeViews[k-1]
+		n.freeViews = n.freeViews[:k-1]
+	} else {
+		vr = new(viewRec)
+	}
+	vr.view = v
+	st.views = append(st.views, vr)
+	return vr
+}
+
+// tallyOf returns the vote bitset for block id in the view record, creating
+// it if needed. Recycled tally entries keep their bitsets; re-extension
+// clears them instead of allocating.
+func (n *Node) tallyOf(vr *viewRec, id types.BlockID) quorum.Bits {
+	for i := range vr.tallies {
+		if vr.tallies[i].block == id {
+			return vr.tallies[i].votes
+		}
+	}
+	if len(vr.tallies) < cap(vr.tallies) {
+		vr.tallies = vr.tallies[:len(vr.tallies)+1]
+		t := &vr.tallies[len(vr.tallies)-1]
+		t.block = id
+		if t.votes == nil {
+			t.votes = quorum.NewBits(len(n.members))
+		} else {
+			t.votes.Clear()
+		}
+		return t.votes
+	}
+	vr.tallies = append(vr.tallies, tally{block: id, votes: quorum.NewBits(len(n.members))})
+	return vr.tallies[len(vr.tallies)-1].votes
+}
+
+// emit reports a protocol event with no block note.
+func (n *Node) emit(env types.Env, typ string, s types.Slot, v types.View) {
 	if n.cfg.Tracer == nil {
 		return
 	}
-	n.cfg.Tracer.Emit(trace.Event{Time: env.Now(), Node: n.cfg.ID, Type: typ, View: v, Slot: s, Note: note})
+	n.cfg.Tracer.Emit(trace.Event{Time: env.Now(), Node: n.cfg.ID, Type: typ, View: v, Slot: s})
+}
+
+// emitB reports a protocol event about a block. The ID renders to a string
+// only when a tracer is actually attached.
+func (n *Node) emitB(env types.Env, typ string, s types.Slot, v types.View, id types.BlockID) {
+	if n.cfg.Tracer == nil {
+		return
+	}
+	n.cfg.Tracer.Emit(trace.Event{Time: env.Now(), Node: n.cfg.ID, Type: typ, View: v, Slot: s, Note: id.String()})
 }
 
 func msSuggest(s types.Slot, v types.View, votes core.VoteState) types.MSSuggest {

@@ -309,7 +309,7 @@ func TestBlockingClaimRequiresFPlusOne(t *testing.T) {
 	if n.FinalizedSlot() != 1 {
 		t.Fatal("f+1 matching claims did not finalize")
 	}
-	if got := n.slot(1).finalBlock; got != blk.ID() {
+	if got := n.FinalizedChain()[0].ID(); got != blk.ID() {
 		t.Errorf("adopted %v, want %v", got, blk.ID())
 	}
 }

@@ -119,11 +119,11 @@ func (p PersistentState) PersistentSize() int {
 func (n *Node) Snapshot() PersistentState {
 	st := PersistentState{Finalized: n.finalized}
 	if n.finalized >= 1 {
-		st.FinalHead = n.slot(n.finalized).finalBlock
+		st.FinalHead = n.chainIDs[n.finalized-1]
 	}
 	for s := n.finalized + 1; s <= n.maxSlot; s++ {
-		ss, ok := n.slots[s]
-		if !ok || !ss.started || ss.finalized {
+		ss := n.peekSlot(s)
+		if ss == nil || !ss.started {
 			continue
 		}
 		st.Slots = append(st.Slots, SlotPersist{

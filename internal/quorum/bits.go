@@ -1,0 +1,69 @@
+package quorum
+
+import (
+	"math/bits"
+
+	"tetrabft/internal/types"
+)
+
+// Bits is a dense bitset over member indices 0..n-1, sized once and reused.
+// Protocol hot paths use it instead of Set to record which members have been
+// heard from without a map allocation per (slot, view): adding a member,
+// membership tests and the popcount are all O(1) or O(n/64) with zero
+// allocations after construction.
+//
+// A Bits tracks indices, not NodeIDs: callers translate identities through
+// their membership table first, which is also where forged or non-member IDs
+// are dropped (the same guard Threshold.countMembers provides for Sets).
+type Bits []uint64
+
+// NewBits returns an empty bitset with capacity for n members.
+func NewBits(n int) Bits {
+	return make(Bits, (n+63)/64)
+}
+
+// Add sets member index i. Out-of-range indices are ignored, mirroring
+// countMembers' tolerance of stray identities.
+func (b Bits) Add(i int) {
+	if i < 0 || i >= len(b)*64 {
+		return
+	}
+	b[i/64] |= 1 << (uint(i) % 64)
+}
+
+// Has reports whether member index i is set.
+func (b Bits) Has(i int) bool {
+	if i < 0 || i >= len(b)*64 {
+		return false
+	}
+	return b[i/64]&(1<<(uint(i)%64)) != 0
+}
+
+// Count returns the number of set members.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Clear empties the set in place so the backing array can be reused.
+func (b Bits) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Set materializes the bitset as a quorum.Set over the given membership
+// (members[i] corresponds to bit i). It allocates and exists only for cold
+// paths — e.g. asking a heterogeneous Slices system a quorum question.
+func (b Bits) Set(members []types.NodeID) Set {
+	s := make(Set, b.Count())
+	for i, m := range members {
+		if b.Has(i) {
+			s.Add(m)
+		}
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+
+	"tetrabft/internal/types"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(70) // spans two words
+	if got := b.Count(); got != 0 {
+		t.Fatalf("fresh Bits has Count %d", got)
+	}
+	for _, i := range []int{0, 1, 63, 64, 69} {
+		b.Add(i)
+		if !b.Has(i) {
+			t.Fatalf("Add(%d) then Has(%d) = false", i, i)
+		}
+	}
+	b.Add(1) // duplicate
+	if got := b.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if b.Has(2) || b.Has(65) {
+		t.Fatal("Has reports unset indices")
+	}
+	b.Clear()
+	if got := b.Count(); got != 0 {
+		t.Fatalf("Count after Clear = %d", got)
+	}
+	if b.Has(63) {
+		t.Fatal("Has(63) after Clear")
+	}
+}
+
+// TestBitsIgnoresOutOfRange pins the forged-identity guard: indices outside
+// the membership can never inflate a tally, matching countMembers for Sets.
+func TestBitsIgnoresOutOfRange(t *testing.T) {
+	b := NewBits(4)
+	for _, i := range []int{-1, -64, 64, 100} {
+		b.Add(i)
+		if b.Has(i) {
+			t.Errorf("out-of-range index %d was recorded", i)
+		}
+	}
+	if got := b.Count(); got != 0 {
+		t.Fatalf("out-of-range adds inflated Count to %d", got)
+	}
+}
+
+// TestBitsMatchesSet drives random add sequences through both a Bits and a
+// Set and checks the two representations agree on every query.
+func TestBitsMatchesSet(t *testing.T) {
+	const n = 97
+	rng := rand.New(rand.NewSource(7))
+	members := make([]types.NodeID, n)
+	for i := range members {
+		members[i] = types.NodeID(i)
+	}
+	b := NewBits(n)
+	s := NewSet()
+	for step := 0; step < 500; step++ {
+		i := rng.Intn(n)
+		b.Add(i)
+		s.Add(types.NodeID(i))
+		if b.Count() != s.Len() {
+			t.Fatalf("step %d: Count %d != Len %d", step, b.Count(), s.Len())
+		}
+	}
+	for i := 0; i < n; i++ {
+		if b.Has(i) != s.Has(types.NodeID(i)) {
+			t.Fatalf("index %d: Bits %v, Set %v", i, b.Has(i), s.Has(types.NodeID(i)))
+		}
+	}
+	got := b.Set(members)
+	if got.Len() != s.Len() {
+		t.Fatalf("materialized Set has %d members, want %d", got.Len(), s.Len())
+	}
+	for m := range s {
+		if !got.Has(m) {
+			t.Fatalf("materialized Set misses %d", m)
+		}
+	}
+}
+
+// TestBitsZeroAllocs pins the hot-path operations at zero allocations.
+func TestBitsZeroAllocs(t *testing.T) {
+	b := NewBits(64)
+	if allocs := testing.AllocsPerRun(100, func() {
+		b.Clear()
+		b.Add(17)
+		_ = b.Has(17)
+		_ = b.Count()
+	}); allocs != 0 {
+		t.Errorf("Bits hot path allocates %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,94 @@
+package scenario
+
+import (
+	"encoding/json"
+	"sync"
+
+	"tetrabft/internal/trace"
+	"tetrabft/internal/types"
+)
+
+// runCache memoizes deterministic runs. Sweeps replay the same cell many
+// times (replicates differ only by seed, cached report regeneration replays
+// whole grids), so keying on the marshaled spec turns those repeats into a
+// map lookup. Stored results are deep-copied on every hit: callers get a
+// private copy they may mutate. (A JSON round-trip would be lossier — raw
+// binary inside types.Value does not survive string re-encoding.)
+var runCache = struct {
+	sync.Mutex
+	m map[string]*Result
+}{m: make(map[string]*Result)}
+
+// runCacheLimit bounds the cache; when full, the whole epoch is dropped
+// (sweeps re-warm it in one generation, so LRU bookkeeping buys nothing).
+const runCacheLimit = 512
+
+// clone returns a deep copy of the result: every slice — including each
+// block's payload and transaction batch — is freshly allocated, so the copy
+// shares no mutable memory with the original.
+func (r *Result) clone() *Result {
+	cp := *r
+	cp.Decisions = append([]NodeDecision(nil), r.Decisions...)
+	cp.Finalized = append([]NodeSlot(nil), r.Finalized...)
+	cp.Traffic = append([]NodeTraffic(nil), r.Traffic...)
+	cp.Transport = append([]NodeTransport(nil), r.Transport...)
+	cp.Chain = cloneBlocks(r.Chain)
+	if r.Chains != nil {
+		cp.Chains = make([]NodeChain, len(r.Chains))
+		for i, nc := range r.Chains {
+			cp.Chains[i] = NodeChain{Node: nc.Node, Blocks: cloneBlocks(nc.Blocks)}
+		}
+	}
+	cp.Trace = append([]trace.Event(nil), r.Trace...)
+	return &cp
+}
+
+func cloneBlocks(blocks []types.Block) []types.Block {
+	if blocks == nil {
+		return nil
+	}
+	out := make([]types.Block, len(blocks))
+	for i, b := range blocks {
+		out[i] = b
+		out[i].Payload = append([]byte(nil), b.Payload...)
+		if b.Txs != nil {
+			out[i].Txs = make([][]byte, len(b.Txs))
+			for j, tx := range b.Txs {
+				out[i].Txs[j] = append([]byte(nil), tx...)
+			}
+		}
+	}
+	return out
+}
+
+// RunCached is Run behind a process-wide result cache keyed on the
+// scenario's JSON encoding. Only deterministic, replayable runs are
+// cached: EngineTCP (wall-clock timings) and trace collection (large,
+// rarely repeated) fall through to Run. Failed runs are never cached, so
+// transient errors stay retryable.
+func RunCached(sc Scenario) (*Result, error) {
+	if sc.Engine == EngineTCP || sc.Collect.Trace {
+		return Run(sc)
+	}
+	key, err := json.Marshal(sc)
+	if err != nil {
+		return Run(sc)
+	}
+	runCache.Lock()
+	hit, ok := runCache.m[string(key)]
+	runCache.Unlock()
+	if ok {
+		return hit.clone(), nil
+	}
+	res, err := Run(sc)
+	if err != nil {
+		return res, err
+	}
+	runCache.Lock()
+	if len(runCache.m) >= runCacheLimit {
+		runCache.m = make(map[string]*Result)
+	}
+	runCache.m[string(key)] = res.clone()
+	runCache.Unlock()
+	return res, nil
+}

@@ -174,6 +174,24 @@ func Named() []Scenario {
 			Seed: 3,
 			Stop: StopSpec{Horizon: 3000},
 		},
+		{
+			// Batched pipelined multishot: an offered-load stream of 300
+			// transactions arriving at 4/tick, proposed in batches of up to
+			// 16 with two slots in flight. Exercises the full throughput
+			// path: timed mempool, batch payloads, per-tx commit latency.
+			Name:     "batched-pipeline",
+			Protocol: TetraBFTMulti,
+			Nodes:    4,
+			Workload: WorkloadSpec{
+				Slots:     12,
+				BatchSize: 16,
+				TxRate:    400,
+				TxCount:   300,
+				Window:    2,
+			},
+			Stop:    StopSpec{Horizon: 5000},
+			Collect: CollectSpec{Chain: true},
+		},
 	}
 }
 

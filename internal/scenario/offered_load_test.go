@@ -1,0 +1,166 @@
+package scenario
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"tetrabft/internal/types"
+)
+
+// TestBatchedPipelineScenario drives the offered-load path end to end on the
+// simulator: the named scenario must commit batched transactions, the
+// decided-tx count must equal the chain's carried transactions, and the
+// latency percentiles must be ordered and positive.
+func TestBatchedPipelineScenario(t *testing.T) {
+	sc, ok := ByName("batched-pipeline")
+	if !ok {
+		t.Fatal("batched-pipeline scenario missing")
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.DecidedTxs == 0 {
+		t.Fatal("no transactions decided")
+	}
+	carried := 0
+	for _, b := range res.Chain {
+		carried += b.NumTxs()
+	}
+	if carried != res.DecidedTxs {
+		t.Fatalf("DecidedTxs %d, chain carries %d", res.DecidedTxs, carried)
+	}
+	if res.TxLatencyP50 <= 0 || res.TxLatencyP99 < res.TxLatencyP50 {
+		t.Fatalf("bad latency percentiles p50=%d p99=%d", res.TxLatencyP50, res.TxLatencyP99)
+	}
+	// Batching must actually batch: with 300 offered txs and 12 slots, some
+	// block must carry more than one transaction.
+	max := 0
+	for _, b := range res.Chain {
+		if n := b.NumTxs(); n > max {
+			max = n
+		}
+	}
+	if max < 2 {
+		t.Fatalf("no block carried a real batch (max %d txs)", max)
+	}
+}
+
+// TestOfferedLoadDeterminism re-runs the batched scenario and demands
+// byte-identical results — the shared timed mempool must not introduce
+// ordering nondeterminism on the simulator.
+func TestOfferedLoadDeterminism(t *testing.T) {
+	sc, _ := ByName("batched-pipeline")
+	a, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run a: %v", err)
+	}
+	b, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run b: %v", err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatal("two identical offered-load runs diverged")
+	}
+}
+
+// TestOfferedLoadValidation covers the new spec fields' error paths.
+func TestOfferedLoadValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		sc   Scenario
+		want string
+	}{
+		{"negative tx_count", Scenario{Protocol: TetraBFTMulti, Nodes: 4,
+			Workload: WorkloadSpec{Slots: 2, TxCount: -1}}, "negative"},
+		{"exclusive streams", Scenario{Protocol: TetraBFTMulti, Nodes: 4,
+			Workload: WorkloadSpec{Slots: 2, TxCount: 5,
+				Transactions: []TxSpec{{Node: 0, Op: "set", Key: "a", Value: "1"}}}}, "mutually exclusive"},
+		{"single-shot window", Scenario{Protocol: TetraBFT, Nodes: 4,
+			Workload: WorkloadSpec{Window: 2}}, "multi-shot"},
+		{"single-shot tx_count", Scenario{Protocol: TetraBFT, Nodes: 4,
+			Workload: WorkloadSpec{TxCount: 5}}, "multi-shot"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(tc.sc); err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+		})
+	}
+}
+
+// TestRunCached verifies the sweep-level result cache: a repeat run is served
+// from cache with an identical result, and the returned value is a private
+// copy the caller may mutate.
+func TestRunCached(t *testing.T) {
+	sc, _ := ByName("batched-pipeline")
+	a, err := RunCached(sc)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	a.Chain = nil // mutate the caller's copy
+	a.DecidedTxs = -1
+	b, err := RunCached(sc)
+	if err != nil {
+		t.Fatalf("cached run: %v", err)
+	}
+	if b.DecidedTxs <= 0 || len(b.Chain) == 0 {
+		t.Fatal("cache returned the mutated copy, not a fresh one")
+	}
+	direct, err := Run(sc)
+	if err != nil {
+		t.Fatalf("direct run: %v", err)
+	}
+	jc, _ := json.Marshal(b)
+	jd, _ := json.Marshal(direct)
+	if string(jc) != string(jd) {
+		t.Fatal("cached result differs from a direct run")
+	}
+}
+
+// TestTimedArrivalGating checks the arrival schedule: with a finite rate no
+// transaction is proposable before its arrival tick, so the earliest commit
+// of the last transaction is bounded below by its arrival.
+func TestTimedArrivalGating(t *testing.T) {
+	p := &plan{sc: Scenario{Workload: WorkloadSpec{TxRate: 200}}}
+	if got := p.txArrival(0); got != 0 {
+		t.Fatalf("first arrival at %d, want 0", got)
+	}
+	if got := p.txArrival(10); got != types.Time(5) {
+		t.Fatalf("arrival 10 at %d, want 5 (200 txs / 100 ticks)", got)
+	}
+	burst := &plan{sc: Scenario{Workload: WorkloadSpec{}}}
+	if got := burst.txArrival(99); got != 0 {
+		t.Fatalf("rate 0 must mean all at t=0, got %d", got)
+	}
+}
+
+// TestResultTxStats pins the shared percentile fold both engines use.
+func TestResultTxStats(t *testing.T) {
+	blocks := []types.Block{
+		{Slot: 1, Txs: [][]byte{[]byte("a"), []byte("b")}},
+		{Slot: 2, Txs: [][]byte{[]byte("c")}},
+	}
+	commit := map[types.Slot]int64{1: 10, 2: 30}
+	arrivals := map[string]types.Time{"a": 0, "b": 5, "c": 10}
+	var r Result
+	r.txStats(blocks, commit, arrivals)
+	if r.DecidedTxs != 3 {
+		t.Fatalf("DecidedTxs = %d, want 3", r.DecidedTxs)
+	}
+	// latencies: a=10, b=5, c=20 → sorted {5,10,20}; p50 = 2nd = 10, p99 = 3rd = 20.
+	if r.TxLatencyP50 != 10 || r.TxLatencyP99 != 20 {
+		t.Fatalf("p50=%d p99=%d, want 10/20", r.TxLatencyP50, r.TxLatencyP99)
+	}
+	// A slot with no commit record or an unknown tx contributes to the count
+	// but not the percentiles.
+	var r2 Result
+	r2.txStats([]types.Block{{Slot: 3, Txs: [][]byte{[]byte("x")}}}, nil, nil)
+	if !reflect.DeepEqual(r2, Result{DecidedTxs: 1}) {
+		t.Fatalf("unexpected fold on unmatched chain: %+v", r2)
+	}
+}

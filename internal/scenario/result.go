@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"sort"
+
 	"tetrabft/internal/trace"
 	"tetrabft/internal/types"
 )
@@ -27,6 +29,16 @@ type Result struct {
 	DecidedCount int `json:"decided_count"`
 	// Finalized reports each honest node's finalized slot (multi-shot).
 	Finalized []NodeSlot `json:"finalized,omitempty"`
+	// DecidedTxs counts the transactions carried by the reference honest
+	// node's finalized chain (multi-shot runs with a batched workload).
+	DecidedTxs int `json:"decided_txs,omitempty"`
+	// TxLatencyP50 and TxLatencyP99 are per-transaction commit-latency
+	// percentiles for the offered-load stream, in ticks (EngineTCP: wall
+	// milliseconds): from a transaction's arrival to the earliest honest
+	// finalization of the block carrying it. 0 when the run committed no
+	// offered-load transactions.
+	TxLatencyP50 int64 `json:"tx_latency_p50,omitempty"`
+	TxLatencyP99 int64 `json:"tx_latency_p99,omitempty"`
 
 	// TotalSentBytes is the paper's "communicated bits" accounting:
 	// bytes put on the wire, per receiver.
@@ -112,6 +124,43 @@ func (r *Result) FinalizedSlot(node types.NodeID) types.Slot {
 		}
 	}
 	return 0
+}
+
+// txStats folds the offered-load transaction accounting into the result:
+// chain is the reference finalized chain, commitAt maps each slot to its
+// earliest honest commit time, and arrivals maps a transaction's payload to
+// its arrival time. Both engines share this fold, so the sim's tick-based
+// and TCP's millisecond-based latencies use the same percentile definition
+// (nearest rank, matching the sweep package's Dist).
+func (r *Result) txStats(chain []types.Block, commitAt map[types.Slot]int64, arrivals map[string]types.Time) {
+	var lats []int64
+	for _, b := range chain {
+		r.DecidedTxs += b.NumTxs()
+		c, ok := commitAt[b.Slot]
+		if !ok {
+			continue
+		}
+		for _, tx := range b.Txs {
+			at, ok := arrivals[string(tx)]
+			if !ok {
+				continue
+			}
+			lats = append(lats, c-int64(at))
+		}
+	}
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	rank := func(q int) int64 {
+		k := (q*len(lats) + 99) / 100 // ceil(q/100 * n), nearest rank
+		if k < 1 {
+			k = 1
+		}
+		return lats[k-1]
+	}
+	r.TxLatencyP50 = rank(50)
+	r.TxLatencyP99 = rank(99)
 }
 
 // TraceFilter returns the collected trace events of one type.

@@ -58,6 +58,30 @@ type cluster struct {
 	chains    []*multishot.Node // honest multi-shot nodes, member order
 	reporters []storageReporter // baseline nodes with a storage probe
 	mempools  map[types.NodeID]*blockchain.Mempool
+	// timed is the cluster-shared offered-load stream (Workload.TxCount):
+	// whoever leads a slot drains the arrived transactions into its block's
+	// batch, so each transaction is proposed at most once.
+	timed *blockchain.TimedMempool
+	// arrivals maps an offered transaction's payload to its arrival tick,
+	// for the per-transaction commit-latency fold.
+	arrivals map[string]types.Time
+}
+
+// offeredLoad builds the shared arrival-gated stream when the workload
+// declares one. Submission is in arrival order (the timed pool's contract).
+func (cl *cluster) offeredLoad(p *plan) {
+	count := p.sc.Workload.TxCount
+	if !p.multi || count <= 0 {
+		return
+	}
+	cl.timed = blockchain.NewTimedMempool(count)
+	cl.arrivals = make(map[string]types.Time, count)
+	for i := 0; i < count; i++ {
+		tx := offeredTx(i)
+		at := p.txArrival(i)
+		cl.timed.Submit(at, tx)
+		cl.arrivals[string(tx)] = at
+	}
 }
 
 func runSim(p *plan) (*Result, error) {
@@ -146,8 +170,20 @@ func runSim(p *plan) (*Result, error) {
 			res.MaxView = v
 		}
 	}
-	if p.sc.Collect.Chain && len(cl.chains) > 0 {
-		res.Chain = cl.chains[0].FinalizedChain()
+	if len(cl.chains) > 0 {
+		chain := cl.chains[0].FinalizedChain()
+		commitAt := make(map[types.Slot]int64)
+		for _, m := range p.honest {
+			for s, d := range decisions[m] {
+				if c, ok := commitAt[s]; !ok || int64(d.At) < c {
+					commitAt[s] = int64(d.At)
+				}
+			}
+		}
+		res.txStats(chain, commitAt, cl.arrivals)
+		if p.sc.Collect.Chain {
+			res.Chain = chain
+		}
 	}
 	if log != nil {
 		res.Trace = log.Events()
@@ -167,6 +203,7 @@ func buildCluster(p *plan, r *sim.Runner, tracer trace.Tracer) (*cluster, error)
 	if len(p.sc.Workload.Transactions) > 0 || p.sc.Workload.TxsPerBlock > 0 {
 		cl.mempools = make(map[types.NodeID]*blockchain.Mempool, len(p.honest))
 	}
+	cl.offeredLoad(p)
 	for _, id := range p.members {
 		if f := p.byzByID[id]; f != nil {
 			r.Add(buildByz(p, f))
@@ -213,10 +250,15 @@ func buildHonest(p *plan, id types.NodeID, n int, tracer trace.Tracer, cl *clust
 			}
 			payload = mp.PayloadSource(per)
 		}
+		var batch func(types.Slot, types.Time) [][]byte
+		if cl.timed != nil {
+			batch = cl.timed.BatchSource(p.batchSize())
+		}
 		node, err := multishot.NewNode(multishot.Config{
 			ID: id, Quorum: p.qs, Nodes: n, Delta: delta,
 			TimeoutFactor: p.sc.TimeoutFactor, MaxSlot: p.maxSlot,
-			Payload: payload, Tracer: tracer,
+			Window:  p.sc.Workload.Window,
+			Payload: payload, Batch: batch, Tracer: tracer,
 		})
 		if err != nil {
 			return nil, err

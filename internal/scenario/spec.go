@@ -289,6 +289,24 @@ type WorkloadSpec struct {
 	// Setting any gives every honest node a mempool-backed payload
 	// source.
 	Transactions []TxSpec `json:"transactions,omitempty"`
+	// TxCount switches on the offered-load stream: this many opaque
+	// transactions are submitted to a cluster-shared arrival-gated pool,
+	// and whoever leads a slot drains the arrived ones into its block's
+	// batch. The result then reports decided-transaction counts and
+	// per-transaction commit-latency percentiles. Multi-shot only;
+	// mutually exclusive with Transactions.
+	TxCount int `json:"tx_count,omitempty"`
+	// TxRate is the offered load in transactions per 100 ticks
+	// (0 = the whole TxCount arrives at time 0).
+	TxRate int64 `json:"tx_rate,omitempty"`
+	// BatchSize caps transactions per block for the offered-load stream
+	// (default 8 when TxCount is set).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Window is the proposal pipeline depth: how many consecutive
+	// unnotarized ancestors a leader may optimistically build on
+	// (default 1 — the paper's ancestor-notarized rule). Voting rules are
+	// window-independent, so safety does not depend on this knob.
+	Window int `json:"window,omitempty"`
 }
 
 // TxSpec is one key-value transaction submitted to Node's mempool.
@@ -609,13 +627,20 @@ func (sc Scenario) compile() (*plan, error) {
 	if w.Slots < 0 || w.MaxSlot < 0 || w.TxsPerBlock < 0 {
 		return nil, fmt.Errorf("scenario: negative slots, max_slot or txs_per_block")
 	}
+	if w.TxCount < 0 || w.TxRate < 0 || w.BatchSize < 0 || w.Window < 0 {
+		return nil, fmt.Errorf("scenario: negative tx_count, tx_rate, batch_size or window")
+	}
+	if w.TxCount > 0 && len(w.Transactions) > 0 {
+		return nil, fmt.Errorf("scenario: tx_count (offered-load stream) and transactions (explicit mempool) are mutually exclusive")
+	}
 	if p.multi {
 		p.maxSlot = types.Slot(w.MaxSlot)
 		if p.maxSlot == 0 && w.Slots > 0 {
 			p.maxSlot = types.Slot(w.Slots + 3) // keep the ≤5-deep pipeline from overshooting the target
 		}
-	} else if w.Slots != 0 || w.MaxSlot != 0 || len(w.Transactions) != 0 || w.TxsPerBlock != 0 {
-		return nil, fmt.Errorf("scenario: slots/max_slot/transactions require a multi-shot protocol")
+	} else if w.Slots != 0 || w.MaxSlot != 0 || len(w.Transactions) != 0 || w.TxsPerBlock != 0 ||
+		w.TxCount != 0 || w.TxRate != 0 || w.BatchSize != 0 || w.Window != 0 {
+		return nil, fmt.Errorf("scenario: slots/max_slot/transactions/tx_count/window require a multi-shot protocol")
 	}
 	for _, tx := range w.Transactions {
 		if tx.Op != "set" && tx.Op != "del" {
@@ -670,6 +695,29 @@ func (p *plan) delta() types.Duration {
 		return 10
 	}
 	return types.Duration(p.sc.Delta)
+}
+
+// batchSize is the offered-load stream's per-block transaction cap.
+func (p *plan) batchSize() int {
+	if b := p.sc.Workload.BatchSize; b > 0 {
+		return b
+	}
+	return 8
+}
+
+// txArrival is the arrival tick of the i-th offered transaction: TxRate
+// transactions per 100 ticks, in submission order (0 = everything at t=0).
+func (p *plan) txArrival(i int) types.Time {
+	r := p.sc.Workload.TxRate
+	if r <= 0 {
+		return 0
+	}
+	return types.Time(int64(i) * 100 / r)
+}
+
+// offeredTx is the i-th offered transaction's deterministic opaque payload.
+func offeredTx(i int) []byte {
+	return []byte(fmt.Sprintf("otx-%08d", i))
 }
 
 // initialValue resolves node's single-shot consensus input.

@@ -72,6 +72,27 @@ func runTCP(p *plan) (*Result, error) {
 	if per == 0 {
 		per = 8
 	}
+	// The offered-load stream (Workload.TxCount) is one cluster-shared
+	// arrival-gated pool, exactly as on the simulator: replicas race to
+	// drain it under its mutex, so each transaction rides at most one
+	// proposal. Arrival times are in ticks = transport milliseconds.
+	var timed *blockchain.TimedMempool
+	var arrivals map[string]types.Time
+	if count := p.sc.Workload.TxCount; count > 0 {
+		timed = blockchain.NewTimedMempool(count)
+		arrivals = make(map[string]types.Time, count)
+		for i := 0; i < count; i++ {
+			tx := offeredTx(i)
+			at := p.txArrival(i)
+			timed.Submit(at, tx)
+			arrivals[string(tx)] = at
+		}
+	}
+	// commitAt records the earliest wall-clock commit of each slot across
+	// all replica incarnations, feeding the per-transaction latency fold.
+	var commitMu sync.Mutex
+	commitAt := make(map[types.Slot]int64)
+	start := time.Now()
 	// kick wakes the completion loop after any progress; errCh carries
 	// failures from the restart goroutines. pendingFaults holds the run
 	// open until every scheduled crash and restart has actually executed —
@@ -111,7 +132,11 @@ func runTCP(p *plan) (*Result, error) {
 		cfg := multishot.Config{
 			ID: rep.id, Quorum: p.qs, Nodes: len(p.members), Delta: p.delta(),
 			TimeoutFactor: p.sc.TimeoutFactor, MaxSlot: p.maxSlot,
+			Window:  p.sc.Workload.Window,
 			Payload: rep.mempool.PayloadSource(per), Persist: store,
+		}
+		if timed != nil {
+			cfg.Batch = timed.BatchSource(p.batchSize())
 		}
 		var node *multishot.Node
 		if restore {
@@ -140,6 +165,12 @@ func runTCP(p *plan) (*Result, error) {
 			ListenAddr: listen,
 			Chaos:      chaos,
 			OnDecide: func(slot types.Slot, _ types.Value) {
+				ms := time.Since(start).Milliseconds()
+				commitMu.Lock()
+				if c, ok := commitAt[slot]; !ok || ms < c {
+					commitAt[slot] = ms
+				}
+				commitMu.Unlock()
 				for {
 					cur := rep.watermark.Load()
 					if int64(slot) <= cur || rep.watermark.CompareAndSwap(cur, int64(slot)) {
@@ -192,7 +223,6 @@ func runTCP(p *plan) (*Result, error) {
 		rep.mempool.Submit(buildTx(tx))
 	}
 
-	start := time.Now()
 	for _, rep := range replicas {
 		rep.runtime.Run()
 	}
@@ -332,6 +362,7 @@ func runTCP(p *plan) (*Result, error) {
 		}
 	}
 	sort.Slice(res.Transport, func(i, j int) bool { return res.Transport[i].Node < res.Transport[j].Node })
+	res.txStats(ref, commitAt, arrivals)
 	if p.sc.Collect.Chain && len(live) > 0 {
 		res.Chain = ref
 	}

@@ -9,7 +9,8 @@ import (
 // Metric names usable in assertions; see RepResult for what each measures.
 var metricNames = []string{
 	"latency", "decided", "traffic", "storage", "max_view", "events",
-	"dropped", "finalized",
+	"dropped", "finalized", "decided_txs", "tx_p50", "tx_p99",
+	"tx_throughput",
 }
 
 // aggNames are the distribution aggregates usable in assertions.

@@ -19,6 +19,9 @@ var reportMetrics = []struct {
 	{"traffic", "mean"},
 	{"storage", "max"},
 	{"finalized", "min"},
+	{"decided_txs", "min"},
+	{"tx_p99", "max"},
+	{"tx_throughput", "mean"},
 }
 
 // columns returns the report columns that actually carry data somewhere in

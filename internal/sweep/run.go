@@ -73,17 +73,24 @@ func (c CellResult) LabelString() string { return labelString(c.Labels) }
 //	events    — processed simulator events
 //	dropped   — messages lost to network or adversary
 //	finalized — the laggard honest node's finalized slot (multi-shot)
+//	decided_txs — transactions on the reference finalized chain
+//	tx_p50, tx_p99 — offered-load commit-latency percentiles, in ticks
+//	tx_throughput  — decided transactions per 1000 ticks of run time
 type RepResult struct {
-	Seed      int64  `json:"seed"`
-	Latency   int64  `json:"latency"`
-	Decided   int    `json:"decided"`
-	Traffic   int64  `json:"traffic"`
-	Storage   int64  `json:"storage"`
-	MaxView   int64  `json:"max_view"`
-	Events    int    `json:"events"`
-	Dropped   int64  `json:"dropped"`
-	Finalized int64  `json:"finalized"`
-	Error     string `json:"error,omitempty"`
+	Seed         int64   `json:"seed"`
+	Latency      int64   `json:"latency"`
+	Decided      int     `json:"decided"`
+	Traffic      int64   `json:"traffic"`
+	Storage      int64   `json:"storage"`
+	MaxView      int64   `json:"max_view"`
+	Events       int     `json:"events"`
+	Dropped      int64   `json:"dropped"`
+	Finalized    int64   `json:"finalized"`
+	DecidedTxs   int     `json:"decided_txs"`
+	TxP50        int64   `json:"tx_p50"`
+	TxP99        int64   `json:"tx_p99"`
+	TxThroughput float64 `json:"tx_throughput"`
+	Error        string  `json:"error,omitempty"`
 }
 
 // repOf extracts the replicate metrics from a scenario result (res may be
@@ -107,6 +114,12 @@ func repOf(seed int64, res *scenario.Result, err error) RepResult {
 		if i == 0 || int64(f.Slot) < rep.Finalized {
 			rep.Finalized = int64(f.Slot)
 		}
+	}
+	rep.DecidedTxs = res.DecidedTxs
+	rep.TxP50 = res.TxLatencyP50
+	rep.TxP99 = res.TxLatencyP99
+	if res.FinishedAt > 0 && res.DecidedTxs > 0 {
+		rep.TxThroughput = float64(res.DecidedTxs) * 1000 / float64(res.FinishedAt)
 	}
 	return rep
 }
@@ -150,7 +163,7 @@ func RunObserved(sw Sweep, observe Observer) (*Result, error) {
 		err error
 	}
 	outs, _ := par.Map(jobs, func(_ int, j job) (out, error) {
-		res, err := scenario.Run(j.sc)
+		res, err := scenario.RunCached(j.sc)
 		return out{res: res, err: err}, nil
 	})
 
@@ -194,6 +207,10 @@ func RunObserved(sw Sweep, observe Observer) (*Result, error) {
 			samples["events"] = append(samples["events"], float64(rep.Events))
 			samples["dropped"] = append(samples["dropped"], float64(rep.Dropped))
 			samples["finalized"] = append(samples["finalized"], float64(rep.Finalized))
+			samples["decided_txs"] = append(samples["decided_txs"], float64(rep.DecidedTxs))
+			samples["tx_p50"] = append(samples["tx_p50"], float64(rep.TxP50))
+			samples["tx_p99"] = append(samples["tx_p99"], float64(rep.TxP99))
+			samples["tx_throughput"] = append(samples["tx_throughput"], rep.TxThroughput)
 		}
 		cr.Stats = make(map[string]Dist, len(samples))
 		for name, vals := range samples {

@@ -58,7 +58,8 @@ type Axis struct {
 	// Field names the varied scenario field; see axisFields.
 	Field string `json:"field"`
 	// Ints holds values for integer-valued fields (nodes, delta,
-	// timeout_factor, gst, event_budget, horizon, slots, max_slot).
+	// timeout_factor, gst, event_budget, horizon, slots, max_slot,
+	// batch_size, tx_rate, tx_count, window).
 	Ints []int64 `json:"ints,omitempty"`
 	// Floats holds values for drop_before_gst.
 	Floats []float64 `json:"floats,omitempty"`
@@ -94,6 +95,10 @@ var axisFields = map[string]struct {
 	"horizon":         {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Stop.Horizon = v.i }},
 	"slots":           {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.Slots = v.i }},
 	"max_slot":        {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.MaxSlot = v.i }},
+	"batch_size":      {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.BatchSize = int(v.i) }},
+	"tx_rate":         {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.TxRate = v.i }},
+	"tx_count":        {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.TxCount = int(v.i) }},
+	"window":          {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.Window = int(v.i) }},
 	"drop_before_gst": {kindFloat, func(sc *scenario.Scenario, v axisValue) { sc.Network.DropBeforeGST = v.f }},
 	"protocol":        {kindString, func(sc *scenario.Scenario, v axisValue) { sc.Protocol = scenario.Protocol(v.s) }},
 	"mutation":        {kindString, func(sc *scenario.Scenario, v axisValue) { sc.Mutation = scenario.Mutation(v.s) }},

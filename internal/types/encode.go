@@ -45,9 +45,7 @@ func AppendEncode(buf []byte, m Message) []byte {
 		w.view(v.View)
 	case MSPropose:
 		w.view(v.View)
-		w.int64(int64(v.Block.Slot))
-		w.bytes(v.Block.Parent[:])
-		w.value(Value(v.Block.Payload))
+		w.block(v.Block)
 	case MSVote:
 		w.int64(int64(v.Slot))
 		w.view(v.View)
@@ -68,9 +66,7 @@ func AppendEncode(buf []byte, m Message) []byte {
 		w.ref(v.PrevVote1)
 		w.ref(v.Vote4)
 	case MSFinal:
-		w.int64(int64(v.Block.Slot))
-		w.bytes(v.Block.Parent[:])
-		w.value(Value(v.Block.Payload))
+		w.block(v.Block)
 	case GenericVote:
 		w.byte(byte(v.Proto))
 		w.byte(v.Phase)
@@ -111,8 +107,7 @@ func EncodedSize(m Message) int {
 	case ViewChange:
 		return 1 + varintSize(int64(v.View))
 	case MSPropose:
-		return 1 + varintSize(int64(v.View)) + varintSize(int64(v.Block.Slot)) +
-			len(v.Block.Parent) + bytesSize(v.Block.Payload)
+		return 1 + varintSize(int64(v.View)) + blockSize(v.Block)
 	case MSVote:
 		return 1 + varintSize(int64(v.Slot)) + varintSize(int64(v.View)) + len(v.Block)
 	case MSViewChange:
@@ -124,7 +119,7 @@ func EncodedSize(m Message) int {
 		return 1 + varintSize(int64(v.Slot)) + varintSize(int64(v.View)) +
 			refSize(v.Vote1) + refSize(v.PrevVote1) + refSize(v.Vote4)
 	case MSFinal:
-		return 1 + varintSize(int64(v.Block.Slot)) + len(v.Block.Parent) + bytesSize(v.Block.Payload)
+		return 1 + blockSize(v.Block)
 	case GenericVote:
 		return 3 + varintSize(int64(v.View)) + varintSize(int64(v.Slot)) + valueSize(v.Val)
 	case Evidence:
@@ -160,6 +155,19 @@ func varintSize(v int64) int {
 
 func valueSize(v Value) int { return uvarintSize(uint64(len(v))) + len(v) }
 
+// blockSize mirrors writer.block analytically (everything after the kind
+// byte and any view field).
+func blockSize(b Block) int {
+	n := varintSize(int64(b.Slot)) + len(b.Parent) + bytesSize(b.Payload)
+	if len(b.Txs) > 0 {
+		n += uvarintSize(uint64(len(b.Txs)))
+		for _, tx := range b.Txs {
+			n += bytesSize(tx)
+		}
+	}
+	return n
+}
+
 func bytesSize(b []byte) int { return uvarintSize(uint64(len(b))) + len(b) }
 
 func refSize(r VoteRef) int {
@@ -187,9 +195,14 @@ func Decode(data []byte) (Message, error) {
 		m = ViewChange{View: r.view()}
 	case KindMSPropose:
 		v := MSPropose{View: r.view()}
-		v.Block.Slot = Slot(r.int64())
-		r.fixed(v.Block.Parent[:])
-		v.Block.Payload = []byte(r.value())
+		v.Block = r.block(false)
+		m = v
+	case KindMSProposeBatch:
+		v := MSPropose{View: r.view()}
+		v.Block = r.block(true)
+		if len(v.Block.Txs) == 0 { // batch kind must carry a batch, or the
+			return nil, ErrBadMessage // same block gets two encodings
+		}
 		m = v
 	case KindMSVote:
 		v := MSVote{Slot: Slot(r.int64()), View: r.view()}
@@ -202,10 +215,12 @@ func Decode(data []byte) (Message, error) {
 	case KindMSProof:
 		m = MSProof{Slot: Slot(r.int64()), View: r.view(), Vote1: r.ref(), PrevVote1: r.ref(), Vote4: r.ref()}
 	case KindMSFinal:
-		var v MSFinal
-		v.Block.Slot = Slot(r.int64())
-		r.fixed(v.Block.Parent[:])
-		v.Block.Payload = []byte(r.value())
+		m = MSFinal{Block: r.block(false)}
+	case KindMSFinalBatch:
+		v := MSFinal{Block: r.block(true)}
+		if len(v.Block.Txs) == 0 {
+			return nil, ErrBadMessage
+		}
 		m = v
 	case KindGenericVote:
 		m = GenericVote{Proto: Proto(r.byte()), Phase: r.byte(), View: r.view(), Slot: Slot(r.int64()), Val: r.value()}
@@ -247,6 +262,22 @@ func (w *writer) view(v View)      { w.int64(int64(v)) }
 func (w *writer) value(v Value) {
 	w.uvarint(uint64(len(v)))
 	w.buf = append(w.buf, v...)
+}
+
+// block writes slot, parent and payload; a non-empty batch appends its
+// uvarint count and length-prefixed transactions (the *-batch kind byte,
+// written by the caller, announces their presence).
+func (w *writer) block(b Block) {
+	w.int64(int64(b.Slot))
+	w.bytes(b.Parent[:])
+	w.value(Value(b.Payload))
+	if len(b.Txs) > 0 {
+		w.uvarint(uint64(len(b.Txs)))
+		for _, tx := range b.Txs {
+			w.uvarint(uint64(len(tx)))
+			w.buf = append(w.buf, tx...)
+		}
+	}
 }
 
 func (w *writer) ref(r VoteRef) {
@@ -326,6 +357,29 @@ func (r *reader) fixed(dst []byte) {
 	}
 	copy(dst, r.buf[:len(dst)])
 	r.buf = r.buf[len(dst):]
+}
+
+// block reads the writer.block layout; batch selects the *-batch tail.
+func (r *reader) block(batch bool) Block {
+	var b Block
+	b.Slot = Slot(r.int64())
+	r.fixed(b.Parent[:])
+	b.Payload = []byte(r.value())
+	if !batch {
+		return b
+	}
+	n := r.uvarint()
+	if r.err != nil || n > uint64(len(r.buf)) { // each tx costs ≥1 byte
+		r.fail()
+		return b
+	}
+	if n > 0 {
+		b.Txs = make([][]byte, 0, n)
+		for i := uint64(0); i < n; i++ {
+			b.Txs = append(b.Txs, []byte(r.value()))
+		}
+	}
+	return b
 }
 
 func (r *reader) ref() VoteRef {

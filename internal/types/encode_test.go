@@ -1,6 +1,7 @@
 package types
 
 import (
+	"bytes"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -19,6 +20,11 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		ProofMsg{View: 9, Vote1: Vote(8, "v"), PrevVote1: VoteRef{}, Vote4: Vote(0, "w")},
 		ViewChange{View: 4},
 		MSPropose{View: 1, Block: blk},
+		MSPropose{View: 3, Block: Block{Slot: 8, Parent: blk.ID(), Payload: []byte("hdr"),
+			Txs: [][]byte{[]byte("tx-1"), []byte("tx-22")}}},
+		MSFinal{Block: blk},
+		MSFinal{Block: Block{Slot: 4, Parent: blk.ID(), Payload: []byte("p"),
+			Txs: [][]byte{[]byte("t")}}},
 		MSVote{Slot: 9, View: 2, Block: blk.ID()},
 		MSViewChange{Slot: 3, View: 1},
 		MSSuggest{Slot: 2, View: 1, Vote2: Vote(0, "p")},
@@ -60,10 +66,77 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 	}
 }
 
+// TestBatchKindSelection asserts that the dynamic Kind dispatch keeps
+// unbatched messages on the historical kinds (and therefore byte-identical
+// to the pre-batching wire format) while batched ones travel as the
+// *-batch kinds.
+func TestBatchKindSelection(t *testing.T) {
+	blk := Block{Slot: 5, Parent: Block{Slot: 4}.ID(), Payload: []byte("h")}
+	batched := blk
+	batched.Txs = [][]byte{[]byte("tx")}
+	cases := []struct {
+		msg  Message
+		want Kind
+	}{
+		{MSPropose{View: 1, Block: blk}, KindMSPropose},
+		{MSPropose{View: 1, Block: batched}, KindMSProposeBatch},
+		{MSFinal{Block: blk}, KindMSFinal},
+		{MSFinal{Block: batched}, KindMSFinalBatch},
+	}
+	for _, c := range cases {
+		if got := c.msg.Kind(); got != c.want {
+			t.Errorf("%#v Kind() = %s, want %s", c.msg, got, c.want)
+		}
+		if data := Encode(c.msg); Kind(data[0]) != c.want {
+			t.Errorf("%#v encodes kind byte %d, want %s", c.msg, data[0], c.want)
+		}
+	}
+	// The unbatched encoding must be a strict prefix of the batched one
+	// (kind byte aside): batching only appends, it never reshapes.
+	plain := Encode(MSPropose{View: 1, Block: blk})
+	withTxs := Encode(MSPropose{View: 1, Block: batched})
+	if !bytes.Equal(plain[1:], withTxs[1:len(plain)]) {
+		t.Errorf("batched encoding reshapes the unbatched fields:\n  plain %x\n  batch %x", plain, withTxs)
+	}
+}
+
+// TestDecodeRejectsEmptyBatch pins the canonical-encoding rule: a *-batch
+// kind carrying zero transactions is malformed, because the same block
+// would otherwise have two valid encodings.
+func TestDecodeRejectsEmptyBatch(t *testing.T) {
+	blk := Block{Slot: 5, Payload: []byte("h")}
+	for _, c := range []struct {
+		plain Kind
+		batch Kind
+		msg   Message
+	}{
+		{KindMSPropose, KindMSProposeBatch, MSPropose{View: 1, Block: blk}},
+		{KindMSFinal, KindMSFinalBatch, MSFinal{Block: blk}},
+	} {
+		data := Encode(c.msg)
+		if Kind(data[0]) != c.plain {
+			t.Fatalf("setup: %v encoded as %s", c.msg, Kind(data[0]))
+		}
+		data[0] = byte(c.batch)
+		forged := append(data, 0) // uvarint tx count 0
+		if _, err := Decode(forged); err == nil {
+			t.Errorf("%s with an empty batch decoded successfully, want error", c.batch)
+		}
+		// A bogus huge count must be rejected before allocating.
+		forged[len(forged)-1] = 0xFF
+		forged = append(forged, 0xFF, 0xFF, 0x7F)
+		if _, err := Decode(forged); err == nil {
+			t.Errorf("%s with a bogus tx count decoded successfully, want error", c.batch)
+		}
+	}
+}
+
 func TestDecodeRejectsTruncations(t *testing.T) {
 	msgs := []Message{
 		SuggestMsg{View: 5, Vote2: Vote(3, "abc"), PrevVote2: Vote(1, "b"), Vote3: Vote(2, "a")},
 		MSPropose{View: 1, Block: Block{Slot: 2, Payload: []byte("p")}},
+		MSPropose{View: 1, Block: Block{Slot: 2, Payload: []byte("p"),
+			Txs: [][]byte{[]byte("tx1"), []byte("tx2")}}},
 		Evidence{Proto: ProtoPBFT, Phase: 1, View: 2, Val: "r", Evidence: []VoteRef{Vote(0, "a")}},
 	}
 	for _, m := range msgs {

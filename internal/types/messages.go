@@ -24,6 +24,13 @@ const (
 
 	KindGenericVote
 	KindEvidence
+
+	// Batched multi-shot variants: the same MSPropose/MSFinal shapes with a
+	// transaction batch appended. Separate kinds (rather than a count field
+	// on the base kinds) keep every unbatched message byte-identical to the
+	// pre-batching wire format.
+	KindMSProposeBatch
+	KindMSFinalBatch
 )
 
 // String names the kind for traces.
@@ -55,6 +62,10 @@ func (k Kind) String() string {
 		return "generic-vote"
 	case KindEvidence:
 		return "evidence"
+	case KindMSProposeBatch:
+		return "ms-propose-batch"
+	case KindMSFinalBatch:
+		return "ms-final-batch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -124,8 +135,14 @@ type MSPropose struct {
 	Block Block
 }
 
-// Kind implements Message.
-func (MSPropose) Kind() Kind { return KindMSPropose }
+// Kind implements Message: a proposal carrying a transaction batch travels
+// as the batch kind, keeping batchless proposals byte-identical on the wire.
+func (m MSPropose) Kind() Kind {
+	if len(m.Block.Txs) > 0 {
+		return KindMSProposeBatch
+	}
+	return KindMSPropose
+}
 
 // MSVote is the multi-shot ⟨vote, slot, view, value⟩. A vote for slot s
 // doubles as vote-1 for s, vote-2 for s−1, vote-3 for s−2 and vote-4 for
@@ -181,8 +198,14 @@ type MSFinal struct {
 	Block Block
 }
 
-// Kind implements Message.
-func (MSFinal) Kind() Kind { return KindMSFinal }
+// Kind implements Message; batched claims travel as the batch kind (see
+// MSPropose.Kind).
+func (m MSFinal) Kind() Kind {
+	if len(m.Block.Txs) > 0 {
+		return KindMSFinalBatch
+	}
+	return KindMSFinal
+}
 
 // Proto labels which baseline protocol a GenericVote or Evidence message
 // belongs to, so one encoding serves every baseline.

@@ -40,6 +40,10 @@ func sizeCases() []Message {
 		MSSuggest{Slot: 6, View: 3, Vote2: refs[2], PrevVote2: refs[4], Vote3: refs[1]},
 		MSProof{Slot: 8, View: 4, Vote1: refs[0], PrevVote1: refs[3], Vote4: refs[4]},
 		MSFinal{Block: Block{Slot: 11, Parent: parent, Payload: []byte("payload")}},
+		MSPropose{View: 3, Block: Block{Slot: 10, Parent: parent, Payload: []byte("hdr"),
+			Txs: [][]byte{[]byte("a"), bytes.Repeat([]byte("t"), 200), {}}}},
+		MSFinal{Block: Block{Slot: 12, Parent: parent,
+			Txs: [][]byte{bytes.Repeat([]byte("u"), 127)}}},
 		GenericVote{Proto: ProtoPBFT, Phase: 3, View: 12, Slot: 0, Val: "gv"},
 		GenericVote{Proto: ProtoRBC, Phase: 1, View: 0, Slot: 1 << 45, Val: long},
 		Evidence{Proto: ProtoPBFT, Phase: 7, View: 2, Val: "ev", Evidence: nil},
@@ -57,7 +61,7 @@ func TestEncodedSizeMatchesEncode(t *testing.T) {
 			t.Errorf("%s %+v: EncodedSize = %d, len(Encode) = %d", m.Kind(), m, got, want)
 		}
 	}
-	for k := KindProposal; k <= KindEvidence; k++ {
+	for k := KindProposal; k <= KindMSFinalBatch; k++ {
 		if !covered[k] {
 			t.Errorf("kind %s not covered by the differential size test", k)
 		}

@@ -93,14 +93,25 @@ func BlockIDFromValue(v Value) (BlockID, bool) {
 }
 
 // Block is a blockchain block: a payload linked to its parent by hash
-// pointer, pinned to the slot it was proposed for.
+// pointer, pinned to the slot it was proposed for. A batched block
+// additionally carries an ordered slice of client transactions; a cluster
+// either runs batched (every honest proposal sets Txs) or unbatched, so the
+// two shapes never compete for the same slot.
 type Block struct {
 	Slot    Slot
 	Parent  BlockID
 	Payload []byte
+	// Txs is the ordered client transaction batch (nil when unbatched).
+	// Batched blocks travel as the *-batch wire kinds; a nil-Txs block
+	// encodes and hashes exactly as it did before batching existed.
+	Txs [][]byte
 }
 
-// ID computes the block's hash-pointer identity.
+// NumTxs returns the batch size.
+func (b Block) NumTxs() int { return len(b.Txs) }
+
+// ID computes the block's hash-pointer identity. An empty batch contributes
+// nothing, so unbatched blocks keep their historical identities.
 func (b Block) ID() BlockID {
 	h := sha256.New()
 	var buf [16]byte
@@ -108,6 +119,11 @@ func (b Block) ID() BlockID {
 	h.Write(buf[:8])
 	h.Write(b.Parent[:])
 	h.Write(b.Payload)
+	for _, tx := range b.Txs {
+		putInt64(buf[8:], int64(len(tx)))
+		h.Write(buf[8:])
+		h.Write(tx)
+	}
 	var id BlockID
 	h.Sum(id[:0])
 	return id

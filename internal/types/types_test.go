@@ -20,6 +20,30 @@ func TestBlockIDDeterministic(t *testing.T) {
 	}
 }
 
+func TestBlockIDBatchSensitivity(t *testing.T) {
+	base := Block{Slot: 3, Parent: ZeroBlockID, Payload: []byte("hdr")}
+	empty := base
+	empty.Txs = [][]byte{}
+	if base.ID() != empty.ID() {
+		t.Fatal("an empty batch changed the block ID; unbatched blocks must keep their historical identities")
+	}
+	batched := base
+	batched.Txs = [][]byte{[]byte("ab"), []byte("c")}
+	if batched.ID() == base.ID() {
+		t.Fatal("adding a batch did not change the block ID")
+	}
+	// The per-tx length prefix makes the hash injective over batch
+	// boundaries: ["ab","c"] and ["a","bc"] concatenate identically.
+	shifted := base
+	shifted.Txs = [][]byte{[]byte("a"), []byte("bc")}
+	if batched.ID() == shifted.ID() {
+		t.Fatal("shifting tx boundaries did not change the block ID")
+	}
+	if batched.NumTxs() != 2 || base.NumTxs() != 0 {
+		t.Fatal("NumTxs miscounts")
+	}
+}
+
 func TestBlockIDValueRoundTrip(t *testing.T) {
 	f := func(slot int16, payload []byte) bool {
 		id := Block{Slot: Slot(slot), Payload: payload}.ID()
@@ -51,7 +75,7 @@ func TestVoteRefString(t *testing.T) {
 
 func TestKindStringsAreUnique(t *testing.T) {
 	seen := make(map[string]Kind)
-	for k := KindProposal; k <= KindEvidence; k++ {
+	for k := KindProposal; k <= KindMSFinalBatch; k++ {
 		s := k.String()
 		if prev, dup := seen[s]; dup {
 			t.Errorf("kinds %d and %d share the name %q", prev, k, s)
