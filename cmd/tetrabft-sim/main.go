@@ -26,6 +26,7 @@ func main() {
 		n            = flag.Int("n", 4, "cluster size")
 		silent       = flag.Int("silent", 0, "number of silent (crashed) nodes, taken from the lowest IDs")
 		multi        = flag.Bool("multi", false, "run multi-shot (pipelined) TetraBFT instead of single-shot")
+		shards       = flag.Int("shards", 0, "run the sharded service layer with this many shard clusters plus an anchor cluster (implies -multi)")
 		slots        = flag.Int("slots", 10, "finalized slots to target in multi-shot mode")
 		txs          = flag.Int("txs", 0, "multi-shot offered load: this many transactions streamed through batched blocks")
 		rate         = flag.Int64("rate", 0, "offered-load arrival rate, transactions per 100 ticks (0 = all at t=0)")
@@ -66,7 +67,7 @@ func main() {
 			os.Exit(1)
 		}
 	} else {
-		sc = fromFlags(*n, *silent, *multi, *slots, *txs, *rate, *batch, *window, *seed, *delta, *gst, *drop, *showTrace, *horizon)
+		sc = fromFlags(*n, *silent, *multi, *shards, *slots, *txs, *rate, *batch, *window, *seed, *delta, *gst, *drop, *showTrace, *horizon)
 	}
 	if err := run(sc); err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-sim:", err)
@@ -75,7 +76,7 @@ func main() {
 }
 
 // fromFlags assembles the declarative spec the flag set describes.
-func fromFlags(n, silent int, multi bool, slots, txs int, rate int64, batch, window int, seed, delta, gst int64, drop float64, showTrace bool, horizon int64) scenario.Scenario {
+func fromFlags(n, silent int, multi bool, shards, slots, txs int, rate int64, batch, window int, seed, delta, gst int64, drop float64, showTrace bool, horizon int64) scenario.Scenario {
 	sc := scenario.Scenario{
 		Protocol: scenario.TetraBFT,
 		Nodes:    n,
@@ -85,6 +86,19 @@ func fromFlags(n, silent int, multi bool, slots, txs int, rate int64, batch, win
 		Workload: scenario.WorkloadSpec{ValuePattern: "value-of-node-%d"},
 		Stop:     scenario.StopSpec{Horizon: horizon},
 		Collect:  scenario.CollectSpec{Trace: showTrace},
+	}
+	if shards > 0 {
+		// The sharded service layer: no flat membership, per-shard offered
+		// load, horizon-only stop; chains and traces are per-shard and not
+		// collectable, so validation rejects -trace here.
+		sc.Protocol = scenario.TetraBFTMulti
+		sc.Nodes = 0
+		sc.Shards = &scenario.ShardsSpec{Count: shards}
+		sc.Workload = scenario.WorkloadSpec{
+			Slots:   int64(slots),
+			TxCount: txs, TxRate: rate, BatchSize: batch, Window: window,
+		}
+		return sc
 	}
 	if multi {
 		sc.Protocol = scenario.TetraBFTMulti
@@ -121,7 +135,18 @@ func run(sc scenario.Scenario) error {
 	} else {
 		fmt.Printf("simulation finished at t=%d (%d events)\n", res.FinishedAt, res.Events)
 	}
-	if len(res.Finalized) > 0 { // multi-shot
+	if len(res.Shards) > 0 { // sharded service layer
+		for _, s := range res.Shards {
+			fmt.Printf("shard %d: finalized %d slots, %d txs decided (commit latency p50 %d, p99 %d), %d anchor epochs through slot %d\n",
+				s.Shard, s.Finalized, s.DecidedTxs, s.TxLatencyP50, s.TxLatencyP99, s.AnchorEpochs, s.AnchoredSlots)
+		}
+		fmt.Printf("anchor cluster: %d epochs committed (anchor latency p50 %d, p99 %d)\n",
+			res.AnchorEpochs, res.AnchorLatencyP50, res.AnchorLatencyP99)
+		if res.DecidedTxs > 0 {
+			fmt.Printf("decided transactions: %d aggregate (commit latency p50 %d, p99 %d)\n",
+				res.DecidedTxs, res.TxLatencyP50, res.TxLatencyP99)
+		}
+	} else if len(res.Finalized) > 0 { // multi-shot
 		for _, f := range res.Finalized {
 			fmt.Printf("node %d finalized %d slots\n", f.Node, f.Slot)
 		}

@@ -1,15 +1,23 @@
-// KVStore: a replicated key-value store running over real TCP sockets on
-// localhost — four multi-shot TetraBFT replicas, each with a mempool,
-// finalizing blocks of transactions and applying them to their local state
-// machines. The same declarative scenario spec the simulator examples use
-// runs here with Engine: "tcp" — this is the deployment shape of the
-// library.
+// KVStore: a sharded replicated key-value service running over real TCP
+// sockets on localhost — two 4-node multi-shot TetraBFT shard clusters plus
+// a 4-node anchor cluster, fronted by an HTTP gateway that routes each key
+// to its home shard. Clients are plain HTTP: POST /submit writes through
+// the gateway into a shard's mempool, GET /query reads from that shard's
+// decided log, and every shard periodically commits a digest of its decided
+// prefix into the anchor cluster. This is the deployment shape of the
+// library, and the program the CI gateway smoke runs: it exits non-zero
+// unless both shards finalize, every submitted key becomes readable, and
+// anchor epochs commit.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
-	"sort"
+	"net/http"
+	"net/url"
+	"time"
 
 	"tetrabft"
 )
@@ -20,75 +28,101 @@ func main() {
 	}
 }
 
-// target is the finalized-block prefix every replica must reach and agree
-// on — the spec's slot target and the convergence check share it.
+// target is the finalized-block prefix every shard must reach.
 const target = 6
 
 func run() error {
-	// Clients submit transactions to different replicas' mempools.
-	res, err := tetrabft.RunScenario(tetrabft.Scenario{
-		Name:     "kvstore-tcp",
+	var clientErr error
+	res, err := tetrabft.RunScenarioWithGateway(tetrabft.Scenario{
+		Name:     "kvstore-gateway",
 		Protocol: tetrabft.ScenarioTetraBFTMulti,
 		Engine:   "tcp",
-		Nodes:    4,
 		Delta:    30, // 30 ticks × 1ms: generous for loopback TCP
+		Shards:   &tetrabft.ShardsSpec{Count: 2, AnchorInterval: 40},
 		Workload: tetrabft.WorkloadSpec{
-			Slots:       target, // finalized blocks to wait for
-			TxsPerBlock: 16,
-			Transactions: []tetrabft.TxSpec{
-				{Node: 0, Op: "set", Key: "temperature", Value: "21C"},
-				{Node: 1, Op: "set", Key: "humidity", Value: "40%"},
-				{Node: 2, Op: "set", Key: "pressure", Value: "1013hPa"},
-				{Node: 3, Op: "set", Key: "temperature", Value: "22C"},
-			},
+			Slots:     target,
+			BatchSize: 8,
+			TxCount:   20, // background offered load, split across shards
 		},
-		Stop:    tetrabft.StopSpec{WallClockMS: 30000},
-		Collect: tetrabft.CollectSpec{Chain: true},
+		Stop: tetrabft.StopSpec{WallClockMS: 60000},
+	}, func(base string) {
+		clientErr = drive(base)
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("4 replicas converged over real TCP in %d ms\n", res.FinishedAt)
+	if clientErr != nil {
+		return clientErr
+	}
 
-	// Apply every replica's finalized chain to its local state machine and
-	// confirm they all agree.
-	fmt.Println("\nreplicated state on every node:")
-	var reference string
-	for _, nc := range res.Chains {
-		kv := tetrabft.NewKV()
-		// Stragglers may have finalized past the target unevenly; compare
-		// the agreed prefix.
-		blocks := nc.Blocks
-		if len(blocks) > target {
-			blocks = blocks[:target]
+	for _, s := range res.Shards {
+		fmt.Printf("shard %d: finalized %d slots, %d anchor epochs through slot %d\n",
+			s.Shard, s.Finalized, s.AnchorEpochs, s.AnchoredSlots)
+		if s.Finalized < target {
+			return fmt.Errorf("shard %d finalized only %d/%d slots", s.Shard, s.Finalized, target)
 		}
-		for _, b := range blocks {
-			kv.ApplyBlock(b)
-		}
-		state := renderState(kv.Snapshot())
-		fmt.Printf("  replica %d: %s\n", nc.Node, state)
-		if reference == "" {
-			reference = state
-		} else if state != reference {
-			return fmt.Errorf("replica %d diverged", nc.Node)
+		if s.AnchorEpochs < 1 {
+			return fmt.Errorf("shard %d committed no anchor epoch", s.Shard)
 		}
 	}
-	fmt.Println("\nall replicas converged over real TCP ✓")
+	if res.AnchorEpochs < 1 {
+		return fmt.Errorf("no anchor epochs committed")
+	}
+	fmt.Printf("anchor cluster committed %d epochs (p99 %d ms); gateway round-trips verified on both shards ✓\n",
+		res.AnchorEpochs, res.AnchorLatencyP99)
 	return nil
 }
 
-func renderState(m map[string]string) string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
+// drive is the HTTP client: it submits keys through the gateway until both
+// shards have received one, then polls each key until the shard's decided
+// log serves the written value back.
+func drive(base string) error {
+	router := tetrabft.ShardRouter{Shards: 2}
+	byShard := map[int]string{}
+	for i := 0; len(byShard) < 2 && i < 64; i++ {
+		key := fmt.Sprintf("sensor-%03d", i)
+		if _, taken := byShard[router.Shard(key)]; taken {
+			continue
+		}
+		value := fmt.Sprintf("reading-%03d", i)
+		resp, err := http.PostForm(base+"/submit", url.Values{"key": {key}, "value": {value}})
+		if err != nil {
+			return fmt.Errorf("submit %s: %w", key, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("submit %s: %s: %s", key, resp.Status, body)
+		}
+		byShard[router.Shard(key)] = key
+		fmt.Printf("submitted %s=%s via shard %d\n", key, value, router.Shard(key))
 	}
-	sort.Strings(keys)
-	out := ""
-	for _, k := range keys {
-		out += fmt.Sprintf("%s=%s ", k, m[k])
+
+	deadline := time.Now().Add(30 * time.Second)
+	for s, key := range byShard {
+		want := "reading-" + key[len("sensor-"):]
+		for {
+			resp, err := http.Get(base + "/query?key=" + url.QueryEscape(key))
+			if err != nil {
+				return fmt.Errorf("query %s: %w", key, err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var got struct {
+				Shard int    `json:"shard"`
+				Found bool   `json:"found"`
+				Value string `json:"value"`
+			}
+			if resp.StatusCode == http.StatusOK && json.Unmarshal(body, &got) == nil &&
+				got.Found && got.Value == want {
+				fmt.Printf("shard %d serves %s=%s from its decided log\n", s, key, want)
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("key %s not decided on shard %d before the deadline (%s)", key, s, body)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
 	}
-	if out == "" {
-		return "(empty)"
-	}
-	return out
+	return nil
 }

@@ -40,6 +40,7 @@ func (r *Result) clone() *Result {
 		}
 	}
 	cp.Trace = append([]trace.Event(nil), r.Trace...)
+	cp.Shards = append([]ShardResult(nil), r.Shards...)
 	return &cp
 }
 

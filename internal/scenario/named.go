@@ -192,6 +192,29 @@ func Named() []Scenario {
 			Stop:    StopSpec{Horizon: 5000},
 			Collect: CollectSpec{Chain: true},
 		},
+		{
+			// The sharded service layer: two 4-node shard clusters serve a
+			// split offered-load stream (one tx in five roams across shards
+			// via the gateway router) while each shard periodically commits
+			// its decided-prefix digest into a 4-node anchor cluster. The
+			// result folds per-shard throughput plus anchor-commit latency,
+			// and every anchored digest is verified against the shard's log.
+			Name:     "sharded-service",
+			Protocol: TetraBFTMulti,
+			Shards: &ShardsSpec{
+				Count:          2,
+				AnchorInterval: 40,
+				CrossMix:       0.2,
+			},
+			Workload: WorkloadSpec{
+				Slots:     10,
+				BatchSize: 16,
+				TxRate:    400,
+				TxCount:   100,
+				Window:    2,
+			},
+			Stop: StopSpec{Horizon: 6000},
+		},
 	}
 }
 

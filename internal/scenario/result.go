@@ -58,6 +58,21 @@ type Result struct {
 	// links, including any pre-crash runtime's counters.
 	Transport []NodeTransport `json:"transport,omitempty"`
 
+	// Shards reports each shard cluster's results in a sharded run
+	// (Scenario.Shards), in shard order. Aggregate fields above fold over
+	// the shards: DecidedTxs sums, TxLatency percentiles pool every shard's
+	// samples, Events/Traffic/Dropped sum across all clusters.
+	Shards []ShardResult `json:"shards,omitempty"`
+	// AnchorEpochs counts anchor commitments the anchor cluster finalized,
+	// across all shards (sharded runs).
+	AnchorEpochs int64 `json:"anchor_epochs,omitempty"`
+	// AnchorLatencyP50 and AnchorLatencyP99 are submit-to-commit latency
+	// percentiles for anchor transactions, in ticks (EngineTCP: wall
+	// milliseconds): from a shard submitting its digest to the anchor
+	// cluster finalizing the block carrying it.
+	AnchorLatencyP50 int64 `json:"anchor_latency_p50,omitempty"`
+	AnchorLatencyP99 int64 `json:"anchor_latency_p99,omitempty"`
+
 	// Chain is the first honest node's finalized chain (Collect.Chain).
 	Chain []types.Block `json:"chain,omitempty"`
 	// Chains holds every honest node's finalized chain (EngineTCP with
@@ -92,6 +107,32 @@ type NodeTraffic struct {
 type NodeChain struct {
 	Node   types.NodeID  `json:"node"`
 	Blocks []types.Block `json:"blocks"`
+}
+
+// ShardResult is one shard cluster's fold in a sharded run.
+type ShardResult struct {
+	// Shard is the cluster's index in [0, S).
+	Shard int `json:"shard"`
+	// Finalized is the minimum finalized slot across the shard's honest
+	// replicas (the slot every live replica agrees on).
+	Finalized int64 `json:"finalized"`
+	// DecidedTxs counts offered-load transactions on the shard's reference
+	// finalized chain.
+	DecidedTxs int `json:"decided_txs"`
+	// TxLatencyP50 and TxLatencyP99 are the shard's own commit-latency
+	// percentiles (same definition as the aggregate fields).
+	TxLatencyP50 int64 `json:"tx_latency_p50,omitempty"`
+	TxLatencyP99 int64 `json:"tx_latency_p99,omitempty"`
+	// AnchorEpochs is how many of this shard's anchors the anchor cluster
+	// committed; AnchoredSlots is the longest decided prefix those anchors
+	// cover. Every committed anchor's digest was verified against the
+	// shard's decided log at fold time.
+	AnchorEpochs  int64 `json:"anchor_epochs"`
+	AnchoredSlots int64 `json:"anchored_slots"`
+	// Reconnects and DroppedFrames sum the shard replicas' TCP link
+	// counters (EngineTCP).
+	Reconnects    int64 `json:"reconnects,omitempty"`
+	DroppedFrames int64 `json:"dropped_frames,omitempty"`
 }
 
 // NodeTransport is one replica's aggregated TCP link counters (EngineTCP).
@@ -133,9 +174,18 @@ func (r *Result) FinalizedSlot(node types.NodeID) types.Slot {
 // and TCP's millisecond-based latencies use the same percentile definition
 // (nearest rank, matching the sweep package's Dist).
 func (r *Result) txStats(chain []types.Block, commitAt map[types.Slot]int64, arrivals map[string]types.Time) {
-	var lats []int64
+	txs, lats := txLatencies(chain, commitAt, arrivals)
+	r.DecidedTxs += txs
+	r.TxLatencyP50, r.TxLatencyP99 = latencyPercentiles(lats)
+}
+
+// txLatencies walks a finalized chain and returns its transaction count
+// plus the commit latency of every transaction whose arrival is known. The
+// sharded fold calls it per shard and pools the samples for the aggregate
+// percentiles.
+func txLatencies(chain []types.Block, commitAt map[types.Slot]int64, arrivals map[string]types.Time) (txs int, lats []int64) {
 	for _, b := range chain {
-		r.DecidedTxs += b.NumTxs()
+		txs += b.NumTxs()
 		c, ok := commitAt[b.Slot]
 		if !ok {
 			continue
@@ -148,8 +198,15 @@ func (r *Result) txStats(chain []types.Block, commitAt map[types.Slot]int64, arr
 			lats = append(lats, c-int64(at))
 		}
 	}
+	return txs, lats
+}
+
+// latencyPercentiles returns the nearest-rank p50 and p99 of lats, sorting
+// it in place; zeros for an empty sample. Matches the sweep package's Dist
+// definition so scenario results and sweep aggregates agree.
+func latencyPercentiles(lats []int64) (p50, p99 int64) {
 	if len(lats) == 0 {
-		return
+		return 0, 0
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 	rank := func(q int) int64 {
@@ -159,8 +216,7 @@ func (r *Result) txStats(chain []types.Block, commitAt map[types.Slot]int64, arr
 		}
 		return lats[k-1]
 	}
-	r.TxLatencyP50 = rank(50)
-	r.TxLatencyP99 = rank(99)
+	return rank(50), rank(99)
 }
 
 // TraceFilter returns the collected trace events of one type.

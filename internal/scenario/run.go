@@ -40,6 +40,12 @@ func Run(sc Scenario) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if sc.Shards != nil {
+		if sc.Engine == EngineTCP {
+			return runShardTCP(p, nil)
+		}
+		return runShardSim(p)
+	}
 	if sc.Engine == EngineTCP {
 		return runTCP(p)
 	}

@@ -1,0 +1,343 @@
+package scenario
+
+import (
+	"fmt"
+
+	"tetrabft/internal/blockchain"
+	"tetrabft/internal/byz"
+	"tetrabft/internal/multishot"
+	"tetrabft/internal/shard"
+	"tetrabft/internal/sim"
+	"tetrabft/internal/types"
+)
+
+// The sharded sim engine runs S shard clusters plus the anchor cluster as
+// S+1 independent simulator instances advanced in lockstep: one goroutine
+// drives every runner to the same virtual instant (a quantum of
+// shards.anchor_interval ticks), then performs the anchoring round —
+// digesting each grown shard log and submitting the anchor transaction into
+// the anchor cluster's arrival-gated mempool at the current instant. Because
+// nothing ever runs concurrently, a sharded sim run is exactly as
+// deterministic as a plain one: same spec + same seed = byte-identical
+// result at any GOMAXPROCS.
+
+// simShardCluster is one cluster (a shard or the anchor) on the simulator.
+type simShardCluster struct {
+	r      *sim.Runner
+	nodes  []*multishot.Node // honest replicas, ID order
+	honest []types.NodeID
+}
+
+// newSimShardCluster builds one cluster: n replicas on a fresh runner,
+// silent ones replaced per the fault schedule, the rest drawing batches
+// from the cluster's arrival-gated pool.
+func newSimShardCluster(p *plan, n int, seed int64, maxSlot types.Slot, silent map[types.NodeID]bool, timed *blockchain.TimedMempool, batch int) (*simShardCluster, error) {
+	r := sim.New(sim.Config{
+		Seed:          seed,
+		Delay:         buildDelay(p.sc.Network.Delay),
+		GST:           types.Time(p.sc.Network.GST),
+		DropBeforeGST: p.sc.Network.DropBeforeGST,
+	})
+	cl := &simShardCluster{r: r}
+	for id := types.NodeID(0); int(id) < n; id++ {
+		if silent[id] {
+			r.Add(byz.Silent{NodeID: id})
+			continue
+		}
+		node, err := multishot.NewNode(multishot.Config{
+			ID: id, Nodes: n, Delta: p.delta(),
+			TimeoutFactor: p.sc.TimeoutFactor, MaxSlot: maxSlot,
+			Window: p.sc.Workload.Window,
+			Batch:  timed.BatchSource(batch),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cl.nodes = append(cl.nodes, node)
+		cl.honest = append(cl.honest, id)
+		r.Add(node)
+	}
+	return cl, nil
+}
+
+// refChain is the cluster's reference finalized chain (first honest
+// replica). Read-only: it is the node's internal cache.
+func (cl *simShardCluster) refChain() []types.Block { return cl.nodes[0].FinalizedChain() }
+
+// minFinalized is the finalized slot every honest replica has reached.
+func (cl *simShardCluster) minFinalized() int64 {
+	min := int64(-1)
+	for _, node := range cl.nodes {
+		if s := int64(node.FinalizedSlot()); min < 0 || s < min {
+			min = s
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// commitAt maps each slot to its earliest honest decision time.
+func (cl *simShardCluster) commitAt() map[types.Slot]int64 {
+	out := make(map[types.Slot]int64)
+	decisions := cl.r.Decisions()
+	for _, id := range cl.honest {
+		for s, d := range decisions[id] {
+			if c, ok := out[s]; !ok || int64(d.At) < c {
+				out[s] = int64(d.At)
+			}
+		}
+	}
+	return out
+}
+
+// shardSilent collects the silent-replica fault schedule of one shard.
+func shardSilent(p *plan, s int) map[types.NodeID]bool {
+	out := make(map[types.NodeID]bool)
+	for _, f := range p.sc.Faults {
+		if f.Type == FaultSilent && f.Shard == s {
+			out[f.Node] = true
+		}
+	}
+	return out
+}
+
+// shardTxArrival is the arrival tick of the j-th global offered transaction:
+// Workload.TxRate is per shard, so the service's aggregate offered rate is
+// S × TxRate per 100 ticks.
+func shardTxArrival(rate int64, s, j int) types.Time {
+	if rate <= 0 {
+		return 0
+	}
+	return types.Time(int64(j) * 100 / (rate * int64(s)))
+}
+
+// buildShardWorkload splits the global offered-load stream across shards:
+// transaction j is pinned round-robin (j mod S, exactly equal per-shard
+// rate) unless the cross-mix says it roams — then its synthetic account key
+// is placed by the gateway's own router, modeling realistic imbalance. Each
+// shard gets its own arrival-gated pool plus the arrival map for the
+// latency fold; submissions are in arrival order (the pool's contract).
+func buildShardWorkload(p *plan) (pools []*blockchain.TimedMempool, arrivals []map[string]types.Time) {
+	sh := p.sc.Shards
+	s := sh.count()
+	pools = make([]*blockchain.TimedMempool, s)
+	arrivals = make([]map[string]types.Time, s)
+	for i := range pools {
+		pools[i] = blockchain.NewTimedMempool(s * p.sc.Workload.TxCount)
+		arrivals[i] = make(map[string]types.Time)
+	}
+	router := shard.Router{Shards: s}
+	roamPct := int(sh.CrossMix*100 + 0.5)
+	total := s * p.sc.Workload.TxCount
+	for j := 0; j < total; j++ {
+		home := j % s
+		if j%100 < roamPct {
+			home = router.Shard(fmt.Sprintf("acct-%08d", j))
+		}
+		at := shardTxArrival(p.sc.Workload.TxRate, s, j)
+		tx := offeredTx(j)
+		pools[home].Submit(at, tx)
+		arrivals[home][string(tx)] = at
+	}
+	return pools, arrivals
+}
+
+func runShardSim(p *plan) (*Result, error) {
+	sh := p.sc.Shards
+	s := sh.count()
+	pools, arrivals := buildShardWorkload(p)
+	anchorPool := blockchain.NewTimedMempool(0)
+
+	clusters := make([]*simShardCluster, s)
+	for i := range clusters {
+		cl, err := newSimShardCluster(p, sh.nodesPerShard(), p.seed()+int64(i), p.maxSlot, shardSilent(p, i), pools[i], p.batchSize())
+		if err != nil {
+			return nil, err
+		}
+		clusters[i] = cl
+	}
+	// The anchor cluster proposes without a slot cap: its pipeline keeps
+	// filling slots with empty blocks between anchor arrivals, and a cap
+	// would be exhausted before the last shard's final anchor lands. Its
+	// batch size admits every shard anchoring in the same round.
+	anchorCl, err := newSimShardCluster(p, sh.anchorNodes(), p.seed()+int64(s), 0, nil, anchorPool, s)
+	if err != nil {
+		return nil, err
+	}
+	all := append(append([]*simShardCluster(nil), clusters...), anchorCl)
+
+	// Lockstep quanta: advance everyone to t, anchor what grew, check
+	// completion — every shard at the slot target and every submitted
+	// anchor committed.
+	quantum := types.Time(sh.anchorInterval())
+	horizon := types.Time(p.sc.Stop.Horizon)
+	target := p.sc.Workload.Slots
+	epochs := make([]int64, s)       // anchors submitted per shard
+	lastAnchored := make([]int64, s) // decided-log length last digested
+	submitAt := make(map[string]types.Time)
+	var now types.Time
+	var runErr error
+
+loop:
+	for t := quantum; ; t += quantum {
+		if t > horizon {
+			t = horizon
+		}
+		now = t
+		for _, cl := range all {
+			if err := cl.r.Run(t, nil); err != nil {
+				runErr = fmt.Errorf("scenario %q: %w", p.sc.Name, err)
+				break loop
+			}
+		}
+		for i, cl := range clusters {
+			chain := cl.refChain()
+			if int64(len(chain)) <= lastAnchored[i] {
+				continue
+			}
+			epochs[i]++
+			a := shard.Anchor{Shard: i, Epoch: epochs[i], Slots: int64(len(chain)),
+				Digest: shard.PrefixDigest(chain, len(chain))}
+			tx := a.Encode()
+			anchorPool.Submit(t, tx)
+			submitAt[string(tx)] = t
+			lastAnchored[i] = int64(len(chain))
+		}
+		done := true
+		committed := committedEpochs(anchorCl.refChain(), s)
+		for i, cl := range clusters {
+			if cl.minFinalized() < target || epochs[i] == 0 || committed[i] < epochs[i] {
+				done = false
+				break
+			}
+		}
+		if done || t >= horizon {
+			break
+		}
+	}
+	if runErr == nil {
+		for i, cl := range all {
+			if err := cl.r.AgreementViolation(); err != nil {
+				label := fmt.Sprintf("shard %d", i)
+				if i == s {
+					label = "anchor cluster"
+				}
+				runErr = fmt.Errorf("scenario %q: %s: %w", p.sc.Name, label, agreementError{err})
+				break
+			}
+		}
+	}
+	return foldShardResult(p, clusters, anchorCl, arrivals, submitAt, int64(now), runErr)
+}
+
+// committedEpochs scans the anchor cluster's decided log and returns the
+// highest epoch committed per shard (well-formedness is checked at fold
+// time; here malformed transactions are simply not progress).
+func committedEpochs(anchorChain []types.Block, s int) []int64 {
+	out := make([]int64, s)
+	for _, b := range anchorChain {
+		for _, tx := range b.Txs {
+			if a, ok := shard.DecodeAnchor(tx); ok && a.Shard < s && a.Epoch > out[a.Shard] {
+				out[a.Shard] = a.Epoch
+			}
+		}
+	}
+	return out
+}
+
+// shardFoldInput is what the fold needs from one cluster, engine-neutral:
+// the TCP engine supplies the same shape from its live runtimes.
+type shardFoldInput struct {
+	chain    []types.Block
+	commitAt map[types.Slot]int64
+	// finalized is the min finalized slot across the cluster's honest
+	// replicas.
+	finalized int64
+	// reconnects and droppedFrames are TCP link counters (zero on sim).
+	reconnects, droppedFrames int64
+}
+
+// foldShardResult builds the sharded Result from the sim clusters and
+// verifies the cross-shard consistency invariant. runErr, when non-nil,
+// takes precedence over (but does not suppress) the fold.
+func foldShardResult(p *plan, clusters []*simShardCluster, anchorCl *simShardCluster, arrivals []map[string]types.Time, submitAt map[string]types.Time, finishedAt int64, runErr error) (*Result, error) {
+	inputs := make([]shardFoldInput, len(clusters))
+	for i, cl := range clusters {
+		inputs[i] = shardFoldInput{chain: cl.refChain(), commitAt: cl.commitAt(), finalized: cl.minFinalized()}
+	}
+	anchorIn := shardFoldInput{chain: anchorCl.refChain(), commitAt: anchorCl.commitAt(), finalized: anchorCl.minFinalized()}
+	res := foldShards(p, inputs, anchorIn, arrivals, submitAt, finishedAt)
+	for _, cl := range append(append([]*simShardCluster(nil), clusters...), anchorCl) {
+		res.Events += cl.r.Events()
+		res.TotalSentBytes += cl.r.TotalSentBytes()
+		res.Dropped += cl.r.DroppedMessages()
+	}
+	if runErr != nil {
+		return res, runErr
+	}
+	if err := verifyShardAnchors(p, res, inputs, anchorIn); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// foldShards assembles the per-shard and aggregate measurements shared by
+// both engines.
+func foldShards(p *plan, inputs []shardFoldInput, anchorIn shardFoldInput, arrivals []map[string]types.Time, submitAt map[string]types.Time, finishedAt int64) *Result {
+	res := &Result{
+		Name:            p.sc.Name,
+		FinishedAt:      finishedAt,
+		FirstDecisionAt: -1,
+	}
+	var allLats []int64
+	for i, in := range inputs {
+		txs, lats := txLatencies(in.chain, in.commitAt, arrivals[i])
+		p50, p99 := latencyPercentiles(lats)
+		res.Shards = append(res.Shards, ShardResult{
+			Shard: i, Finalized: in.finalized, DecidedTxs: txs,
+			TxLatencyP50: p50, TxLatencyP99: p99,
+			Reconnects: in.reconnects, DroppedFrames: in.droppedFrames,
+		})
+		res.DecidedTxs += txs
+		allLats = append(allLats, lats...)
+	}
+	res.TxLatencyP50, res.TxLatencyP99 = latencyPercentiles(allLats)
+
+	var anchorLats []int64
+	for _, b := range anchorIn.chain {
+		c, ok := anchorIn.commitAt[b.Slot]
+		if !ok {
+			continue
+		}
+		for _, tx := range b.Txs {
+			if at, ok := submitAt[string(tx)]; ok {
+				anchorLats = append(anchorLats, c-int64(at))
+			}
+		}
+	}
+	res.AnchorLatencyP50, res.AnchorLatencyP99 = latencyPercentiles(anchorLats)
+	return res
+}
+
+// verifyShardAnchors runs the cross-shard consistency check and writes the
+// verified per-shard anchor progress into the result. A violation — any
+// anchored digest that does not match a prefix of its shard's decided log —
+// is reported as an agreement error.
+func verifyShardAnchors(p *plan, res *Result, inputs []shardFoldInput, anchorIn shardFoldInput) error {
+	chains := make([][]types.Block, len(inputs))
+	for i, in := range inputs {
+		chains[i] = in.chain
+	}
+	epochs, anchored, err := shard.VerifyAnchors(anchorIn.chain, chains)
+	if err != nil {
+		return fmt.Errorf("scenario %q: %w", p.sc.Name, agreementError{err})
+	}
+	for i := range res.Shards {
+		res.Shards[i].AnchorEpochs = epochs[i]
+		res.Shards[i].AnchoredSlots = anchored[i]
+		res.AnchorEpochs += epochs[i]
+	}
+	return nil
+}

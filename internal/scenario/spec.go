@@ -98,11 +98,72 @@ type Scenario struct {
 	Stop StopSpec `json:"stop,omitempty"`
 	// Collect requests optional (potentially large) result payloads.
 	Collect CollectSpec `json:"collect,omitempty"`
+	// Shards turns the run into a sharded service deployment: S independent
+	// multi-shot shard clusters plus one anchor cluster, a deterministic
+	// key→shard router over the offered-load stream, and an anchoring loop
+	// committing each shard's decided-prefix digest into the anchor cluster
+	// (TetraBFTMulti only; both engines). Nil = one ordinary cluster.
+	Shards *ShardsSpec `json:"shards,omitempty"`
 	// Mutation deliberately breaks the protocol (TetraBFT single-shot
 	// only) so adversarial harnesses — the scenario fuzzer above all —
 	// can prove they detect safety violations. Production specs leave it
 	// empty. See core.Mutation for what each variant removes.
 	Mutation Mutation `json:"mutation,omitempty"`
+}
+
+// ShardsSpec declares the sharded service topology: how many shard
+// clusters, how big each cluster is, the anchor cluster fronting them, and
+// how the offered-load workload spreads across shards. Workload.TxCount and
+// Workload.TxRate are per shard in a sharded run, so varying Count compares
+// deployments at equal per-shard offered rate. Every shard — and the anchor
+// cluster — is an independent multishot instance with its own mempool and
+// seed (base seed + cluster index; the anchor cluster uses base seed +
+// Count); on the TCP engine each cluster also gets its own WAL directory
+// tree and listen ports.
+type ShardsSpec struct {
+	// Count is the number of shard clusters S (≥ 1).
+	Count int `json:"count"`
+	// NodesPerShard sizes each shard cluster (default 4, minimum 4).
+	NodesPerShard int `json:"nodes_per_shard,omitempty"`
+	// AnchorNodes sizes the anchor cluster (default 4, minimum 4).
+	AnchorNodes int `json:"anchor_nodes,omitempty"`
+	// AnchorInterval is the anchoring period in ticks (wall milliseconds on
+	// the TCP engine): every interval, each shard whose decided log grew
+	// commits a fresh (shard, epoch, prefix-digest) anchor transaction into
+	// the anchor cluster. Default 50.
+	AnchorInterval int64 `json:"anchor_interval,omitempty"`
+	// CrossMix is the fraction of offered-load transactions carrying
+	// roaming keys placed by the FNV router (realistic imbalance) instead
+	// of keys pinned round-robin to shards (exactly equal per-shard rate).
+	// In [0, 1); default 0.
+	CrossMix float64 `json:"cross_mix,omitempty"`
+}
+
+// count is the shard count S.
+func (s *ShardsSpec) count() int { return s.Count }
+
+// nodesPerShard is the defaulted shard cluster size.
+func (s *ShardsSpec) nodesPerShard() int {
+	if s.NodesPerShard == 0 {
+		return 4
+	}
+	return s.NodesPerShard
+}
+
+// anchorNodes is the defaulted anchor cluster size.
+func (s *ShardsSpec) anchorNodes() int {
+	if s.AnchorNodes == 0 {
+		return 4
+	}
+	return s.AnchorNodes
+}
+
+// anchorInterval is the defaulted anchoring period.
+func (s *ShardsSpec) anchorInterval() int64 {
+	if s.AnchorInterval == 0 {
+		return 50
+	}
+	return s.AnchorInterval
 }
 
 // Mutation names a deliberately broken protocol variant.
@@ -230,6 +291,10 @@ type FaultSpec struct {
 	// Node targets the node-replacing faults (silent, equivocator,
 	// random).
 	Node types.NodeID `json:"node,omitempty"`
+	// Shard scopes the fault to one shard cluster in a sharded run
+	// (Scenario.Shards): Node then names a replica inside that cluster.
+	// Ignored outside sharded runs.
+	Shard int `json:"shard,omitempty"`
 	// ValueA and ValueB are the equivocator's two proposals.
 	ValueA string `json:"value_a,omitempty"`
 	ValueB string `json:"value_b,omitempty"`
@@ -399,6 +464,16 @@ func (sc Scenario) compile() (*plan, error) {
 		}
 	default:
 		return nil, fmt.Errorf("scenario: unknown engine %q", sc.Engine)
+	}
+
+	// Sharded runs have no flat membership — each cluster owns node IDs
+	// [0, nodesPerShard) locally — so they validate separately and leave
+	// members/honest empty.
+	if sc.Shards != nil {
+		if err := p.compileSharded(); err != nil {
+			return nil, err
+		}
+		return p, nil
 	}
 
 	// Membership: explicit Nodes, or derived from the quorum slices.
@@ -670,6 +745,162 @@ func (sc Scenario) compile() (*plan, error) {
 		return nil, fmt.Errorf("scenario: every node is faulty")
 	}
 	return p, nil
+}
+
+// compileSharded validates a sharded-service spec (Scenario.Shards). The
+// shard engines read the fault schedule straight from the spec, scoped by
+// FaultSpec.Shard; the plan's members, honest and byzByID stay empty.
+func (p *plan) compileSharded() error {
+	sc := p.sc
+	sh := sc.Shards
+	if sc.Protocol != TetraBFTMulti {
+		return fmt.Errorf("scenario: shards require protocol %q", TetraBFTMulti)
+	}
+	if sc.Nodes != 0 {
+		return fmt.Errorf("scenario: shards and nodes are mutually exclusive (size clusters with shards.nodes_per_shard)")
+	}
+	if sc.Quorum != nil {
+		return fmt.Errorf("scenario: shards do not support quorum slices")
+	}
+	if sc.Mutation != MutationNone {
+		return fmt.Errorf("scenario: shards do not support mutations")
+	}
+	if sh.Count < 1 || sh.Count > 16 {
+		return fmt.Errorf("scenario: shards.count = %d outside [1, 16]", sh.Count)
+	}
+	if sh.NodesPerShard != 0 && sh.NodesPerShard < 4 {
+		return fmt.Errorf("scenario: shards.nodes_per_shard = %d below the n ≥ 3f+1 minimum of 4", sh.NodesPerShard)
+	}
+	if sh.AnchorNodes != 0 && sh.AnchorNodes < 4 {
+		return fmt.Errorf("scenario: shards.anchor_nodes = %d below the n ≥ 3f+1 minimum of 4", sh.AnchorNodes)
+	}
+	if sh.AnchorInterval < 0 {
+		return fmt.Errorf("scenario: negative shards.anchor_interval")
+	}
+	if sh.CrossMix < 0 || sh.CrossMix >= 1 {
+		return fmt.Errorf("scenario: shards.cross_mix = %v outside [0, 1)", sh.CrossMix)
+	}
+
+	if sc.Seed < 0 {
+		return fmt.Errorf("scenario: negative seed %d", sc.Seed)
+	}
+	if sc.Delta < 0 || sc.TimeoutFactor < 0 {
+		return fmt.Errorf("scenario: negative delta or timeout_factor")
+	}
+
+	// Network regime: the same model is applied inside every cluster.
+	// Per-link delays are rejected because node IDs are cluster-local —
+	// a link spec could not say which cluster it means.
+	nw := sc.Network
+	if nw.DropBeforeGST < 0 || nw.DropBeforeGST > 1 {
+		return fmt.Errorf("scenario: drop_before_gst = %v outside [0, 1]", nw.DropBeforeGST)
+	}
+	if nw.GST < 0 || nw.EventBudget < 0 {
+		return fmt.Errorf("scenario: negative gst or event_budget")
+	}
+	if nw.EventBudget != 0 {
+		return fmt.Errorf("scenario: shards do not support an event budget")
+	}
+	if nw.Delay != nil {
+		if nw.Delay.D < 0 || nw.Delay.Min < 0 || nw.Delay.Max < 0 {
+			return fmt.Errorf("scenario: negative delay")
+		}
+		switch nw.Delay.Model {
+		case DelayConstant, DelayUniform:
+		case DelayPerLink:
+			return fmt.Errorf("scenario: shards do not support per-link delays (node IDs are cluster-local)")
+		default:
+			return fmt.Errorf("scenario: unknown delay model %q", nw.Delay.Model)
+		}
+	}
+	if sc.Engine != EngineTCP && nw.Duplicate != 0 {
+		return fmt.Errorf("scenario: network.duplicate applies only to engine %q", EngineTCP)
+	}
+	if nw.Duplicate < 0 || nw.Duplicate >= 1 {
+		return fmt.Errorf("scenario: network.duplicate = %v outside [0, 1)", nw.Duplicate)
+	}
+
+	// Workload: the offered-load stream is the only input shape (per-shard
+	// TxCount/TxRate); the explicit-mempool and cap knobs stay unsharded.
+	w := sc.Workload
+	if w.Slots <= 0 {
+		return fmt.Errorf("scenario: shards need workload.slots (the per-shard finalized-slot target)")
+	}
+	if w.MaxSlot != 0 {
+		return fmt.Errorf("scenario: shards derive the proposal cap from workload.slots; max_slot must be 0")
+	}
+	if len(w.Transactions) != 0 || w.TxsPerBlock != 0 {
+		return fmt.Errorf("scenario: shards support only the offered-load stream (tx_count), not explicit transactions")
+	}
+	if w.TxCount < 0 || w.TxRate < 0 || w.BatchSize < 0 || w.Window < 0 {
+		return fmt.Errorf("scenario: negative tx_count, tx_rate, batch_size or window")
+	}
+
+	// Stop condition: virtual horizon on sim, slots + wall clock on TCP.
+	if sc.Stop.Horizon < 0 || sc.Stop.WallClockMS < 0 {
+		return fmt.Errorf("scenario: negative stop bound")
+	}
+	if sc.Stop.AllDecided {
+		return fmt.Errorf("scenario: shards stop on their own completion rule; stop.all_decided must be false")
+	}
+	if sc.Engine == EngineTCP {
+		if sc.Stop.Horizon != 0 {
+			return fmt.Errorf("scenario: engine %q stops on workload.slots + stop.wall_clock_ms only", EngineTCP)
+		}
+	} else if sc.Stop.Horizon == 0 {
+		return fmt.Errorf("scenario: sharded sim runs need stop.horizon (lockstep clusters never drain the event queue)")
+	}
+	if sc.Collect.Trace || sc.Collect.Chain {
+		return fmt.Errorf("scenario: shards do not collect traces or chains (the result folds per-shard stats)")
+	}
+
+	// Fault schedule: silent replicas (both engines) and crash-restarts
+	// (TCP), scoped to one shard cluster each. The anchor cluster cannot be
+	// faulted — it is the trust root the cross-shard consistency check
+	// hangs off.
+	type target struct{ shard, node int }
+	replaced := make(map[target]bool)
+	crashed := make(map[target]bool)
+	for _, f := range sc.Faults {
+		if f.Shard < 0 || f.Shard >= sh.count() {
+			return fmt.Errorf("scenario: %s fault targets shard %d outside [0, %d)", f.Type, f.Shard, sh.count())
+		}
+		if f.Node < 0 || int(f.Node) >= sh.nodesPerShard() {
+			return fmt.Errorf("scenario: %s fault targets node %d outside shard %d's membership [0, %d)", f.Type, f.Node, f.Shard, sh.nodesPerShard())
+		}
+		tg := target{f.Shard, int(f.Node)}
+		switch f.Type {
+		case FaultSilent:
+			if replaced[tg] {
+				return fmt.Errorf("scenario: shard %d node %d has two node-replacing faults", f.Shard, f.Node)
+			}
+			replaced[tg] = true
+		case FaultCrashRestart:
+			if sc.Engine != EngineTCP {
+				return fmt.Errorf("scenario: crash-restart requires engine %q (the simulator has no processes to kill)", EngineTCP)
+			}
+			if f.CrashAtMS < 0 || f.RestartAtMS < 0 {
+				return fmt.Errorf("scenario: negative crash-restart schedule")
+			}
+			if f.RestartAtMS != 0 && f.RestartAtMS <= f.CrashAtMS {
+				return fmt.Errorf("scenario: shard %d node %d restarts at %dms, before its crash at %dms", f.Shard, f.Node, f.RestartAtMS, f.CrashAtMS)
+			}
+			if crashed[tg] {
+				return fmt.Errorf("scenario: shard %d node %d has two crash-restart faults", f.Shard, f.Node)
+			}
+			crashed[tg] = true
+		default:
+			return fmt.Errorf("scenario: shards support only silent and crash-restart faults, not %q", f.Type)
+		}
+	}
+	for tg := range crashed {
+		if replaced[tg] {
+			return fmt.Errorf("scenario: shard %d node %d is both silent and crash-restarted", tg.shard, tg.node)
+		}
+	}
+
+	p.maxSlot = types.Slot(w.Slots + 3) // keep the ≤5-deep pipeline from overshooting the target
+	return nil
 }
 
 func hasNonSilent(byz map[types.NodeID]*FaultSpec) bool {

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+)
+
+// Backend is the running sharded deployment a Gateway fronts: the TCP
+// scenario engine implements it over live clusters. Calls arrive from
+// http.Server goroutines, so implementations must be safe for concurrent
+// use (the engine serializes machine access via transport.Runtime.Do).
+type Backend interface {
+	// Submit enqueues a set(key, value) transaction on the given shard.
+	Submit(shardIdx int, key, value string) error
+	// Query reads the current value of key on the given shard, from that
+	// shard's decided log.
+	Query(shardIdx int, key string) (value string, found bool, err error)
+	// Status snapshots per-shard and anchor progress.
+	Status() Status
+}
+
+// Status is the gateway's deployment snapshot.
+type Status struct {
+	// Shards reports each shard cluster's progress, in shard order.
+	Shards []ShardStatus `json:"shards"`
+	// AnchorFinalized is the anchor cluster's finalized slot.
+	AnchorFinalized int64 `json:"anchor_finalized"`
+	// AnchorEpochs counts anchor commitments decided across all shards.
+	AnchorEpochs int64 `json:"anchor_epochs"`
+}
+
+// ShardStatus is one shard cluster's progress snapshot.
+type ShardStatus struct {
+	Shard int `json:"shard"`
+	// Finalized is the shard's decided-log length (min across required
+	// replicas).
+	Finalized int64 `json:"finalized"`
+	// AnchoredSlots is the longest decided prefix the anchor cluster has
+	// committed a digest for.
+	AnchoredSlots int64 `json:"anchored_slots"`
+}
+
+// Gateway is the client-facing HTTP front of a sharded deployment. It
+// routes each key to its home shard (Router), and serves:
+//
+//	POST /submit?key=K&value=V  → {"shard": s}            (route + enqueue)
+//	GET  /query?key=K           → {"shard": s, "found": b, "value": v}
+//	GET  /status                → Status JSON
+//
+// The listener binds 127.0.0.1:0 — the kvstore example and the CI gateway
+// smoke hit it with plain curl/http.Get, which is the point: the sharded
+// scenario becomes a load-testable service, not just a test harness.
+type Gateway struct {
+	router  Router
+	backend Backend
+	ln      net.Listener
+	srv     *http.Server
+}
+
+// NewGateway starts the HTTP gateway for a deployment of shards shards.
+func NewGateway(shards int, backend Backend) (*Gateway, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: gateway needs at least one shard, got %d", shards)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("shard: gateway listen: %w", err)
+	}
+	g := &Gateway{router: Router{Shards: shards}, backend: backend, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/submit", g.handleSubmit)
+	mux.HandleFunc("/query", g.handleQuery)
+	mux.HandleFunc("/status", g.handleStatus)
+	g.srv = &http.Server{Handler: mux}
+	go g.srv.Serve(ln)
+	return g, nil
+}
+
+// URL returns the gateway's base URL (http://127.0.0.1:port).
+func (g *Gateway) URL() string { return "http://" + g.ln.Addr().String() }
+
+// Close stops the listener; in-flight handlers finish on their own.
+func (g *Gateway) Close() error { return g.srv.Close() }
+
+func (g *Gateway) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	key := req.FormValue("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	s := g.router.Shard(key)
+	if err := g.backend.Submit(s, key, req.FormValue("value")); err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{"shard": s})
+}
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, req *http.Request) {
+	key := req.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	s := g.router.Shard(key)
+	value, found, err := g.backend.Query(s, key)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, map[string]any{"shard": s, "found": found, "value": value})
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, g.backend.Status())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,133 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// fakeBackend records submissions and serves canned lookups, standing in
+// for the TCP engine's live clusters.
+type fakeBackend struct {
+	submitted map[int][]string // shard → "key=value"
+	data      map[string]string
+}
+
+func (b *fakeBackend) Submit(shardIdx int, key, value string) error {
+	if key == "reject-me" {
+		return fmt.Errorf("mempool full")
+	}
+	b.submitted[shardIdx] = append(b.submitted[shardIdx], key+"="+value)
+	return nil
+}
+
+func (b *fakeBackend) Query(shardIdx int, key string) (string, bool, error) {
+	v, ok := b.data[key]
+	return v, ok, nil
+}
+
+func (b *fakeBackend) Status() Status {
+	return Status{
+		Shards:          []ShardStatus{{Shard: 0, Finalized: 5, AnchoredSlots: 3}, {Shard: 1, Finalized: 4}},
+		AnchorFinalized: 2,
+		AnchorEpochs:    3,
+	}
+}
+
+func TestGatewayRoutesOverHTTP(t *testing.T) {
+	backend := &fakeBackend{submitted: map[int][]string{}, data: map[string]string{"k1": "v1"}}
+	gw, err := NewGateway(4, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	router := Router{Shards: 4}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("acct-%d", i)
+		resp, err := http.PostForm(gw.URL()+"/submit", url.Values{"key": {key}, "value": {fmt.Sprintf("v%d", i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reply struct {
+			Shard int `json:"shard"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if want := router.Shard(key); reply.Shard != want {
+			t.Fatalf("key %q: gateway said shard %d, router says %d", key, reply.Shard, want)
+		}
+	}
+	total := 0
+	for shardIdx, subs := range backend.submitted {
+		for _, s := range subs {
+			key := strings.SplitN(s, "=", 2)[0]
+			if router.Shard(key) != shardIdx {
+				t.Fatalf("submission %q landed on shard %d, not its home %d", s, shardIdx, router.Shard(key))
+			}
+		}
+		total += len(subs)
+	}
+	if total != 8 {
+		t.Fatalf("backend saw %d submissions, want 8", total)
+	}
+
+	// Query hits the key's home shard and relays the backend's answer.
+	resp, err := http.Get(gw.URL() + "/query?key=k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q struct {
+		Shard int    `json:"shard"`
+		Found bool   `json:"found"`
+		Value string `json:"value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !q.Found || q.Value != "v1" || q.Shard != router.Shard("k1") {
+		t.Fatalf("query reply %+v", q)
+	}
+
+	// Status round-trips the backend snapshot.
+	resp, err = http.Get(gw.URL() + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Shards) != 2 || st.Shards[0].AnchoredSlots != 3 || st.AnchorEpochs != 3 {
+		t.Fatalf("status reply %+v", st)
+	}
+
+	// Errors surface as HTTP failures, not silent drops.
+	resp, err = http.PostForm(gw.URL()+"/submit", url.Values{"key": {"reject-me"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "mempool full") {
+		t.Fatalf("rejected submit: status %d body %q", resp.StatusCode, body)
+	}
+	if resp, err := http.Get(gw.URL() + "/submit?key=x"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /submit: status %d, want 405", resp.StatusCode)
+	}
+	if resp, err := http.PostForm(gw.URL()+"/submit", url.Values{}); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing key: status %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,63 @@
+// Package shard is the service layer that turns one TetraBFT cluster into
+// many: S independent multishot shard clusters serve disjoint key ranges
+// behind a deterministic key→shard router and a client-facing gateway,
+// and every shard periodically commits a digest of its decided log as a
+// transaction into one anchor TetraBFT cluster (the two-layer L2-shards →
+// L1-BFT architecture). The anchor chain is the cross-shard source of
+// truth: at result-fold time every anchored digest must match a prefix of
+// its shard's decided log, so a shard cannot silently rewrite history
+// without the anchor cluster exposing it.
+//
+// The package holds the engine-independent primitives — Router, PrefixDigest,
+// the anchor-transaction codec, and the HTTP Gateway — while the scenario
+// package's sim and TCP engines own the run loops that wire them to real
+// clusters. Keeping the primitives here (with no scenario dependency) lets
+// the fold, the gateway, and the tests share one definition of "anchored".
+package shard
+
+import (
+	"crypto/sha256"
+	"hash/fnv"
+
+	"tetrabft/internal/types"
+)
+
+// Router deterministically maps client keys onto shards. The same key
+// always lands on the same shard (FNV-1a over the key bytes, mod S), so
+// any gateway instance — or any client that knows S — computes the same
+// placement without coordination.
+type Router struct {
+	// Shards is the shard count S (must be ≥ 1).
+	Shards int
+}
+
+// Shard returns the home shard of a key.
+func (r Router) Shard(key string) int {
+	if r.Shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(r.Shards))
+}
+
+// PrefixDigest hashes the first k blocks of a decided log: SHA-256 over
+// the concatenated block IDs of slots 1..k. Both ends of the anchoring
+// loop use it — a shard digests its own finalized chain before committing
+// the digest to the anchor cluster, and the result fold recomputes it from
+// the shard's final chain to verify every anchored claim. Because block
+// IDs already commit to slot, parent, payload and the transaction batch,
+// equal digests mean byte-equal prefixes.
+func PrefixDigest(chain []types.Block, k int) [32]byte {
+	if k > len(chain) {
+		k = len(chain)
+	}
+	h := sha256.New()
+	for i := 0; i < k; i++ {
+		id := chain[i].ID()
+		h.Write(id[:])
+	}
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"bytes"
+	"testing"
+
+	"tetrabft/internal/types"
+)
+
+// The router must be deterministic, total over [0, S), and actually spread
+// keys (a constant router would serialize the whole service through one
+// shard).
+func TestRouterSpreadsAndPins(t *testing.T) {
+	r := Router{Shards: 4}
+	hits := make([]int, 4)
+	for i := 0; i < 1000; i++ {
+		key := string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune('A'+i%13))
+		s := r.Shard(key)
+		if s < 0 || s >= 4 {
+			t.Fatalf("key %q routed outside [0,4): %d", key, s)
+		}
+		if again := r.Shard(key); again != s {
+			t.Fatalf("key %q routed to %d then %d", key, s, again)
+		}
+		hits[s]++
+	}
+	for s, n := range hits {
+		if n == 0 {
+			t.Fatalf("shard %d received no keys: %v", s, hits)
+		}
+	}
+	if (Router{Shards: 1}).Shard("anything") != 0 {
+		t.Fatal("single-shard router must route everything to shard 0")
+	}
+}
+
+func testChain(n int) []types.Block {
+	chain := make([]types.Block, n)
+	parent := types.ZeroBlockID
+	for i := range chain {
+		chain[i] = types.Block{Slot: types.Slot(i + 1), Parent: parent, Payload: []byte{byte(i)}}
+		parent = chain[i].ID()
+	}
+	return chain
+}
+
+func TestPrefixDigest(t *testing.T) {
+	chain := testChain(6)
+	d4 := PrefixDigest(chain, 4)
+	// The digest covers exactly the prefix: extending the chain must not
+	// change it, and any change inside the prefix must.
+	if got := PrefixDigest(chain[:4], 4); got != d4 {
+		t.Fatal("digest of a prefix must not depend on blocks past k")
+	}
+	if PrefixDigest(chain, 5) == d4 {
+		t.Fatal("digests of different prefix lengths must differ")
+	}
+	mutated := append([]types.Block(nil), chain...)
+	mutated[2].Payload = []byte("tampered")
+	if PrefixDigest(mutated, 4) == d4 {
+		t.Fatal("a tampered block inside the prefix must change the digest")
+	}
+	// k beyond the chain clamps (a shard can only digest what it decided).
+	if PrefixDigest(chain, 100) != PrefixDigest(chain, 6) {
+		t.Fatal("k past the chain end must clamp to the full chain")
+	}
+}
+
+func TestVerifyAnchors(t *testing.T) {
+	chains := [][]types.Block{testChain(5), testChain(3)}
+	anchorTx := func(s int, e, k int64) []byte {
+		return Anchor{Shard: s, Epoch: e, Slots: k, Digest: PrefixDigest(chains[s], int(k))}.Encode()
+	}
+	anchorChain := []types.Block{
+		{Slot: 1, Txs: [][]byte{anchorTx(0, 1, 2), []byte("otx-00000007")}},
+		{Slot: 2, Txs: [][]byte{anchorTx(1, 1, 3), anchorTx(0, 2, 5)}},
+	}
+	epochs, anchored, err := VerifyAnchors(anchorChain, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epochs[0] != 2 || epochs[1] != 1 || anchored[0] != 5 || anchored[1] != 3 {
+		t.Fatalf("epochs %v anchored %v", epochs, anchored)
+	}
+
+	bad := Anchor{Shard: 0, Epoch: 1, Slots: 2, Digest: [32]byte{0xde, 0xad}}
+	for name, chain := range map[string][]types.Block{
+		"epoch skip":      {{Slot: 1, Txs: [][]byte{anchorTx(0, 2, 2)}}},
+		"epoch repeat":    {{Slot: 1, Txs: [][]byte{anchorTx(0, 1, 2), anchorTx(0, 1, 3)}}},
+		"beyond decided":  {{Slot: 1, Txs: [][]byte{Anchor{Shard: 1, Epoch: 1, Slots: 9, Digest: PrefixDigest(chains[1], 9)}.Encode()}}},
+		"digest mismatch": {{Slot: 1, Txs: [][]byte{bad.Encode()}}},
+		"unknown shard":   {{Slot: 1, Txs: [][]byte{Anchor{Shard: 5, Epoch: 1, Slots: 1, Digest: PrefixDigest(chains[0], 1)}.Encode()}}},
+		"malformed":       {{Slot: 1, Txs: [][]byte{[]byte("anchor|garbage")}}},
+	} {
+		if _, _, err := VerifyAnchors(chain, chains); err == nil {
+			t.Errorf("%s: VerifyAnchors accepted a bad anchor chain", name)
+		}
+	}
+}
+
+func TestAnchorRoundTrip(t *testing.T) {
+	a := Anchor{Shard: 3, Epoch: 7, Slots: 12, Digest: PrefixDigest(testChain(12), 12)}
+	tx := a.Encode()
+	if !bytes.HasPrefix(tx, []byte("anchor|")) {
+		t.Fatalf("anchor payload %q must carry the anchor| tag", tx)
+	}
+	got, ok := DecodeAnchor(tx)
+	if !ok || got != a {
+		t.Fatalf("round trip: got %+v ok=%v, want %+v", got, ok, a)
+	}
+	for _, bad := range [][]byte{
+		[]byte("otx-00000001"),             // ordinary offered-load tx
+		[]byte("anchor|s=1|e=0|k=3|d=ab"),  // epoch < 1
+		[]byte("anchor|s=1|e=2|k=0|d=ab"),  // empty prefix
+		[]byte("anchor|s=1|e=2|k=3|d=zz"),  // non-hex digest
+		[]byte("anchor|s=1|e=2|k=3|d=abc"), // truncated digest
+		nil,
+	} {
+		if _, ok := DecodeAnchor(bad); ok {
+			t.Fatalf("DecodeAnchor(%q) must fail", bad)
+		}
+	}
+}

@@ -118,10 +118,11 @@ type Runner struct {
 	envs     map[types.NodeID]*env
 	order    []types.NodeID
 
-	queue  eventQueue
-	seq    uint64
-	now    types.Time
-	events int
+	queue   eventQueue
+	seq     uint64
+	now     types.Time
+	events  int
+	started bool // machines Started (first Run call)
 
 	// armed tracks pending timer events so that re-arming the same timer
 	// for the same instant coalesces into one heap entry instead of
@@ -179,22 +180,30 @@ func (r *Runner) Add(m types.Machine) {
 // Now returns the current virtual time.
 func (r *Runner) Now() types.Time { return r.now }
 
-// Run starts every machine (in insertion order, at time zero) and processes
-// events until the queue drains, until the virtual clock exceeds the
-// horizon (0 = no horizon), or the stop predicate returns true. It returns
-// an error only if the event budget is exhausted.
+// Run starts every machine (in insertion order, at time zero, first call
+// only) and processes events until the queue drains, until the virtual
+// clock exceeds the horizon (0 = no horizon), or the stop predicate returns
+// true. It returns an error only if the event budget is exhausted.
+//
+// Run is resumable: a horizon or stop return leaves pending events queued,
+// and a later call with a larger horizon continues exactly where the
+// previous one left off. Lockstep drivers (the sharded scenario engine)
+// advance several runners through the same virtual instants this way.
 func (r *Runner) Run(until types.Time, stop func() bool) error {
-	for _, id := range r.order {
-		r.machines[id].Start(r.envs[id])
+	if !r.started {
+		r.started = true
+		for _, id := range r.order {
+			r.machines[id].Start(r.envs[id])
+		}
 	}
 	for r.queue.len() > 0 {
 		if stop != nil && stop() {
 			return nil
 		}
-		ev := r.queue.pop()
-		if until > 0 && ev.at > until {
+		if until > 0 && r.queue.ev[0].at > until {
 			return nil
 		}
+		ev := r.queue.pop()
 		r.now = ev.at
 		r.events++
 		if r.events > r.cfg.EventBudget {

@@ -10,7 +10,7 @@ import (
 var metricNames = []string{
 	"latency", "decided", "traffic", "storage", "max_view", "events",
 	"dropped", "finalized", "decided_txs", "tx_p50", "tx_p99",
-	"tx_throughput",
+	"tx_throughput", "anchor_epochs", "anchor_p99",
 }
 
 // aggNames are the distribution aggregates usable in assertions.

@@ -174,6 +174,21 @@ func classify(sc scenario.Scenario) (kind, detail string) {
 			return FailError, err.Error()
 		}
 	}
+	// Sharded runs fold per shard: res.Finalized is empty, so the flat
+	// checks below would silently pass. Every shard must reach the slot
+	// target and commit at least one anchor epoch.
+	if sc.Shards != nil {
+		target := sc.Workload.Slots
+		for _, s := range res.Shards {
+			if s.Finalized < target {
+				return FailStall, fmt.Sprintf("shard %d finalized %d/%d slots by t=%d", s.Shard, s.Finalized, target, res.FinishedAt)
+			}
+			if s.AnchorEpochs < 1 {
+				return FailStall, fmt.Sprintf("shard %d committed no anchor epoch by t=%d", s.Shard, res.FinishedAt)
+			}
+		}
+		return "", ""
+	}
 	honest := len(honestNodes(sc))
 	if sc.Protocol == scenario.TetraBFTMulti {
 		target := sc.Workload.Slots
@@ -214,6 +229,11 @@ func honestNodes(sc scenario.Scenario) []int {
 func generate(rng *rand.Rand, cfg FuzzConfig) scenario.Scenario {
 	sc := scenario.Scenario{}
 	sc.Protocol = cfg.Protocols[rng.Intn(len(cfg.Protocols))]
+	if sc.Protocol == scenario.TetraBFTMulti && rng.Intn(4) == 0 {
+		// A quarter of the multishot draws sample the sharded service
+		// layer instead of a flat cluster.
+		return generateSharded(rng)
+	}
 	sc.Nodes = 4 + rng.Intn(cfg.MaxNodes-3)
 	f := (sc.Nodes - 1) / 3
 	sc.Seed = 1 + rng.Int63n(1<<30)
@@ -227,13 +247,34 @@ func generate(rng *rand.Rand, cfg FuzzConfig) scenario.Scenario {
 
 	// Delay model: actual delays stay well inside Δ so the 9Δ timeout
 	// never livelocks an honest view.
-	switch rng.Intn(3) {
+	switch rng.Intn(4) {
 	case 0: // sim default: constant 1
 	case 1:
 		sc.Network.Delay = &scenario.DelaySpec{Model: scenario.DelayConstant, D: 1 + rng.Int63n(2)}
 	case 2:
 		sc.Network.Delay = &scenario.DelaySpec{
 			Model: scenario.DelayUniform, Min: 1, Max: 1 + rng.Int63n(sc.Delta/2),
+		}
+	case 3:
+		// Asymmetric links: one far replica sits d ticks from a 1-tick
+		// core (d stays within Δ/2, like the uniform case's maximum).
+		far := types.NodeID(rng.Intn(sc.Nodes))
+		span := sc.Delta/2 - 1
+		if span < 1 {
+			span = 1
+		}
+		d := 2 + rng.Int63n(span)
+		var links []scenario.LinkDelaySpec
+		for n := 0; n < sc.Nodes; n++ {
+			if types.NodeID(n) == far {
+				continue
+			}
+			links = append(links,
+				scenario.LinkDelaySpec{From: types.NodeID(n), To: far, D: d},
+				scenario.LinkDelaySpec{From: far, To: types.NodeID(n), D: d})
+		}
+		sc.Network.Delay = &scenario.DelaySpec{
+			Model: scenario.DelayPerLink, Default: 1, Links: links,
 		}
 	}
 
@@ -291,25 +332,31 @@ func generate(rng *rand.Rand, cfg FuzzConfig) scenario.Scenario {
 					Type: scenario.FaultSuppressProposals, BelowView: 1 + rng.Int63n(2),
 				})
 			default:
-				// A healing partition: split the cluster in two at a random
-				// point, heal well before the horizon.
-				cut := 1 + rng.Intn(sc.Nodes-1)
-				perm := rng.Perm(sc.Nodes)
-				groups := [][]types.NodeID{{}, {}}
-				for i, p := range perm {
-					g := 0
-					if i >= cut {
-						g = 1
-					}
-					groups[g] = append(groups[g], types.NodeID(p))
-				}
-				sortNodeIDs(groups[0])
-				sortNodeIDs(groups[1])
+				// A chain of healing partitions: split the cluster at a
+				// random point, heal, maybe split differently again — each
+				// strictly after the previous heal, all well before the
+				// horizon.
+				chain := 1 + rng.Intn(2)
 				from := rng.Int63n(5 * sc.Delta)
-				partitionEnd = from + 5*sc.Delta + rng.Int63n(10*sc.Delta)
-				sc.Faults = append(sc.Faults, scenario.FaultSpec{
-					Type: scenario.FaultPartition, Groups: groups, From: from, To: partitionEnd,
-				})
+				for c := 0; c < chain; c++ {
+					cut := 1 + rng.Intn(sc.Nodes-1)
+					perm := rng.Perm(sc.Nodes)
+					groups := [][]types.NodeID{{}, {}}
+					for i, p := range perm {
+						g := 0
+						if i >= cut {
+							g = 1
+						}
+						groups[g] = append(groups[g], types.NodeID(p))
+					}
+					sortNodeIDs(groups[0])
+					sortNodeIDs(groups[1])
+					partitionEnd = from + 5*sc.Delta + rng.Int63n(10*sc.Delta)
+					sc.Faults = append(sc.Faults, scenario.FaultSpec{
+						Type: scenario.FaultPartition, Groups: groups, From: from, To: partitionEnd,
+					})
+					from = partitionEnd + 1 + rng.Int63n(5*sc.Delta)
+				}
 			}
 		}
 	}
@@ -327,6 +374,59 @@ func generate(rng *rand.Rand, cfg FuzzConfig) scenario.Scenario {
 	sc.Stop.AllDecided = true
 	sc.Stop.Horizon = sc.Network.GST + partitionEnd +
 		tf*sc.Delta*(8+6*int64(len(sc.Faults))+4*sc.Workload.Slots)
+	return sc
+}
+
+// generateSharded samples one valid sharded service-layer scenario: one or
+// two 4-node shard clusters plus the anchor cluster, a small offered load
+// that arrives up front (so the pipeline never starves mid-run), and at
+// most one silent replica per shard — within each cluster's own f = 1
+// budget, so every shard stays live and must reach its slot target and
+// anchor at least once.
+func generateSharded(rng *rand.Rand) scenario.Scenario {
+	sc := scenario.Scenario{Protocol: scenario.TetraBFTMulti}
+	sc.Seed = 1 + rng.Int63n(1<<30)
+	sc.Delta = []int64{5, 10}[rng.Intn(2)]
+
+	sh := &scenario.ShardsSpec{Count: 1 + rng.Intn(2)}
+	if rng.Intn(2) == 0 {
+		sh.CrossMix = 0.2
+	}
+	anchorInterval := int64(50) // the spec default
+	if rng.Intn(2) == 0 {
+		anchorInterval = []int64{25, 50}[rng.Intn(2)]
+		sh.AnchorInterval = anchorInterval
+	}
+	sc.Shards = sh
+
+	// Per-link delays are rejected on sharded specs (node IDs are
+	// cluster-local), so only the uniform-envelope models apply.
+	if rng.Intn(2) == 0 {
+		sc.Network.Delay = &scenario.DelaySpec{Model: scenario.DelayConstant, D: 1 + rng.Int63n(2)}
+	}
+
+	// At most one silent replica, scoped to one shard.
+	if rng.Intn(3) == 0 {
+		sc.Faults = append(sc.Faults, scenario.FaultSpec{
+			Type:  scenario.FaultSilent,
+			Shard: rng.Intn(sh.Count),
+			Node:  types.NodeID(rng.Intn(4)),
+		})
+	}
+
+	sc.Workload = scenario.WorkloadSpec{
+		Slots:     1 + rng.Int63n(4),
+		BatchSize: 8,
+		TxRate:    10000,
+		TxCount:   10 + rng.Intn(20),
+		Window:    2,
+	}
+
+	// Sharded sim runs stop on the horizon only: leave room for several
+	// per-slot timeout rounds in a shard carrying a silent replica, plus a
+	// few anchor quanta (completion is only checked on quantum boundaries).
+	sc.Stop.Horizon = 9*sc.Delta*(8+6*int64(len(sc.Faults))+4*sc.Workload.Slots) +
+		8*anchorInterval
 	return sc
 }
 

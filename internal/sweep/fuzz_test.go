@@ -214,3 +214,80 @@ func TestFuzzStallDetection(t *testing.T) {
 		t.Fatalf("classify = %q (%s), want stall", kind, detail)
 	}
 }
+
+// TestGeneratorSamplesWidenedEnvelope pins that the widened envelope is
+// actually sampled: across a modest draw count the generator emits sharded
+// topologies, asymmetric per-link delay models, and partition chains.
+func TestGeneratorSamplesWidenedEnvelope(t *testing.T) {
+	cfg := FuzzConfig{
+		MaxNodes:  7,
+		Protocols: []scenario.Protocol{scenario.TetraBFT, scenario.TetraBFTMulti},
+	}
+	rng := rand.New(rand.NewSource(11))
+	var sharded, perLink, chains int
+	for i := 0; i < 400; i++ {
+		sc := generate(rng, cfg)
+		if sc.Shards != nil {
+			sharded++
+			if sc.Nodes != 0 {
+				t.Fatalf("sharded spec %d sets flat nodes too", i)
+			}
+		}
+		if d := sc.Network.Delay; d != nil && d.Model == scenario.DelayPerLink {
+			perLink++
+		}
+		parts := 0
+		for _, f := range sc.Faults {
+			if f.Type == scenario.FaultPartition {
+				parts++
+			}
+		}
+		if parts > 1 {
+			chains++
+		}
+	}
+	if sharded == 0 || perLink == 0 || chains == 0 {
+		t.Fatalf("envelope not sampled: sharded=%d per-link=%d partition-chains=%d", sharded, perLink, chains)
+	}
+}
+
+// TestShrinkSharded pins shrinking on sharded specs. The padded spec stalls
+// only because its anchor interval (5000 ticks) exceeds the horizon — the
+// shards finalize their slots, but no anchor epoch ever commits. Shrink
+// must keep the service layer (the flat-cluster candidate passes, so it is
+// rejected), reduce the shard count to 1, keep the load-bearing anchor
+// interval, and never alias the original's ShardsSpec pointer.
+func TestShrinkSharded(t *testing.T) {
+	padded := scenario.Scenario{
+		Protocol: scenario.TetraBFTMulti,
+		Seed:     42,
+		Shards:   &scenario.ShardsSpec{Count: 2, AnchorInterval: 5000, CrossMix: 0.2},
+		Workload: scenario.WorkloadSpec{
+			Slots: 4, BatchSize: 8, TxRate: 10000, TxCount: 10, Window: 2,
+		},
+		Stop: scenario.StopSpec{Horizon: 200},
+	}
+	kind, detail := classify(padded)
+	if kind != FailStall || !strings.Contains(detail, "anchor") {
+		t.Fatalf("padded spec classifies as %q (%s), want an anchor stall", kind, detail)
+	}
+	shrunk, steps := shrink(padded, FailStall)
+	if steps == 0 {
+		t.Fatal("shrink made no progress on a padded sharded spec")
+	}
+	if k, _ := classify(shrunk); k != FailStall {
+		t.Fatalf("shrunk spec classifies as %q, lost the failure", k)
+	}
+	if shrunk.Shards == nil {
+		t.Fatal("shrink dropped the service layer even though the stall needs it")
+	}
+	if shrunk.Shards.Count != 1 {
+		t.Errorf("shrunk shard count = %d, want 1", shrunk.Shards.Count)
+	}
+	if shrunk.Shards.AnchorInterval != 5000 {
+		t.Errorf("shrunk spec lost the load-bearing anchor interval: %+v", shrunk.Shards)
+	}
+	if padded.Shards.Count != 2 || padded.Shards.AnchorInterval != 5000 {
+		t.Errorf("shrink mutated the original spec through the shared pointer: %+v", padded.Shards)
+	}
+}

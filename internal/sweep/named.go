@@ -152,6 +152,42 @@ func Named() []Sweep {
 				"max_tx_p99 <= 400",     // commits track arrivals, no stall
 			},
 		},
+		{
+			// Does sharding scale service throughput? Every cell offers the
+			// same per-shard load (100 txs, all available up front so the
+			// pipeline never starves) to S independent shard clusters that
+			// each anchor their decided prefix into the anchor cluster.
+			// Aggregate decided-tx/s must grow with S — near-linearly, since
+			// the shards share nothing but the anchor — while the anchor
+			// commit p99 stays bounded and every anchored digest verifies
+			// (digest checks run inside the fold; a mismatch is a replicate
+			// failure, which fails the cell). The cross-cell 3×-at-S=4 check
+			// lives in TestShardScalingThroughput.
+			Name: "shard-scaling",
+			Base: scenario.Scenario{
+				Protocol: scenario.TetraBFTMulti,
+				Shards: &scenario.ShardsSpec{
+					AnchorInterval: 40,
+					CrossMix:       0.2,
+				},
+				Workload: scenario.WorkloadSpec{
+					Slots:     10,
+					BatchSize: 16,
+					TxRate:    10000,
+					TxCount:   100,
+					Window:    2,
+				},
+				Stop: scenario.StopSpec{Horizon: 8000},
+			},
+			Axes:       []Axis{{Field: "shards", Ints: []int64{1, 2, 4}}},
+			Replicates: 3,
+			Assert: []string{
+				"min_finalized >= 10",    // every shard reaches its slot target
+				"min_decided_txs >= 100", // at least the per-shard load lands
+				"min_anchor_epochs >= 1", // every shard anchored at least once
+				"max_anchor_p99 <= 50",   // anchor commits track shard growth
+			},
+		},
 	}
 }
 

@@ -72,10 +72,13 @@ func (c CellResult) LabelString() string { return labelString(c.Labels) }
 //	max_view  — highest view a single-shot TetraBFT node reached
 //	events    — processed simulator events
 //	dropped   — messages lost to network or adversary
-//	finalized — the laggard honest node's finalized slot (multi-shot)
+//	finalized — the laggard honest node's finalized slot (multi-shot);
+//	            in sharded runs, the laggard shard's finalized slot
 //	decided_txs — transactions on the reference finalized chain
 //	tx_p50, tx_p99 — offered-load commit-latency percentiles, in ticks
 //	tx_throughput  — decided transactions per 1000 ticks of run time
+//	anchor_epochs — anchor epochs committed across shards (sharded runs)
+//	anchor_p99    — anchor-commit latency p99 (sharded runs)
 type RepResult struct {
 	Seed         int64   `json:"seed"`
 	Latency      int64   `json:"latency"`
@@ -90,6 +93,8 @@ type RepResult struct {
 	TxP50        int64   `json:"tx_p50"`
 	TxP99        int64   `json:"tx_p99"`
 	TxThroughput float64 `json:"tx_throughput"`
+	AnchorEpochs int64   `json:"anchor_epochs,omitempty"`
+	AnchorP99    int64   `json:"anchor_p99,omitempty"`
 	Error        string  `json:"error,omitempty"`
 }
 
@@ -115,6 +120,15 @@ func repOf(seed int64, res *scenario.Result, err error) RepResult {
 			rep.Finalized = int64(f.Slot)
 		}
 	}
+	// Sharded runs fold per-shard: res.Finalized is empty, so take the
+	// laggard shard's finalized slot instead, plus the anchor metrics.
+	for i, s := range res.Shards {
+		if i == 0 || s.Finalized < rep.Finalized {
+			rep.Finalized = s.Finalized
+		}
+	}
+	rep.AnchorEpochs = res.AnchorEpochs
+	rep.AnchorP99 = res.AnchorLatencyP99
 	rep.DecidedTxs = res.DecidedTxs
 	rep.TxP50 = res.TxLatencyP50
 	rep.TxP99 = res.TxLatencyP99
@@ -211,6 +225,8 @@ func RunObserved(sw Sweep, observe Observer) (*Result, error) {
 			samples["tx_p50"] = append(samples["tx_p50"], float64(rep.TxP50))
 			samples["tx_p99"] = append(samples["tx_p99"], float64(rep.TxP99))
 			samples["tx_throughput"] = append(samples["tx_throughput"], rep.TxThroughput)
+			samples["anchor_epochs"] = append(samples["anchor_epochs"], float64(rep.AnchorEpochs))
+			samples["anchor_p99"] = append(samples["anchor_p99"], float64(rep.AnchorP99))
 		}
 		cr.Stats = make(map[string]Dist, len(samples))
 		for name, vals := range samples {

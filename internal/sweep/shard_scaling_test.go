@@ -1,0 +1,90 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestShardScalingThroughput runs the bundled shard-scaling sweep and checks
+// the headline service-layer claim: at equal per-shard offered load,
+// aggregate decided-transaction throughput at S=4 is at least 3× the S=1
+// baseline (shards share nothing but the anchor cluster, so scaling should
+// be near-linear). It also pins the sweep's own determinism: running the
+// grid twice yields byte-identical marshaled results at any GOMAXPROCS.
+func TestShardScalingThroughput(t *testing.T) {
+	sw, ok := ByName("shard-scaling")
+	if !ok {
+		t.Fatal("shard-scaling sweep missing")
+	}
+	res, err := Run(sw)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Pass {
+		for _, c := range res.Cells {
+			if !c.Pass {
+				t.Errorf("cell %s: %s %v", c.LabelString(), c.FirstError, c.FailedAsserts)
+			}
+		}
+		t.Fatal("sweep failed")
+	}
+
+	tput := make(map[string]float64)
+	for _, c := range res.Cells {
+		for _, l := range c.Labels {
+			if l.Field == "shards" {
+				tput[l.Value] = c.Stats["tx_throughput"].Mean
+			}
+		}
+	}
+	base, four := tput["1"], tput["4"]
+	if base <= 0 {
+		t.Fatalf("S=1 baseline throughput %.2f, want > 0", base)
+	}
+	if four < 3*base {
+		t.Fatalf("S=4 throughput %.2f < 3× the S=1 baseline %.2f", four, base)
+	}
+
+	// Determinism: the marshaled result — stats, labels, every replicate —
+	// must reproduce exactly on a second run of the same spec.
+	again, err := Run(sw)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	a, _ := res.MarshalIndent()
+	b, _ := again.MarshalIndent()
+	if !bytes.Equal(a, b) {
+		t.Fatal("shard-scaling sweep is not deterministic across runs")
+	}
+}
+
+// TestShardsAxis pins the shards axis: it must deep-copy the base's
+// ShardsSpec (cells cannot share the pointer) and set only Count.
+func TestShardsAxis(t *testing.T) {
+	sw, _ := ByName("shard-scaling")
+	p, err := sw.compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.cells) != 3 {
+		t.Fatalf("grid has %d cells, want 3", len(p.cells))
+	}
+	counts := map[int]bool{}
+	for _, c := range p.cells {
+		if c.sc.Shards == nil {
+			t.Fatalf("cell %s lost its shards spec", labelString(c.labels))
+		}
+		if c.sc.Shards == sw.Base.Shards {
+			t.Fatalf("cell %s shares the base's ShardsSpec pointer", labelString(c.labels))
+		}
+		if got, want := c.sc.Shards.AnchorInterval, sw.Base.Shards.AnchorInterval; got != want {
+			t.Fatalf("cell %s anchor_interval %d, want the base's %d", labelString(c.labels), got, want)
+		}
+		counts[c.sc.Shards.Count] = true
+	}
+	for _, want := range []int{1, 2, 4} {
+		if !counts[want] {
+			t.Fatalf("no cell with shards.count = %d (got %v)", want, counts)
+		}
+	}
+}

@@ -57,6 +57,41 @@ func shrink(sc scenario.Scenario, kind string) (scenario.Scenario, int) {
 			attempt(cand)
 		}
 
+		// Sharded specs: first try losing the whole service layer — a
+		// failure that survives on one flat cluster is strictly simpler.
+		// The candidate keeps the multishot workload, unscopes shard
+		// faults, and swaps the horizon-only stop for the flat default.
+		if sc.Shards != nil {
+			cand := sc
+			cand.Shards = nil
+			cand.Nodes = 4
+			cand.Faults = append([]scenario.FaultSpec(nil), sc.Faults...)
+			for i := range cand.Faults {
+				cand.Faults[i].Shard = 0
+			}
+			attempt(cand)
+		}
+		// Failing that, fewer shards (clone the spec — candidates must not
+		// share the pointer) and then the optional knobs back to defaults.
+		// Validation rejects a count below a fault's shard scope.
+		for sc.Shards != nil && sc.Shards.Count > 1 {
+			cand := sc
+			cp := *sc.Shards
+			cp.Count--
+			cand.Shards = &cp
+			if !attempt(cand) {
+				break
+			}
+		}
+		if sc.Shards != nil && (sc.Shards.CrossMix != 0 || sc.Shards.AnchorInterval != 0) {
+			cand := sc
+			cp := *sc.Shards
+			cp.CrossMix = 0
+			cp.AnchorInterval = 0
+			cand.Shards = &cp
+			attempt(cand)
+		}
+
 		// Shrink the cluster one node at a time. Validation rejects
 		// candidates whose faults or partitions name the removed node.
 		for sc.Nodes > 4 {
@@ -80,6 +115,16 @@ func shrink(sc scenario.Scenario, kind string) (scenario.Scenario, int) {
 			cand.Workload.MaxSlot = 0
 			cand.Workload.Transactions = nil
 			cand.Workload.TxsPerBlock = 0
+			attempt(cand)
+		}
+		// Drop the offered-load stream (batching and all) if the failure
+		// does not need transactions in flight.
+		if sc.Workload.TxCount != 0 || sc.Workload.TxRate != 0 || sc.Workload.BatchSize != 0 {
+			cand := sc
+			cand.Workload.TxCount = 0
+			cand.Workload.TxRate = 0
+			cand.Workload.BatchSize = 0
+			cand.Workload.Window = 0
 			attempt(cand)
 		}
 

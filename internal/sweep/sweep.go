@@ -59,7 +59,7 @@ type Axis struct {
 	Field string `json:"field"`
 	// Ints holds values for integer-valued fields (nodes, delta,
 	// timeout_factor, gst, event_budget, horizon, slots, max_slot,
-	// batch_size, tx_rate, tx_count, window).
+	// batch_size, tx_rate, tx_count, window, shards).
 	Ints []int64 `json:"ints,omitempty"`
 	// Floats holds values for drop_before_gst.
 	Floats []float64 `json:"floats,omitempty"`
@@ -87,18 +87,27 @@ var axisFields = map[string]struct {
 	kind axisKind
 	set  func(sc *scenario.Scenario, v axisValue)
 }{
-	"nodes":           {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Nodes = int(v.i) }},
-	"delta":           {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Delta = v.i }},
-	"timeout_factor":  {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.TimeoutFactor = int(v.i) }},
-	"gst":             {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Network.GST = v.i }},
-	"event_budget":    {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Network.EventBudget = int(v.i) }},
-	"horizon":         {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Stop.Horizon = v.i }},
-	"slots":           {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.Slots = v.i }},
-	"max_slot":        {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.MaxSlot = v.i }},
-	"batch_size":      {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.BatchSize = int(v.i) }},
-	"tx_rate":         {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.TxRate = v.i }},
-	"tx_count":        {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.TxCount = int(v.i) }},
-	"window":          {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.Window = int(v.i) }},
+	"nodes":          {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Nodes = int(v.i) }},
+	"delta":          {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Delta = v.i }},
+	"timeout_factor": {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.TimeoutFactor = int(v.i) }},
+	"gst":            {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Network.GST = v.i }},
+	"event_budget":   {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Network.EventBudget = int(v.i) }},
+	"horizon":        {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Stop.Horizon = v.i }},
+	"slots":          {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.Slots = v.i }},
+	"max_slot":       {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.MaxSlot = v.i }},
+	"batch_size":     {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.BatchSize = int(v.i) }},
+	"tx_rate":        {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.TxRate = v.i }},
+	"tx_count":       {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.TxCount = int(v.i) }},
+	"window":         {kindInt, func(sc *scenario.Scenario, v axisValue) { sc.Workload.Window = int(v.i) }},
+	"shards": {kindInt, func(sc *scenario.Scenario, v axisValue) {
+		// Deep-copy the spec: cells must not share the base's pointer.
+		var cp scenario.ShardsSpec
+		if sc.Shards != nil {
+			cp = *sc.Shards
+		}
+		cp.Count = int(v.i)
+		sc.Shards = &cp
+	}},
 	"drop_before_gst": {kindFloat, func(sc *scenario.Scenario, v axisValue) { sc.Network.DropBeforeGST = v.f }},
 	"protocol":        {kindString, func(sc *scenario.Scenario, v axisValue) { sc.Protocol = scenario.Protocol(v.s) }},
 	"mutation":        {kindString, func(sc *scenario.Scenario, v axisValue) { sc.Mutation = scenario.Mutation(v.s) }},

@@ -88,6 +88,39 @@ type event struct {
 	timerID types.TimerID
 	from    types.NodeID
 	msg     types.Message
+	// fn, when non-nil, is a closure to execute on the event loop
+	// (see Do); the other fields are ignored.
+	fn func()
+}
+
+// Do runs fn on the event-loop goroutine — serialized with message
+// deliveries and timer fires — and waits for it to return. The hosted
+// Machine has no internal locking, so this is the only safe way to read
+// its state (finalized chain, watermark) while the runtime is live; the
+// sharded scenario engine's anchoring loop and HTTP gateway snapshot
+// replica chains through it. It reports false, without running fn, when
+// the runtime is closed or killed first.
+func (r *Runtime) Do(fn func()) bool {
+	ran := make(chan struct{})
+	ev := event{fn: func() { fn(); close(ran) }}
+	select {
+	case r.events <- ev:
+	case <-r.done:
+		return false
+	}
+	select {
+	case <-ran:
+		return true
+	case <-r.done:
+		// The loop may still drain the event between our enqueue and its
+		// shutdown; only report success if fn actually ran.
+		select {
+		case <-ran:
+			return true
+		default:
+			return false
+		}
+	}
 }
 
 // peer is one outbound link. ordinal is touched only from the event loop
@@ -271,9 +304,12 @@ func (r *Runtime) eventLoop() {
 		case <-r.done:
 			return
 		case ev := <-r.events:
-			if ev.timer {
+			switch {
+			case ev.fn != nil:
+				ev.fn()
+			case ev.timer:
 				r.machine.Tick(env, ev.timerID)
-			} else {
+			default:
 				r.machine.Deliver(env, ev.from, ev.msg)
 			}
 			env.drainSelf()

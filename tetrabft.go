@@ -12,6 +12,9 @@
 //     Scenario spec describes cluster, faults, network regime, workload and
 //     stop condition, and one call runs it (see examples/ and the bundled
 //     NamedScenarios);
+//   - RunScenarioWithGateway — the sharded service layer: shard clusters
+//     plus an anchor cluster behind a client-facing HTTP gateway
+//     (Scenario.Shards; see examples/kvstore);
 //   - NewNode / Restore — single-shot consensus (Section 3 of the paper);
 //   - NewChain — multi-shot, pipelined blockchain replication (Section 6);
 //   - NewSim — the deterministic discrete-event network simulator used by
@@ -54,6 +57,7 @@ import (
 	"tetrabft/internal/multishot"
 	"tetrabft/internal/quorum"
 	"tetrabft/internal/scenario"
+	"tetrabft/internal/shard"
 	"tetrabft/internal/sim"
 	"tetrabft/internal/sweep"
 	"tetrabft/internal/trace"
@@ -268,6 +272,20 @@ type (
 	// NodeTransport is one replica's TCP link counters in a scenario
 	// result (reconnects, frame drops, chaos verdicts).
 	NodeTransport = scenario.NodeTransport
+	// ShardsSpec turns a scenario into a sharded service deployment: S
+	// shard clusters behind a key→shard router, anchored into one anchor
+	// cluster (TetraBFTMulti only; both engines).
+	ShardsSpec = scenario.ShardsSpec
+	// ShardResult is one shard cluster's measurements in a sharded run.
+	ShardResult = scenario.ShardResult
+	// ShardRouter is the deterministic key→shard router the gateway and
+	// the workload splitter share.
+	ShardRouter = shard.Router
+	// GatewayStatus is the sharded gateway's deployment snapshot
+	// (GET /status).
+	GatewayStatus = shard.Status
+	// GatewayShardStatus is one shard's progress in a GatewayStatus.
+	GatewayShardStatus = shard.ShardStatus
 )
 
 // Scenario protocols.
@@ -326,6 +344,14 @@ const (
 
 // RunScenario executes a declarative scenario and returns its result.
 func RunScenario(sc Scenario) (*ScenarioResult, error) { return scenario.Run(sc) }
+
+// RunScenarioWithGateway runs a sharded TCP scenario fronted by the HTTP
+// gateway (submit/query/status over a 127.0.0.1 listener) and passes the
+// gateway's base URL to onReady once the service accepts requests; the call
+// then blocks until the run completes, exactly like RunScenario.
+func RunScenarioWithGateway(sc Scenario, onReady func(url string)) (*ScenarioResult, error) {
+	return scenario.RunWithGateway(sc, onReady)
+}
 
 // ParseScenario decodes and validates a JSON scenario spec (unknown fields
 // are errors).
