@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"tetrabft/internal/bench"
+	"tetrabft/internal/obs"
 	"tetrabft/internal/types"
 )
 
@@ -32,26 +33,39 @@ func main() {
 		timeout    = flag.Bool("timeout", false, "reproduce the 9Δ timeout analysis (E8)")
 		ablation   = flag.Bool("ablation", false, "timeout-factor ablation around the 9Δ choice")
 		throughput = flag.Bool("throughput", false, "batched-pipeline throughput across batch caps (E10)")
+		stages     = flag.Bool("stages", false, "stage-level latency decomposition of the pipelined good case and a crashed leader (E11)")
 		all        = flag.Bool("all", false, "run every experiment")
 		n          = flag.Int("n", 4, "cluster size for Table 1")
 		effort     = flag.Int("effort", 1, "verification effort multiplier")
 		jsonPath   = flag.String("json", "", "write a BENCH_*.json-compatible perf snapshot to this path")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiments to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
 	opts := options{
 		table1: *table1, comm: *comm, storage: *storage, resp: *resp,
 		fig2: *fig2, fig3: *fig3, verify: *verify, timeout: *timeout,
-		ablation: *ablation, throughput: *throughput,
+		ablation: *ablation, throughput: *throughput, stages: *stages,
 		all: *all, n: *n, effort: *effort, jsonPath: *jsonPath,
 	}
-	if err := run(opts); err != nil {
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-bench:", err)
+		os.Exit(1)
+	}
+	runErr := run(opts)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrabft-bench:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tetrabft-bench:", runErr)
 		os.Exit(1)
 	}
 }
 
 type options struct {
-	table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, throughput, all bool
+	table1, comm, storage, resp, fig2, fig3, verify, timeout, ablation, throughput, stages, all bool
 
 	n, effort int
 	jsonPath  string
@@ -117,14 +131,14 @@ func (s *snapshot) write(path string) error {
 
 func run(opts options) error {
 	anySelected := opts.table1 || opts.comm || opts.storage || opts.resp || opts.fig2 ||
-		opts.fig3 || opts.verify || opts.timeout || opts.ablation || opts.throughput
+		opts.fig3 || opts.verify || opts.timeout || opts.ablation || opts.throughput || opts.stages
 	if !anySelected {
 		opts.all = true
 	}
 	if opts.all {
 		opts.table1, opts.comm, opts.storage, opts.resp = true, true, true, true
 		opts.fig2, opts.fig3, opts.verify, opts.timeout, opts.ablation = true, true, true, true, true
-		opts.throughput = true
+		opts.throughput, opts.stages = true, true
 	}
 	var snap *snapshot
 	if opts.jsonPath != "" {
@@ -265,6 +279,16 @@ func run(opts options) error {
 		}
 		bench.WriteThroughput(os.Stdout, r.([]bench.ThroughputRow))
 		fmt.Println("shape: tx/tick scales with the batch cap; consensus ticks stay flat")
+		fmt.Println()
+	}
+	if opts.stages {
+		fmt.Println("── E11: stage-level latency decomposition (pipelined multishot) ──")
+		r, err := snap.record("stages", func() (any, error) { return bench.StageDecomposition() })
+		if err != nil {
+			return err
+		}
+		bench.WriteStages(os.Stdout, r.(bench.StagesResult))
+		fmt.Println("shape: good-case finalize ≈ 3δ behind the propose; the crash adds view-change dwell")
 		fmt.Println()
 	}
 	if snap != nil {

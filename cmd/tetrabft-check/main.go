@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"tetrabft/internal/checker"
+	"tetrabft/internal/obs"
 )
 
 func main() {
@@ -30,10 +31,24 @@ func main() {
 		steps   = flag.Int("steps", 100, "steps per walk")
 		samples = flag.Int("samples", 300, "induction samples")
 		seed    = flag.Int64("seed", 1, "randomization seed")
+		// Model checking is the repo's heaviest CPU- and heap-bound work;
+		// these profiles are how BFS store regressions get diagnosed.
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the check to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
-	if err := run(*nodes, *faulty, *values, *rounds, *good, *mode, *states, *depth, *walks, *steps, *samples, *seed); err != nil {
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-check:", err)
+		os.Exit(1)
+	}
+	runErr := run(*nodes, *faulty, *values, *rounds, *good, *mode, *states, *depth, *walks, *steps, *samples, *seed)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrabft-check:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tetrabft-check:", runErr)
 		os.Exit(1)
 	}
 }

@@ -9,6 +9,12 @@
 // for the spec reference and examples/scenarios/ for ready-made specs).
 // The flags themselves just assemble a spec, so a flag-driven run and its
 // JSON equivalent produce identical output.
+//
+// Observability flags compose with either source: -v adds the stage
+// latency breakdown and the metrics snapshot, -trace-out exports the
+// protocol trace as Chrome trace-event JSON (load it in Perfetto or
+// chrome://tracing), and -cpuprofile/-memprofile capture pprof profiles
+// of the run itself.
 package main
 
 import (
@@ -17,9 +23,21 @@ import (
 	"os"
 	"strings"
 
+	"tetrabft/internal/obs"
 	"tetrabft/internal/scenario"
+	"tetrabft/internal/trace"
 	"tetrabft/internal/types"
 )
+
+// outputFlags shape what the run reports, not what it does; they compose
+// with -scenario instead of clashing with it.
+var outputFlags = map[string]bool{
+	"scenario":   true,
+	"v":          true,
+	"trace-out":  true,
+	"cpuprofile": true,
+	"memprofile": true,
+}
 
 func main() {
 	var (
@@ -39,16 +57,22 @@ func main() {
 		showTrace    = flag.Bool("trace", false, "print the protocol event trace")
 		horizon      = flag.Int64("horizon", 100000, "simulation horizon in ticks")
 		scenarioPath = flag.String("scenario", "", "run a declarative JSON scenario spec instead of the flags")
+		verbose      = flag.Bool("v", false, "print the stage latency breakdown and the metrics snapshot")
+		traceOut     = flag.String("trace-out", "", "write the protocol trace as Chrome trace-event JSON to this file (Perfetto-loadable)")
+		cpuprofile   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile   = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
 
 	var sc scenario.Scenario
 	if *scenarioPath != "" {
 		// The spec file is the whole run; silently dropping other
-		// explicitly-set flags would mislead.
+		// explicitly-set scenario flags would mislead. Output-side flags
+		// (-v, -trace-out, profiles) are exempt: they report on the run
+		// the spec declares.
 		var clash []string
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name != "scenario" {
+			if !outputFlags[f.Name] {
 				clash = append(clash, "-"+f.Name)
 			}
 		})
@@ -69,8 +93,30 @@ func main() {
 	} else {
 		sc = fromFlags(*n, *silent, *multi, *shards, *slots, *txs, *rate, *batch, *window, *seed, *delta, *gst, *drop, *showTrace, *horizon)
 	}
-	if err := run(sc); err != nil {
+	// printTrace is the pre-observability contract: the raw trace goes to
+	// stdout only when the flags or the spec asked for it, not when
+	// -trace-out quietly turns collection on for the export.
+	printTrace := sc.Collect.Trace
+	if *verbose {
+		sc.Collect.Stages = true
+		sc.Collect.Metrics = true
+	}
+	if *traceOut != "" {
+		sc.Collect.Trace = true
+	}
+
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-sim:", err)
+		os.Exit(1)
+	}
+	runErr := run(sc, printTrace, *verbose, *traceOut)
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "tetrabft-sim:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "tetrabft-sim:", runErr)
 		os.Exit(1)
 	}
 }
@@ -114,7 +160,7 @@ func fromFlags(n, silent int, multi bool, shards, slots, txs int, rate int64, ba
 	return sc
 }
 
-func run(sc scenario.Scenario) error {
+func run(sc scenario.Scenario, printTrace, verbose bool, traceOut string) error {
 	res, err := scenario.Run(sc)
 	if err != nil {
 		// A failed run still returns what it collected; the trace leading
@@ -123,11 +169,21 @@ func run(sc scenario.Scenario) error {
 			for _, ev := range res.Trace {
 				fmt.Println(ev.String())
 			}
+			if traceOut != "" {
+				exportTrace(traceOut, res.Trace)
+			}
 		}
 		return err
 	}
-	for _, ev := range res.Trace {
-		fmt.Println(ev.String())
+	if printTrace {
+		for _, ev := range res.Trace {
+			fmt.Println(ev.String())
+		}
+	}
+	if traceOut != "" {
+		if err := exportTrace(traceOut, res.Trace); err != nil {
+			return err
+		}
 	}
 
 	if sc.Engine == scenario.EngineTCP {
@@ -178,5 +234,57 @@ func run(sc scenario.Scenario) error {
 		fmt.Printf("storage: %d bytes max persistent state\n", res.MaxStorageBytes)
 	}
 	fmt.Printf("traffic: %d total bytes sent, %d messages dropped\n", res.TotalSentBytes, res.Dropped)
+	if verbose {
+		printObservability(sc, res)
+	}
+	return nil
+}
+
+// printObservability renders the -v extras: the stage latency breakdown
+// (per shard first when the run is sharded, then pooled) and the metrics
+// snapshot.
+func printObservability(sc scenario.Scenario, res *scenario.Result) {
+	unit := "ticks"
+	if sc.Engine == scenario.EngineTCP {
+		unit = "ms"
+	}
+	for _, sr := range res.Shards {
+		if len(sr.Stages) == 0 {
+			continue
+		}
+		fmt.Printf("stage latency, shard %d (%s):\n", sr.Shard, unit)
+		for _, d := range sr.Stages {
+			fmt.Printf("  %-24s count %5d  p50 %6d  p99 %6d\n", d.Stage, d.Count, d.P50, d.P99)
+		}
+	}
+	if len(res.Stages) > 0 {
+		fmt.Printf("stage latency breakdown (%s):\n", unit)
+		for _, d := range res.Stages {
+			fmt.Printf("  %-24s count %5d  p50 %6d  p99 %6d\n", d.Stage, d.Count, d.P50, d.P99)
+		}
+	}
+	if len(res.Metrics) > 0 {
+		fmt.Println("metrics:")
+		for _, s := range res.Metrics {
+			fmt.Printf("  %-36s %d\n", s.Name, s.Value)
+		}
+	}
+}
+
+// exportTrace writes the collected protocol trace as Chrome trace-event
+// JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func exportTrace(path string, events []trace.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteChrome(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("trace: wrote %d events to %s (load in Perfetto or chrome://tracing)\n", len(events), path)
 	return nil
 }

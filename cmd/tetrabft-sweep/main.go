@@ -28,32 +28,46 @@ import (
 	"path/filepath"
 	"strings"
 
+	"tetrabft/internal/obs"
 	"tetrabft/internal/scenario"
 	"tetrabft/internal/sweep"
 )
 
 func main() {
 	var (
-		runPath   = flag.String("run", "", "run the JSON sweep spec at this path")
-		name      = flag.String("name", "", "run the bundled named sweep")
-		fuzzRuns  = flag.Int("fuzz", 0, "sample and run this many random scenarios")
-		compare   = flag.Bool("compare", false, "diff the two snapshot files given as arguments")
-		list      = flag.Bool("list", false, "list the bundled named sweeps")
-		format    = flag.String("format", "md", "stdout report format: md, csv or json")
-		jsonPath  = flag.String("json", "", "also write the tetrabft-sweep/v1 (or fuzz) snapshot to this path")
-		fuzzSeed  = flag.Int64("fuzz-seed", 1, "fuzzing campaign seed")
-		maxNodes  = flag.Int("fuzz-max-nodes", 0, "largest sampled cluster (default 7)")
-		protocols = flag.String("fuzz-protocols", "", "comma-separated protocol pool (default: fault-tolerant set)")
-		mutations = flag.String("fuzz-mutations", "", "comma-separated broken variants to fuzz against (e.g. skip-rule-3)")
-		outDir    = flag.String("out", "", "directory for shrunken failing scenario specs (default: alongside -json, else .)")
+		runPath    = flag.String("run", "", "run the JSON sweep spec at this path")
+		name       = flag.String("name", "", "run the bundled named sweep")
+		fuzzRuns   = flag.Int("fuzz", 0, "sample and run this many random scenarios")
+		compare    = flag.Bool("compare", false, "diff the two snapshot files given as arguments")
+		list       = flag.Bool("list", false, "list the bundled named sweeps")
+		format     = flag.String("format", "md", "stdout report format: md, csv or json")
+		jsonPath   = flag.String("json", "", "also write the tetrabft-sweep/v1 (or fuzz) snapshot to this path")
+		fuzzSeed   = flag.Int64("fuzz-seed", 1, "fuzzing campaign seed")
+		maxNodes   = flag.Int("fuzz-max-nodes", 0, "largest sampled cluster (default 7)")
+		protocols  = flag.String("fuzz-protocols", "", "comma-separated protocol pool (default: fault-tolerant set)")
+		mutations  = flag.String("fuzz-mutations", "", "comma-separated broken variants to fuzz against (e.g. skip-rule-3)")
+		outDir     = flag.String("out", "", "directory for shrunken failing scenario specs (default: alongside -json, else .)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken at exit to this file")
 	)
 	flag.Parse()
+	stopProfiles, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tetrabft-sweep:", err)
+		os.Exit(1)
+	}
 	code, err := run(options{
 		runPath: *runPath, name: *name, fuzzRuns: *fuzzRuns, compare: *compare,
 		list: *list, format: *format, jsonPath: *jsonPath, fuzzSeed: *fuzzSeed,
 		maxNodes: *maxNodes, protocols: *protocols, mutations: *mutations,
 		outDir: *outDir, args: flag.Args(),
 	}, os.Stdout)
+	// The profile stop must land before os.Exit or the CPU profile is
+	// truncated and the heap profile never written.
+	if perr := stopProfiles(); perr != nil {
+		fmt.Fprintln(os.Stderr, "tetrabft-sweep:", perr)
+		os.Exit(1)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tetrabft-sweep:", err)
 		os.Exit(1)

@@ -17,6 +17,7 @@ import (
 	"log"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 
 	"tetrabft"
@@ -124,5 +125,27 @@ func drive(base string) error {
 			time.Sleep(50 * time.Millisecond)
 		}
 	}
-	return nil
+	return scrapeMetrics(base)
+}
+
+// scrapeMetrics reads the gateway's Prometheus exposition while the service
+// is still live and prints the submit counter — the line the CI gateway
+// smoke greps to prove /metrics works on a running deployment.
+func scrapeMetrics(base string) error {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("metrics: %s: %s", resp.Status, body)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "gateway_submits_total ") {
+			fmt.Printf("gateway metrics: %s\n", line)
+			return nil
+		}
+	}
+	return fmt.Errorf("metrics exposition has no gateway_submits_total:\n%s", body)
 }

@@ -1,0 +1,40 @@
+package bench
+
+import (
+	"testing"
+
+	"tetrabft/internal/trace"
+)
+
+func TestStageDecomposition(t *testing.T) {
+	res, err := StageDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(rows []StageRow, stage string) (StageRow, bool) {
+		for _, r := range rows {
+			if r.Stage == stage {
+				return r, true
+			}
+		}
+		return StageRow{}, false
+	}
+	e2e, ok := find(res.Good, trace.StageProposeToFinalize)
+	if !ok || e2e.Count == 0 {
+		t.Fatalf("good case has no %s rows: %+v", trace.StageProposeToFinalize, res.Good)
+	}
+	// Pipelined finalization at unit delay: the paper's good case keeps the
+	// end-to-end span within a handful of message delays.
+	if e2e.P50 < 1 || e2e.P50 > 10 {
+		t.Errorf("good-case %s p50 = %d, want a few unit delays", e2e.Stage, e2e.P50)
+	}
+	// Silencing the first leader must surface view-change dwell that the
+	// good case does not have.
+	if _, ok := find(res.Good, trace.StageViewChangeDwell); ok {
+		t.Error("good case reports view-change dwell")
+	}
+	dwell, ok := find(res.Crash, trace.StageViewChangeDwell)
+	if !ok || dwell.Count == 0 {
+		t.Fatalf("crashed-leader case has no %s rows: %+v", trace.StageViewChangeDwell, res.Crash)
+	}
+}

@@ -3,6 +3,7 @@ package multishot
 import (
 	"testing"
 
+	"tetrabft/internal/obs"
 	"tetrabft/internal/sim"
 	"tetrabft/internal/types"
 )
@@ -116,6 +117,56 @@ func TestDeliverAllocsBound(t *testing.T) {
 	const bound = 4.0
 	if perMsg > bound {
 		t.Errorf("deliver path allocates %.2f per message, budget %.2f", perMsg, bound)
+	}
+}
+
+// TestObsDisabledDeliverZeroAllocs is the observability overhead gate for
+// the deliver path: with the metrics counters compiled in, a steady-state
+// redundant delivery (a duplicate vote — tallies already hold it) must be
+// 0 allocs/op both with metrics disabled (nil registry → nil counters) and
+// enabled (resolved counters are bare atomics). The CI perf job runs this
+// by name.
+func TestObsDisabledDeliverZeroAllocs(t *testing.T) {
+	const nodes, maxSlot = 4, 9
+	msgs := recordDeliveries(t, nodes, maxSlot)
+	for _, tc := range []struct {
+		name    string
+		metrics *obs.Registry
+	}{{"disabled", nil}, {"enabled", obs.NewRegistry()}} {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := NewNode(Config{ID: 0, Nodes: nodes, Delta: 10, MaxSlot: maxSlot, Metrics: tc.metrics})
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := &replayEnv{node: n}
+			n.Start(env)
+			for _, m := range msgs {
+				n.Deliver(env, m.from, m.msg)
+			}
+			var from types.NodeID
+			var vote types.Message
+			for i := len(msgs) - 1; i >= 0; i-- {
+				if v, ok := msgs[i].msg.(types.MSVote); ok {
+					from, vote = msgs[i].from, v
+					break
+				}
+			}
+			if vote == nil {
+				t.Fatal("recorded stream carries no vote")
+			}
+			n.Deliver(env, from, vote) // warm: any one-time quorum edge fires here
+			allocs := testing.AllocsPerRun(1000, func() {
+				n.Deliver(env, from, vote)
+			})
+			if allocs != 0 {
+				t.Errorf("steady-state deliver with %s metrics allocates %.2f times, want 0", tc.name, allocs)
+			}
+			if tc.metrics != nil {
+				if got := tc.metrics.Counter("multishot_deliveries_total").Value(); got == 0 {
+					t.Error("enabled registry counted no deliveries")
+				}
+			}
+		})
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"strconv"
 
 	"tetrabft/internal/core"
+	"tetrabft/internal/obs"
 	"tetrabft/internal/quorum"
 	"tetrabft/internal/trace"
 	"tetrabft/internal/types"
@@ -68,6 +69,11 @@ type Config struct {
 	Persist Persister
 	// Tracer optionally observes protocol events.
 	Tracer trace.Tracer
+	// Metrics optionally counts protocol activity (deliveries, proposals,
+	// votes, notarizations, finalized slots, view changes). Nil — the
+	// default — resolves no-op counters, keeping the steady-state deliver
+	// path allocation-free (pinned by TestObsDisabledDeliverZeroAllocs).
+	Metrics *obs.Registry
 }
 
 // tally counts the votes one block gathered in one (slot, view).
@@ -215,6 +221,15 @@ type Node struct {
 	// restored marks a node rebuilt by Restore: Start rejoins instead of
 	// beginning slot 1.
 	restored bool
+
+	// Pre-resolved metric instruments (nil and free when Config.Metrics
+	// is nil).
+	mDeliver     *obs.Counter
+	mProposals   *obs.Counter
+	mVotes       *obs.Counter
+	mNotarized   *obs.Counter
+	mFinalized   *obs.Counter
+	mViewChanges *obs.Counter
 }
 
 // catchupWindow bounds how far ahead of the local finalized head messages
@@ -286,6 +301,12 @@ func NewNode(cfg Config) (*Node, error) {
 		n.thrQuorum = t.QuorumSize()
 		n.thrBlocking = t.BlockingSize()
 	}
+	n.mDeliver = cfg.Metrics.Counter("multishot_deliveries_total")
+	n.mProposals = cfg.Metrics.Counter("multishot_proposals_total")
+	n.mVotes = cfg.Metrics.Counter("multishot_votes_total")
+	n.mNotarized = cfg.Metrics.Counter("multishot_notarizations_total")
+	n.mFinalized = cfg.Metrics.Counter("multishot_finalized_slots_total")
+	n.mViewChanges = cfg.Metrics.Counter("multishot_view_changes_total")
 	return n, nil
 }
 
@@ -367,6 +388,7 @@ func (n *Node) Deliver(env types.Env, from types.NodeID, msg types.Message) {
 	if n.halted {
 		return
 	}
+	n.mDeliver.Inc()
 	switch m := msg.(type) {
 	case types.MSPropose:
 		n.onPropose(env, from, m)
@@ -423,6 +445,7 @@ func (n *Node) callForViewChange(env types.Env) {
 		if !n.persist() {
 			return
 		}
+		n.mViewChanges.Inc()
 		n.emit(env, "view-change", lowest, want)
 		env.Broadcast(types.MSViewChange{Slot: lowest, View: want})
 	} else {
@@ -488,6 +511,7 @@ func (n *Node) onVote(env types.Env, from types.NodeID, m types.MSVote) {
 	set.Add(idx)
 	if !st.isNotarized(m.Block) && n.bitsQuorum(set) {
 		st.noteNotarized(m.Block, m.View)
+		n.mNotarized.Inc()
 		n.emitB(env, "notarize", m.Slot, m.View, m.Block)
 		n.tryVote(env, m.Slot+1)    // child slot's parent condition may now hold
 		n.tryPropose(env, m.Slot+2) // pipeline leader two ahead may be unblocked
@@ -771,6 +795,7 @@ func (n *Node) tryPropose(env types.Env, s types.Slot) {
 	vr.proposed = true
 	id := block.ID()
 	n.blocks[id] = block
+	n.mProposals.Inc()
 	n.emitB(env, "propose", s, v, id)
 	env.Broadcast(types.MSPropose{View: v, Block: block})
 }
@@ -910,6 +935,7 @@ func (n *Node) tryVote(env types.Env, s types.Slot) {
 	if !n.persist() {
 		return
 	}
+	n.mVotes.Inc()
 	n.emitB(env, "vote", s, v, vr.proposalID)
 	env.Broadcast(types.MSVote{Slot: s, View: v, Block: vr.proposalID})
 }
@@ -1058,6 +1084,7 @@ func (n *Node) finalizePrefix(env types.Env, k types.Slot) bool {
 		n.chain = append(n.chain, path[i].body)
 		n.chainIDs = append(n.chainIDs, path[i].id)
 		n.finalized = s
+		n.mFinalized.Inc()
 		n.emitB(env, "finalize", s, view, path[i].id)
 		env.Decide(s, path[i].id.Value())
 		n.releaseSlot(s)
@@ -1216,7 +1243,7 @@ func (n *Node) emit(env types.Env, typ string, s types.Slot, v types.View) {
 	if n.cfg.Tracer == nil {
 		return
 	}
-	n.cfg.Tracer.Emit(trace.Event{Time: env.Now(), Node: n.cfg.ID, Type: typ, View: v, Slot: s})
+	n.cfg.Tracer.Emit(trace.Event{Time: env.Now(), Node: n.cfg.ID, Type: typ, View: v, Slot: s, Multi: true})
 }
 
 // emitB reports a protocol event about a block. The ID renders to a string
@@ -1225,7 +1252,7 @@ func (n *Node) emitB(env types.Env, typ string, s types.Slot, v types.View, id t
 	if n.cfg.Tracer == nil {
 		return
 	}
-	n.cfg.Tracer.Emit(trace.Event{Time: env.Now(), Node: n.cfg.ID, Type: typ, View: v, Slot: s, Note: id.String()})
+	n.cfg.Tracer.Emit(trace.Event{Time: env.Now(), Node: n.cfg.ID, Type: typ, View: v, Slot: s, Note: id.String(), Multi: true})
 }
 
 func msSuggest(s types.Slot, v types.View, votes core.VoteState) types.MSSuggest {

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msgs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("msgs_total") != c {
+		t.Fatal("second lookup did not return the same counter")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	h := r.Histogram("latency_ticks", []int64{10, 100})
+	for _, v := range []int64{3, 30, 300} {
+		h.Observe(v)
+	}
+	if h.Count() != 3 || h.Sum() != 333 {
+		t.Fatalf("histogram count/sum = %d/%d, want 3/333", h.Count(), h.Sum())
+	}
+}
+
+// TestNilRegistryIsFree pins the disabled path: every instrument from a nil
+// registry is usable, reads as zero, and allocates nothing. This is the
+// same contract the sim/multishot hot-path alloc gates rely on.
+func TestNilRegistryIsFree(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z", []int64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(-1)
+		h.Observe(42)
+	}); allocs != 0 {
+		t.Fatalf("disabled instruments allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledUpdatesAreAllocFree pins the enabled path too: once resolved,
+// counter/gauge/histogram updates are pure atomics.
+func TestEnabledUpdatesAreAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x")
+	h := r.Histogram("z", []int64{1, 10, 100})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(42)
+	}); allocs != 0 {
+		t.Fatalf("enabled updates allocated %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestSnapshotDeterministic registers instruments from many goroutines in
+// scrambled order and checks the snapshot is the same sorted list every
+// time — the property that keeps sweeps byte-identical at any GOMAXPROCS.
+func TestSnapshotDeterministic(t *testing.T) {
+	names := []string{"zeta", "alpha", "mid", "beta_total", "omega"}
+	build := func() []Sample {
+		r := NewRegistry()
+		var wg sync.WaitGroup
+		for i, name := range names {
+			wg.Add(1)
+			go func(i int, name string) {
+				defer wg.Done()
+				r.Counter(name).Add(int64(i + 1))
+			}(i, name)
+		}
+		wg.Wait()
+		r.Histogram("hist", []int64{5, 50}).Observe(7)
+		return r.Snapshot()
+	}
+	first := build()
+	for i := 0; i < 10; i++ {
+		if got := build(); !reflect.DeepEqual(got, first) {
+			t.Fatalf("snapshot %d differs:\n got %v\nwant %v", i, got, first)
+		}
+	}
+	for i := 1; i < len(first); i++ {
+		if first[i-1].Name >= first[i].Name {
+			t.Fatalf("snapshot not strictly sorted: %q >= %q", first[i-1].Name, first[i].Name)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("tetrabft_submits_total").Add(3)
+	r.Gauge("tetrabft_window").Set(4)
+	h := r.Histogram("tetrabft_commit_ticks", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE tetrabft_submits_total counter\ntetrabft_submits_total 3\n",
+		"# TYPE tetrabft_window gauge\ntetrabft_window 4\n",
+		"# TYPE tetrabft_commit_ticks histogram\n",
+		"tetrabft_commit_ticks_bucket{le=\"10\"} 1\n",
+		"tetrabft_commit_ticks_bucket{le=\"100\"} 2\n",
+		"tetrabft_commit_ticks_bucket{le=\"+Inf\"} 3\n",
+		"tetrabft_commit_ticks_sum 555\n",
+		"tetrabft_commit_ticks_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if err := (*Registry)(nil).WritePrometheus(&buf); err != nil {
+		t.Fatalf("nil registry WritePrometheus: %v", err)
+	}
+}
+
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.out")
+	mem := filepath.Join(dir, "mem.out")
+	stop, err := StartProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to say.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", path)
+		}
+	}
+	// Both paths empty: a no-op pair.
+	stop, err = StartProfiles("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

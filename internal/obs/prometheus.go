@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4), instruments in sorted name order. It is what the
+// gateway's GET /metrics serves for its own registry, alongside the
+// scrape-time status lines it derives from the backend.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	names := make([]string, 0, len(r.ctrs))
+	for name := range r.ctrs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, r.ctrs[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, r.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n%s_sum %d\n%s_count %d\n",
+			name, h.Count(), name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"sync"
 
+	"tetrabft/internal/obs"
 	"tetrabft/internal/trace"
 	"tetrabft/internal/types"
 )
@@ -41,6 +42,11 @@ func (r *Result) clone() *Result {
 	}
 	cp.Trace = append([]trace.Event(nil), r.Trace...)
 	cp.Shards = append([]ShardResult(nil), r.Shards...)
+	for i := range cp.Shards {
+		cp.Shards[i].Stages = append([]StageDist(nil), cp.Shards[i].Stages...)
+	}
+	cp.Stages = append([]StageDist(nil), r.Stages...)
+	cp.Metrics = append([]obs.Sample(nil), r.Metrics...)
 	return &cp
 }
 

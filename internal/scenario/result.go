@@ -3,6 +3,7 @@ package scenario
 import (
 	"sort"
 
+	"tetrabft/internal/obs"
 	"tetrabft/internal/trace"
 	"tetrabft/internal/types"
 )
@@ -73,6 +74,18 @@ type Result struct {
 	AnchorLatencyP50 int64 `json:"anchor_latency_p50,omitempty"`
 	AnchorLatencyP99 int64 `json:"anchor_latency_p99,omitempty"`
 
+	// Stages is the slot-lifecycle latency decomposition (Collect.Stages):
+	// per-stage count and nearest-rank p50/p99, in ticks on the simulator
+	// and wall milliseconds on the TCP engine, ordered by trace.StageOrder.
+	// Both engines share one fold (trace events → stage spans → percentiles),
+	// so the breakdowns are directly comparable. Sharded runs pool every
+	// shard cluster's samples here and report per-shard breakdowns in
+	// Shards[i].Stages.
+	Stages []StageDist `json:"stages,omitempty"`
+	// Metrics is the run's metrics-registry snapshot (Collect.Metrics),
+	// sorted by name.
+	Metrics []obs.Sample `json:"metrics,omitempty"`
+
 	// Chain is the first honest node's finalized chain (Collect.Chain).
 	Chain []types.Block `json:"chain,omitempty"`
 	// Chains holds every honest node's finalized chain (EngineTCP with
@@ -133,6 +146,18 @@ type ShardResult struct {
 	// counters (EngineTCP).
 	Reconnects    int64 `json:"reconnects,omitempty"`
 	DroppedFrames int64 `json:"dropped_frames,omitempty"`
+	// Stages is this shard cluster's own stage breakdown (Collect.Stages).
+	Stages []StageDist `json:"stages,omitempty"`
+}
+
+// StageDist is one pipeline stage's latency distribution: how many spans the
+// trace yielded and their nearest-rank p50/p99, in the engine's time unit
+// (ticks on the simulator, wall milliseconds on TCP).
+type StageDist struct {
+	Stage string `json:"stage"`
+	Count int    `json:"count"`
+	P50   int64  `json:"p50"`
+	P99   int64  `json:"p99"`
 }
 
 // NodeTransport is one replica's aggregated TCP link counters (EngineTCP).
@@ -217,6 +242,63 @@ func latencyPercentiles(lats []int64) (p50, p99 int64) {
 		return lats[k-1]
 	}
 	return rank(50), rank(99)
+}
+
+// stageSamples folds a trace into per-stage latency samples. This is the one
+// fold both engines (and the sharded variants) share: the simulator feeds it
+// tick-stamped events, the TCP engine millisecond-stamped ones, and the
+// percentile definition downstream is identical.
+func stageSamples(events []trace.Event) map[string][]int64 {
+	m := make(map[string][]int64)
+	for _, sp := range trace.StageSpans(trace.FoldSlotStages(events)) {
+		m[sp.Stage] = append(m[sp.Stage], sp.Ticks)
+	}
+	if dwells := trace.ViewChangeDwells(events); len(dwells) > 0 {
+		m[trace.StageViewChangeDwell] = append(m[trace.StageViewChangeDwell], dwells...)
+	}
+	return m
+}
+
+// mergeStageSamples pools src's samples into dst (the sharded aggregate).
+func mergeStageSamples(dst, src map[string][]int64) {
+	for stage, lats := range src {
+		dst[stage] = append(dst[stage], lats...)
+	}
+}
+
+// stageDists converts pooled samples into the result's breakdown, in
+// trace.StageOrder with empty stages omitted.
+func stageDists(samples map[string][]int64) []StageDist {
+	var out []StageDist
+	for _, stage := range trace.StageOrder {
+		lats := samples[stage]
+		if len(lats) == 0 {
+			continue
+		}
+		p50, p99 := latencyPercentiles(lats)
+		out = append(out, StageDist{Stage: stage, Count: len(lats), P50: p50, P99: p99})
+	}
+	return out
+}
+
+// StageDist returns the named stage's distribution, if the run observed it.
+func (r *Result) StageDist(stage string) (StageDist, bool) {
+	for _, d := range r.Stages {
+		if d.Stage == stage {
+			return d, true
+		}
+	}
+	return StageDist{}, false
+}
+
+// Metric returns the named metric sample's value, 0 if absent.
+func (r *Result) Metric(name string) int64 {
+	for _, s := range r.Metrics {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
 }
 
 // TraceFilter returns the collected trace events of one type.

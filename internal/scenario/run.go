@@ -11,6 +11,7 @@ import (
 	"tetrabft/internal/ithotstuff"
 	"tetrabft/internal/liconsensus"
 	"tetrabft/internal/multishot"
+	"tetrabft/internal/obs"
 	"tetrabft/internal/pbft"
 	"tetrabft/internal/sim"
 	"tetrabft/internal/trace"
@@ -93,9 +94,13 @@ func (cl *cluster) offeredLoad(p *plan) {
 func runSim(p *plan) (*Result, error) {
 	var log *trace.Log
 	var tracer trace.Tracer
-	if p.sc.Collect.Trace {
+	if p.sc.Collect.Trace || p.sc.Collect.Stages {
 		log = &trace.Log{}
 		tracer = log
+	}
+	var reg *obs.Registry
+	if p.sc.Collect.Metrics {
+		reg = obs.NewRegistry()
 	}
 
 	r := sim.New(sim.Config{
@@ -105,8 +110,9 @@ func runSim(p *plan) (*Result, error) {
 		DropBeforeGST: p.sc.Network.DropBeforeGST,
 		Adversary:     buildAdversary(p),
 		EventBudget:   p.sc.Network.EventBudget,
+		Metrics:       reg,
 	})
-	cl, err := buildCluster(p, r, tracer)
+	cl, err := buildCluster(p, r, tracer, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +198,16 @@ func runSim(p *plan) (*Result, error) {
 		}
 	}
 	if log != nil {
-		res.Trace = log.Events()
+		events := log.Events()
+		if p.sc.Collect.Trace {
+			res.Trace = events
+		}
+		if p.sc.Collect.Stages {
+			res.Stages = stageDists(stageSamples(events))
+		}
+	}
+	if reg != nil {
+		res.Metrics = reg.Snapshot()
 	}
 	if runErr != nil {
 		return res, runErr
@@ -203,7 +218,7 @@ func runSim(p *plan) (*Result, error) {
 // buildCluster adds one machine per member, substituting Byzantine machines
 // where the fault schedule says so. Machines are added in member order, so
 // runs are reproducible across assembly sites.
-func buildCluster(p *plan, r *sim.Runner, tracer trace.Tracer) (*cluster, error) {
+func buildCluster(p *plan, r *sim.Runner, tracer trace.Tracer, reg *obs.Registry) (*cluster, error) {
 	cl := &cluster{}
 	n := len(p.members)
 	if len(p.sc.Workload.Transactions) > 0 || p.sc.Workload.TxsPerBlock > 0 {
@@ -215,7 +230,7 @@ func buildCluster(p *plan, r *sim.Runner, tracer trace.Tracer) (*cluster, error)
 			r.Add(buildByz(p, f))
 			continue
 		}
-		m, err := buildHonest(p, id, n, tracer, cl)
+		m, err := buildHonest(p, id, n, tracer, reg, cl)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +246,7 @@ func buildCluster(p *plan, r *sim.Runner, tracer trace.Tracer) (*cluster, error)
 	return cl, nil
 }
 
-func buildHonest(p *plan, id types.NodeID, n int, tracer trace.Tracer, cl *cluster) (types.Machine, error) {
+func buildHonest(p *plan, id types.NodeID, n int, tracer trace.Tracer, reg *obs.Registry, cl *cluster) (types.Machine, error) {
 	delta := p.delta()
 	switch p.sc.Protocol {
 	case "", TetraBFT:
@@ -264,7 +279,7 @@ func buildHonest(p *plan, id types.NodeID, n int, tracer trace.Tracer, cl *clust
 			ID: id, Quorum: p.qs, Nodes: n, Delta: delta,
 			TimeoutFactor: p.sc.TimeoutFactor, MaxSlot: p.maxSlot,
 			Window:  p.sc.Workload.Window,
-			Payload: payload, Batch: batch, Tracer: tracer,
+			Payload: payload, Batch: batch, Tracer: tracer, Metrics: reg,
 		})
 		if err != nil {
 			return nil, err

@@ -105,9 +105,6 @@ func TestValidation(t *testing.T) {
 		{"tcp with horizon", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
 			Workload: WorkloadSpec{Slots: 2},
 			Stop:     StopSpec{Horizon: 100}}, "wall_clock_ms"},
-		{"tcp with trace", Scenario{Engine: EngineTCP, Protocol: TetraBFTMulti, Nodes: 4,
-			Workload: WorkloadSpec{Slots: 2},
-			Collect:  CollectSpec{Trace: true}}, "does not collect traces"},
 		{"unknown mutation", Scenario{Nodes: 4, Mutation: "skip-rule-4"}, "unknown mutation"},
 		{"mutation on pbft", Scenario{Protocol: PBFT, Nodes: 4, Mutation: MutationSkipRule3},
 			"applies only to protocol"},

@@ -6,8 +6,10 @@ import (
 	"tetrabft/internal/blockchain"
 	"tetrabft/internal/byz"
 	"tetrabft/internal/multishot"
+	"tetrabft/internal/obs"
 	"tetrabft/internal/shard"
 	"tetrabft/internal/sim"
+	"tetrabft/internal/trace"
 	"tetrabft/internal/types"
 )
 
@@ -30,13 +32,15 @@ type simShardCluster struct {
 
 // newSimShardCluster builds one cluster: n replicas on a fresh runner,
 // silent ones replaced per the fault schedule, the rest drawing batches
-// from the cluster's arrival-gated pool.
-func newSimShardCluster(p *plan, n int, seed int64, maxSlot types.Slot, silent map[types.NodeID]bool, timed *blockchain.TimedMempool, batch int) (*simShardCluster, error) {
+// from the cluster's arrival-gated pool. tracer (per-cluster, for the stage
+// fold) and reg (run-shared metrics) may be nil.
+func newSimShardCluster(p *plan, n int, seed int64, maxSlot types.Slot, silent map[types.NodeID]bool, timed *blockchain.TimedMempool, batch int, tracer trace.Tracer, reg *obs.Registry) (*simShardCluster, error) {
 	r := sim.New(sim.Config{
 		Seed:          seed,
 		Delay:         buildDelay(p.sc.Network.Delay),
 		GST:           types.Time(p.sc.Network.GST),
 		DropBeforeGST: p.sc.Network.DropBeforeGST,
+		Metrics:       reg,
 	})
 	cl := &simShardCluster{r: r}
 	for id := types.NodeID(0); int(id) < n; id++ {
@@ -49,6 +53,7 @@ func newSimShardCluster(p *plan, n int, seed int64, maxSlot types.Slot, silent m
 			TimeoutFactor: p.sc.TimeoutFactor, MaxSlot: maxSlot,
 			Window: p.sc.Workload.Window,
 			Batch:  timed.BatchSource(batch),
+			Tracer: tracer, Metrics: reg,
 		})
 		if err != nil {
 			return nil, err
@@ -150,9 +155,28 @@ func runShardSim(p *plan) (*Result, error) {
 	pools, arrivals := buildShardWorkload(p)
 	anchorPool := blockchain.NewTimedMempool(0)
 
+	// Per-shard trace logs feed the stage fold (the anchor cluster's
+	// lifecycle is mostly empty filler slots, so it stays untraced); one
+	// registry is shared by every cluster.
+	var logs []*trace.Log
+	if p.sc.Collect.Stages {
+		logs = make([]*trace.Log, s)
+		for i := range logs {
+			logs[i] = &trace.Log{}
+		}
+	}
+	var reg *obs.Registry
+	if p.sc.Collect.Metrics {
+		reg = obs.NewRegistry()
+	}
+
 	clusters := make([]*simShardCluster, s)
 	for i := range clusters {
-		cl, err := newSimShardCluster(p, sh.nodesPerShard(), p.seed()+int64(i), p.maxSlot, shardSilent(p, i), pools[i], p.batchSize())
+		var tracer trace.Tracer
+		if logs != nil {
+			tracer = logs[i]
+		}
+		cl, err := newSimShardCluster(p, sh.nodesPerShard(), p.seed()+int64(i), p.maxSlot, shardSilent(p, i), pools[i], p.batchSize(), tracer, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +186,7 @@ func runShardSim(p *plan) (*Result, error) {
 	// filling slots with empty blocks between anchor arrivals, and a cap
 	// would be exhausted before the last shard's final anchor lands. Its
 	// batch size admits every shard anchoring in the same round.
-	anchorCl, err := newSimShardCluster(p, sh.anchorNodes(), p.seed()+int64(s), 0, nil, anchorPool, s)
+	anchorCl, err := newSimShardCluster(p, sh.anchorNodes(), p.seed()+int64(s), 0, nil, anchorPool, s, nil, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +253,7 @@ loop:
 			}
 		}
 	}
-	return foldShardResult(p, clusters, anchorCl, arrivals, submitAt, int64(now), runErr)
+	return foldShardResult(p, clusters, anchorCl, logs, reg, arrivals, submitAt, int64(now), runErr)
 }
 
 // committedEpochs scans the anchor cluster's decided log and returns the
@@ -257,15 +281,21 @@ type shardFoldInput struct {
 	finalized int64
 	// reconnects and droppedFrames are TCP link counters (zero on sim).
 	reconnects, droppedFrames int64
+	// stages holds the cluster's per-stage latency samples (Collect.Stages);
+	// nil when stage collection is off.
+	stages map[string][]int64
 }
 
 // foldShardResult builds the sharded Result from the sim clusters and
 // verifies the cross-shard consistency invariant. runErr, when non-nil,
 // takes precedence over (but does not suppress) the fold.
-func foldShardResult(p *plan, clusters []*simShardCluster, anchorCl *simShardCluster, arrivals []map[string]types.Time, submitAt map[string]types.Time, finishedAt int64, runErr error) (*Result, error) {
+func foldShardResult(p *plan, clusters []*simShardCluster, anchorCl *simShardCluster, logs []*trace.Log, reg *obs.Registry, arrivals []map[string]types.Time, submitAt map[string]types.Time, finishedAt int64, runErr error) (*Result, error) {
 	inputs := make([]shardFoldInput, len(clusters))
 	for i, cl := range clusters {
 		inputs[i] = shardFoldInput{chain: cl.refChain(), commitAt: cl.commitAt(), finalized: cl.minFinalized()}
+		if logs != nil {
+			inputs[i].stages = stageSamples(logs[i].Events())
+		}
 	}
 	anchorIn := shardFoldInput{chain: anchorCl.refChain(), commitAt: anchorCl.commitAt(), finalized: anchorCl.minFinalized()}
 	res := foldShards(p, inputs, anchorIn, arrivals, submitAt, finishedAt)
@@ -273,6 +303,9 @@ func foldShardResult(p *plan, clusters []*simShardCluster, anchorCl *simShardClu
 		res.Events += cl.r.Events()
 		res.TotalSentBytes += cl.r.TotalSentBytes()
 		res.Dropped += cl.r.DroppedMessages()
+	}
+	if reg != nil {
+		res.Metrics = reg.Snapshot()
 	}
 	if runErr != nil {
 		return res, runErr
@@ -292,18 +325,29 @@ func foldShards(p *plan, inputs []shardFoldInput, anchorIn shardFoldInput, arriv
 		FirstDecisionAt: -1,
 	}
 	var allLats []int64
+	pooledStages := make(map[string][]int64)
+	stagesOn := false
 	for i, in := range inputs {
 		txs, lats := txLatencies(in.chain, in.commitAt, arrivals[i])
 		p50, p99 := latencyPercentiles(lats)
-		res.Shards = append(res.Shards, ShardResult{
+		sr := ShardResult{
 			Shard: i, Finalized: in.finalized, DecidedTxs: txs,
 			TxLatencyP50: p50, TxLatencyP99: p99,
 			Reconnects: in.reconnects, DroppedFrames: in.droppedFrames,
-		})
+		}
+		if in.stages != nil {
+			stagesOn = true
+			sr.Stages = stageDists(in.stages)
+			mergeStageSamples(pooledStages, in.stages)
+		}
+		res.Shards = append(res.Shards, sr)
 		res.DecidedTxs += txs
 		allLats = append(allLats, lats...)
 	}
 	res.TxLatencyP50, res.TxLatencyP99 = latencyPercentiles(allLats)
+	if stagesOn {
+		res.Stages = stageDists(pooledStages)
+	}
 
 	var anchorLats []int64
 	for _, b := range anchorIn.chain {

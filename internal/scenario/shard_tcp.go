@@ -11,7 +11,9 @@ import (
 
 	"tetrabft/internal/blockchain"
 	"tetrabft/internal/multishot"
+	"tetrabft/internal/obs"
 	"tetrabft/internal/shard"
+	"tetrabft/internal/trace"
 	"tetrabft/internal/transport"
 	"tetrabft/internal/types"
 	"tetrabft/internal/wal"
@@ -35,25 +37,29 @@ type shardTCPCluster struct {
 	nodes    int
 	replicas []*tcpReplica
 	timed    *blockchain.TimedMempool
+	// log collects the cluster's trace events for the stage fold
+	// (Collect.Stages); nil when off, and always nil for the anchor cluster.
+	log *trace.Log
 
 	commitMu sync.Mutex
 	commitAt map[types.Slot]int64
 }
 
 // refChain snapshots the first live replica's finalized chain through its
-// event loop (the only safe way to read machine state mid-run). Returns nil
-// when every replica is down.
-func (cl *shardTCPCluster) refChain() []types.Block {
+// event loop (the only safe way to read machine state mid-run). ok is false
+// when every replica is down — distinct from a live replica whose chain is
+// still empty (early in a run nothing has finalized yet, and conflating the
+// two made the gateway 503 transiently).
+func (cl *shardTCPCluster) refChain() (chain []types.Block, ok bool) {
 	for _, rep := range cl.replicas {
 		rep.mu.Lock()
 		node, rt := rep.node, rep.runtime
 		rep.mu.Unlock()
-		var chain []types.Block
 		if rt.Do(func() { chain = append([]types.Block(nil), node.FinalizedChain()...) }) {
-			return chain
+			return chain, true
 		}
 	}
-	return nil
+	return nil, false
 }
 
 // snapshotCommitAt copies the cluster's earliest-commit map.
@@ -131,14 +137,22 @@ func runShardTCP(p *plan, onReady func(url string)) (*Result, error) {
 		}
 	}
 	chaos := buildChaos(p, tick)
+	var reg *obs.Registry
+	if p.sc.Collect.Metrics {
+		reg = obs.NewRegistry()
+	}
 
 	// Build every cluster's replica set. Cluster index s is the anchor.
 	clusters := make([]*shardTCPCluster, 0, s+1)
 	for i := 0; i < s; i++ {
-		clusters = append(clusters, &shardTCPCluster{
+		cl := &shardTCPCluster{
 			name: fmt.Sprintf("shard %d", i), nodes: sh.nodesPerShard(),
 			timed: pools[i], commitAt: make(map[types.Slot]int64),
-		})
+		}
+		if p.sc.Collect.Stages {
+			cl.log = &trace.Log{}
+		}
+		clusters = append(clusters, cl)
 	}
 	anchorCl := &shardTCPCluster{
 		name: "anchor cluster", nodes: sh.anchorNodes(),
@@ -187,6 +201,10 @@ func runShardTCP(p *plan, onReady func(url string)) (*Result, error) {
 			Payload: rep.mempool.PayloadSource(8),
 			Batch:   cl.timed.BatchSource(batch),
 			Persist: store,
+			Metrics: reg,
+		}
+		if cl.log != nil {
+			cfg.Tracer = cl.log
 		}
 		var node *multishot.Node
 		if restore {
@@ -214,6 +232,7 @@ func runShardTCP(p *plan, onReady func(url string)) (*Result, error) {
 		rt, err := transport.New(node, transport.Config{
 			ListenAddr: listen,
 			Chaos:      chaos,
+			Metrics:    reg,
 			OnDecide: func(slot types.Slot, _ types.Value) {
 				ms := time.Since(start).Milliseconds()
 				cl.commitMu.Lock()
@@ -361,7 +380,7 @@ func runShardTCP(p *plan, onReady func(url string)) (*Result, error) {
 			case <-ticker.C:
 			}
 			for i := 0; i < s; i++ {
-				chain := clusters[i].refChain()
+				chain, _ := clusters[i].refChain()
 				anchorMu.Lock()
 				if int64(len(chain)) > lastAnchored[i] {
 					epochs[i]++
@@ -416,7 +435,8 @@ func runShardTCP(p *plan, onReady func(url string)) (*Result, error) {
 			}
 		}
 		if done {
-			committed := committedEpochs(anchorCl.refChain(), s)
+			anchorChain, _ := anchorCl.refChain()
+			committed := committedEpochs(anchorChain, s)
 			anchorMu.Lock()
 			for i := 0; i < s; i++ {
 				if epochs[i] == 0 || committed[i] < epochs[i] {
@@ -491,6 +511,9 @@ func runShardTCP(p *plan, onReady func(url string)) (*Result, error) {
 		in := shardFoldInput{chain: ref, commitAt: cl.snapshotCommitAt(), finalized: minFinalized}
 		if ci < s {
 			in.reconnects, in.droppedFrames = inputs[ci].reconnects, inputs[ci].droppedFrames
+			if cl.log != nil {
+				in.stages = stageSamples(cl.log.Events())
+			}
 			inputs[ci] = in
 		} else {
 			anchorIn = in
@@ -500,6 +523,9 @@ func runShardTCP(p *plan, onReady func(url string)) (*Result, error) {
 	res := foldShards(p, inputs, anchorIn, arrivals, submitAt, finishedAt)
 	anchorMu.Unlock()
 	res.MaxStorageBytes = maxStorage
+	if reg != nil {
+		res.Metrics = reg.Snapshot()
+	}
 	if err := verifyShardAnchors(p, res, inputs, anchorIn); err != nil {
 		return res, err
 	}
@@ -532,8 +558,8 @@ func (b *tcpGatewayBackend) Submit(shardIdx int, key, value string) error {
 // Query implements shard.Backend: snapshot the shard's decided log and
 // replay the block payloads (gateway submissions) into a KV.
 func (b *tcpGatewayBackend) Query(shardIdx int, key string) (string, bool, error) {
-	chain := b.shards[shardIdx].refChain()
-	if chain == nil {
+	chain, live := b.shards[shardIdx].refChain()
+	if !live {
 		return "", false, fmt.Errorf("shard %d: no live replica", shardIdx)
 	}
 	kv := blockchain.NewKV()
@@ -549,7 +575,8 @@ func (b *tcpGatewayBackend) Status() shard.Status {
 	st := shard.Status{AnchorFinalized: b.anchor.minWatermark()}
 	epochs := make([]int64, len(b.shards))
 	anchored := make([]int64, len(b.shards))
-	for _, blk := range b.anchor.refChain() {
+	anchorChain, _ := b.anchor.refChain()
+	for _, blk := range anchorChain {
 		for _, tx := range blk.Txs {
 			if a, ok := shard.DecodeAnchor(tx); ok && a.Shard < len(b.shards) {
 				if a.Epoch > epochs[a.Shard] {
@@ -562,8 +589,14 @@ func (b *tcpGatewayBackend) Status() shard.Status {
 		}
 	}
 	for i, cl := range b.shards {
+		var txs int64
+		chain, _ := cl.refChain()
+		for _, blk := range chain {
+			txs += int64(blk.NumTxs())
+		}
 		st.Shards = append(st.Shards, shard.ShardStatus{
-			Shard: i, Finalized: cl.minWatermark(), AnchoredSlots: anchored[i],
+			Shard: i, Finalized: cl.minWatermark(), DecidedTxs: txs,
+			AnchoredSlots: anchored[i],
 		})
 		st.AnchorEpochs += epochs[i]
 	}

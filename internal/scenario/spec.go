@@ -402,6 +402,16 @@ type CollectSpec struct {
 	Trace bool `json:"trace,omitempty"`
 	// Chain collects finalized chains (multi-shot protocols).
 	Chain bool `json:"chain,omitempty"`
+	// Stages folds the event trace into Result.Stages: per-stage latency
+	// percentiles (propose→vote rounds→notarize→finalize plus view-change
+	// dwell), in ticks on the simulator and milliseconds on the TCP engine,
+	// from one shared fold. Sharded runs additionally report per-shard
+	// breakdowns. Implies tracing internally; the raw trace is returned
+	// only when Trace is also set.
+	Stages bool `json:"stages,omitempty"`
+	// Metrics attaches an obs.Registry to the run's hot paths and returns
+	// its sorted snapshot in Result.Metrics.
+	Metrics bool `json:"metrics,omitempty"`
 }
 
 // Parse decodes a JSON scenario spec strictly: unknown fields are errors,
@@ -687,9 +697,6 @@ func (sc Scenario) compile() (*plan, error) {
 		if sc.Stop.Horizon != 0 || sc.Stop.AllDecided {
 			return nil, fmt.Errorf("scenario: engine %q stops on workload.slots + stop.wall_clock_ms only", EngineTCP)
 		}
-		if sc.Collect.Trace {
-			return nil, fmt.Errorf("scenario: engine %q does not collect traces", EngineTCP)
-		}
 	} else if nw.Duplicate != 0 {
 		return nil, fmt.Errorf("scenario: network.duplicate applies only to engine %q", EngineTCP)
 	}
@@ -850,6 +857,9 @@ func (p *plan) compileSharded() error {
 	} else if sc.Stop.Horizon == 0 {
 		return fmt.Errorf("scenario: sharded sim runs need stop.horizon (lockstep clusters never drain the event queue)")
 	}
+	// Raw traces and chains stay per-cluster artifacts; the fold keeps only
+	// their stage/latency summaries. Collect.Stages and Collect.Metrics are
+	// honored: stages fold per shard and pool into the aggregate breakdown.
 	if sc.Collect.Trace || sc.Collect.Chain {
 		return fmt.Errorf("scenario: shards do not collect traces or chains (the result folds per-shard stats)")
 	}

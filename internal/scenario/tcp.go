@@ -11,6 +11,8 @@ import (
 
 	"tetrabft/internal/blockchain"
 	"tetrabft/internal/multishot"
+	"tetrabft/internal/obs"
+	"tetrabft/internal/trace"
 	"tetrabft/internal/transport"
 	"tetrabft/internal/types"
 	"tetrabft/internal/wal"
@@ -62,6 +64,22 @@ func runTCP(p *plan) (*Result, error) {
 		return nil, fmt.Errorf("scenario: wal dir: %w", err)
 	}
 	defer os.RemoveAll(walRoot)
+
+	// One shared trace log and metrics registry across every replica (and
+	// every incarnation): trace.Log is mutex-guarded and the registry is
+	// atomics, so the event-loop goroutines feed them concurrently. Event
+	// times are transport ticks ≈ milliseconds, so the stage fold downstream
+	// is the same one the simulator uses, just in a different unit.
+	var log *trace.Log
+	var tracer trace.Tracer
+	if p.sc.Collect.Trace || p.sc.Collect.Stages {
+		log = &trace.Log{}
+		tracer = log
+	}
+	var reg *obs.Registry
+	if p.sc.Collect.Metrics {
+		reg = obs.NewRegistry()
+	}
 
 	crashByID := make(map[types.NodeID]FaultSpec, len(p.crashes))
 	for _, c := range p.crashes {
@@ -134,6 +152,7 @@ func runTCP(p *plan) (*Result, error) {
 			TimeoutFactor: p.sc.TimeoutFactor, MaxSlot: p.maxSlot,
 			Window:  p.sc.Workload.Window,
 			Payload: rep.mempool.PayloadSource(per), Persist: store,
+			Tracer: tracer, Metrics: reg,
 		}
 		if timed != nil {
 			cfg.Batch = timed.BatchSource(p.batchSize())
@@ -164,6 +183,7 @@ func runTCP(p *plan) (*Result, error) {
 		rt, err := transport.New(node, transport.Config{
 			ListenAddr: listen,
 			Chaos:      chaos,
+			Metrics:    reg,
 			OnDecide: func(slot types.Slot, _ types.Value) {
 				ms := time.Since(start).Milliseconds()
 				commitMu.Lock()
@@ -365,6 +385,34 @@ func runTCP(p *plan) (*Result, error) {
 	res.txStats(ref, commitAt, arrivals)
 	if p.sc.Collect.Chain && len(live) > 0 {
 		res.Chain = ref
+	}
+	if log != nil {
+		// Event-loop interleaving makes the raw append order nondeterministic;
+		// sort by (time, node, type, slot) for a stable artifact. The stage
+		// fold is min-based and order-insensitive either way.
+		events := log.Events()
+		sort.SliceStable(events, func(i, j int) bool {
+			a, b := events[i], events[j]
+			if a.Time != b.Time {
+				return a.Time < b.Time
+			}
+			if a.Node != b.Node {
+				return a.Node < b.Node
+			}
+			if a.Type != b.Type {
+				return a.Type < b.Type
+			}
+			return a.Slot < b.Slot
+		})
+		if p.sc.Collect.Trace {
+			res.Trace = events
+		}
+		if p.sc.Collect.Stages {
+			res.Stages = stageDists(stageSamples(events))
+		}
+	}
+	if reg != nil {
+		res.Metrics = reg.Snapshot()
 	}
 	return res, nil
 }

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 )
 
@@ -130,4 +132,191 @@ func TestGatewayRoutesOverHTTP(t *testing.T) {
 	} else if resp.Body.Close(); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing key: status %d, want 400", resp.StatusCode)
 	}
+}
+
+// TestGatewayMetrics scrapes /metrics and checks both halves of the
+// exposition: the gateway's own counters and the status-derived gauges.
+func TestGatewayMetrics(t *testing.T) {
+	backend := &fakeBackend{submitted: map[int][]string{}, data: map[string]string{"k1": "v1"}}
+	gw, err := NewGateway(4, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.PostForm(gw.URL()+"/submit", url.Values{"key": {fmt.Sprintf("k%d", i)}, "value": {"v"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(gw.URL() + "/query?key=k1"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(gw.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	for _, want := range []string{
+		"gateway_submits_total 3",
+		"gateway_queries_total 1",
+		"tetrabft_shard_finalized_slots{shard=\"0\"} 5",
+		"tetrabft_shard_decided_txs{shard=\"0\"}",
+		"tetrabft_shard_anchored_slots{shard=\"0\"} 3",
+		"tetrabft_anchor_epochs 3",
+		"tetrabft_anchor_finalized_slots 2",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	// The pprof index is mounted on the same mux.
+	resp, err = http.Get(gw.URL() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/: status %d", resp.StatusCode)
+	}
+}
+
+// hammerBackend is a concurrency-safe Backend for the hammer test: Submit
+// and Status race from many http.Server goroutines.
+type hammerBackend struct {
+	mu        sync.Mutex
+	submitted int64
+}
+
+func (b *hammerBackend) Submit(shardIdx int, key, value string) error {
+	b.mu.Lock()
+	b.submitted++
+	b.mu.Unlock()
+	return nil
+}
+
+func (b *hammerBackend) Query(shardIdx int, key string) (string, bool, error) {
+	return "", false, nil
+}
+
+func (b *hammerBackend) Status() Status {
+	b.mu.Lock()
+	n := b.submitted
+	b.mu.Unlock()
+	return Status{
+		Shards:          []ShardStatus{{Shard: 0, Finalized: n, DecidedTxs: n}},
+		AnchorFinalized: n,
+	}
+}
+
+// TestGatewayHammer drives concurrent POST /submit traffic while other
+// goroutines poll GET /status and GET /metrics: no handler may error, the
+// submit counter must account for every accepted request, and the metrics
+// exposition must stay well-formed under the race.
+func TestGatewayHammer(t *testing.T) {
+	backend := &hammerBackend{}
+	gw, err := NewGateway(4, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	const writers, perWriter, readers = 8, 50, 4
+	var failures atomic.Int64
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func(r int) {
+			defer readerWG.Done()
+			path := "/status"
+			if r%2 == 1 {
+				path = "/metrics"
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(gw.URL() + path)
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("%s: status %d", path, resp.StatusCode)
+					failures.Add(1)
+					return
+				}
+				if path == "/metrics" && !strings.Contains(string(body), "gateway_submits_total") {
+					t.Errorf("/metrics lost its counters under load:\n%s", body)
+					failures.Add(1)
+					return
+				}
+			}
+		}(r)
+	}
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("acct-%d-%d", w, i)
+				resp, err := http.PostForm(gw.URL()+"/submit", url.Values{"key": {key}, "value": {"v"}})
+				if err != nil {
+					failures.Add(1)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("submit %s: status %d", key, resp.StatusCode)
+					failures.Add(1)
+					return
+				}
+			}
+		}(w)
+	}
+	// Writers finish on their own; then release the readers.
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d request failures under load", failures.Load())
+	}
+	if got := backendCount(backend); got != writers*perWriter {
+		t.Fatalf("backend saw %d submissions, want %d", got, writers*perWriter)
+	}
+	// The gateway's own counter agrees with the backend.
+	resp, err := http.Get(gw.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if want := fmt.Sprintf("gateway_submits_total %d", writers*perWriter); !strings.Contains(string(body), want) {
+		t.Fatalf("/metrics missing %q in:\n%s", want, body)
+	}
+}
+
+func backendCount(b *hammerBackend) int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.submitted
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"tetrabft/internal/obs"
 	"tetrabft/internal/types"
 )
 
@@ -61,6 +62,56 @@ func TestBroadcastZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("broadcast/drain cycle allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestObsDisabledZeroAllocs is the observability overhead gate: with the
+// metrics registry compiled into the send/broadcast path but *disabled*
+// (Config.Metrics nil — the default every existing caller gets), the hot
+// path must still be 0 allocs/op. The enabled path is pinned too: resolved
+// counters are bare atomics, so turning metrics on costs no allocations
+// either.
+func TestObsDisabledZeroAllocs(t *testing.T) {
+	r, env := newSinkRunner(4)
+	if r.mSent != nil || r.mDropped != nil {
+		t.Fatal("nil Config.Metrics must resolve nil (no-op) counters")
+	}
+	msg := types.Message(types.VoteMsg{Phase: 2, View: 3, Val: "val-0"})
+	env.Broadcast(msg)
+	for r.queue.len() > 0 {
+		r.queue.pop()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		env.Send(1, msg)
+		r.queue.pop()
+		env.Broadcast(msg)
+		for r.queue.len() > 0 {
+			r.queue.pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("send/broadcast with disabled metrics allocates %.2f times, want 0", allocs)
+	}
+
+	reg := obs.NewRegistry()
+	r2 := New(Config{Seed: 1, Metrics: reg})
+	for i := 0; i < 4; i++ {
+		r2.Add(&sink{id: types.NodeID(i)})
+	}
+	env2 := r2.envs[0]
+	env2.Broadcast(msg)
+	for r2.queue.len() > 0 {
+		r2.queue.pop()
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		env2.Send(1, msg)
+		r2.queue.pop()
+	})
+	if allocs != 0 {
+		t.Errorf("send with enabled metrics allocates %.2f times, want 0", allocs)
+	}
+	if got := reg.Counter("sim_messages_sent_total").Value(); got == 0 {
+		t.Error("enabled registry counted no sends")
 	}
 }
 

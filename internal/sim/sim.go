@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"tetrabft/internal/obs"
 	"tetrabft/internal/types"
 )
 
@@ -102,6 +103,11 @@ type Config struct {
 	Adversary Adversary
 	// EventBudget caps processed events (0 = default 5,000,000).
 	EventBudget int
+	// Metrics optionally counts hot-path activity (messages, drops,
+	// events, timer coalescing). Nil — the default — costs one nil check
+	// per event: the send/broadcast/timer paths stay 0 allocs/op, which
+	// the perf tests pin with obs compiled in.
+	Metrics *obs.Registry
 }
 
 // Decision records one node's decision for one slot.
@@ -141,6 +147,14 @@ type Runner struct {
 	// Watch, when non-nil, observes every delivered message (after the
 	// adversary). Used by invariant monitors in tests.
 	Watch func(from, to types.NodeID, msg types.Message, at types.Time)
+
+	// Pre-resolved metric instruments (nil when Config.Metrics is nil;
+	// nil instruments are no-ops, keeping the hot path alloc-free).
+	mSent      *obs.Counter
+	mDropped   *obs.Counter
+	mEvents    *obs.Counter
+	mTimers    *obs.Counter
+	mCoalesced *obs.Counter
 }
 
 // New creates a runner with the given configuration.
@@ -163,6 +177,11 @@ func New(cfg Config) *Runner {
 		armed:     make(map[timerKey]struct{}, 64),
 	}
 	r.queue.ev = make([]event, 0, 1024)
+	r.mSent = cfg.Metrics.Counter("sim_messages_sent_total")
+	r.mDropped = cfg.Metrics.Counter("sim_messages_dropped_total")
+	r.mEvents = cfg.Metrics.Counter("sim_events_total")
+	r.mTimers = cfg.Metrics.Counter("sim_timer_fires_total")
+	r.mCoalesced = cfg.Metrics.Counter("sim_timers_coalesced_total")
 	return r
 }
 
@@ -211,8 +230,10 @@ func (r *Runner) Run(until types.Time, stop func() bool) error {
 		}
 		m := r.machines[ev.node]
 		env := r.envs[ev.node]
+		r.mEvents.Inc()
 		if ev.timer {
 			delete(r.armed, timerKey{node: ev.node, id: ev.timerID, at: ev.at})
+			r.mTimers.Inc()
 			m.Tick(env, ev.timerID)
 			continue
 		}
@@ -339,6 +360,7 @@ func (e *env) SetTimer(id types.TimerID, d types.Duration) {
 	key := timerKey{node: e.self, id: id, at: at}
 	if _, dup := e.r.armed[key]; dup {
 		e.r.coalesced++
+		e.r.mCoalesced.Inc()
 		return
 	}
 	e.r.armed[key] = struct{}{}
@@ -365,8 +387,10 @@ func (e *env) Decide(slot types.Slot, val types.Value) {
 func (r *Runner) send(from, to types.NodeID, msg types.Message, size int64) {
 	r.sentBytes[from] += size
 	r.sentMsgs[msg.Kind()]++
+	r.mSent.Inc()
 	if _, known := r.machines[to]; !known {
 		r.dropped++
+		r.mDropped.Inc()
 		return
 	}
 
@@ -375,6 +399,7 @@ func (r *Runner) send(from, to types.NodeID, msg types.Message, size int64) {
 		v := r.cfg.Adversary.Intercept(from, to, msg, r.now)
 		if v.Drop {
 			r.dropped++
+			r.mDropped.Inc()
 			return
 		}
 		if v.Replace != nil {
@@ -389,6 +414,7 @@ func (r *Runner) send(from, to types.NodeID, msg types.Message, size int64) {
 		if r.now < r.cfg.GST {
 			if r.rng.Float64() < r.cfg.DropBeforeGST {
 				r.dropped++
+				r.mDropped.Inc()
 				return
 			}
 			if r.cfg.GST > at {

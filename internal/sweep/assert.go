@@ -11,6 +11,7 @@ var metricNames = []string{
 	"latency", "decided", "traffic", "storage", "max_view", "events",
 	"dropped", "finalized", "decided_txs", "tx_p50", "tx_p99",
 	"tx_throughput", "anchor_epochs", "anchor_p99",
+	"stage_e2e_p50", "stage_e2e_p99",
 }
 
 // aggNames are the distribution aggregates usable in assertions.

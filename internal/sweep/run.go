@@ -5,6 +5,7 @@ import (
 
 	"tetrabft/internal/par"
 	"tetrabft/internal/scenario"
+	"tetrabft/internal/trace"
 )
 
 // Result is what a sweep run measured: one CellResult per grid cell, in
@@ -79,6 +80,8 @@ func (c CellResult) LabelString() string { return labelString(c.Labels) }
 //	tx_throughput  — decided transactions per 1000 ticks of run time
 //	anchor_epochs — anchor epochs committed across shards (sharded runs)
 //	anchor_p99    — anchor-commit latency p99 (sharded runs)
+//	stage_e2e_p50, stage_e2e_p99 — propose→finalize stage-span percentiles,
+//	            present only when the cell's spec sets collect.stages
 type RepResult struct {
 	Seed         int64   `json:"seed"`
 	Latency      int64   `json:"latency"`
@@ -95,7 +98,13 @@ type RepResult struct {
 	TxThroughput float64 `json:"tx_throughput"`
 	AnchorEpochs int64   `json:"anchor_epochs,omitempty"`
 	AnchorP99    int64   `json:"anchor_p99,omitempty"`
+	StageE2EP50  int64   `json:"stage_e2e_p50,omitempty"`
+	StageE2EP99  int64   `json:"stage_e2e_p99,omitempty"`
 	Error        string  `json:"error,omitempty"`
+
+	// stageObserved marks that the replicate carried a stage breakdown at
+	// all, so a legitimate zero percentile still becomes a sample.
+	stageObserved bool
 }
 
 // repOf extracts the replicate metrics from a scenario result (res may be
@@ -134,6 +143,10 @@ func repOf(seed int64, res *scenario.Result, err error) RepResult {
 	rep.TxP99 = res.TxLatencyP99
 	if res.FinishedAt > 0 && res.DecidedTxs > 0 {
 		rep.TxThroughput = float64(res.DecidedTxs) * 1000 / float64(res.FinishedAt)
+	}
+	if d, ok := res.StageDist(trace.StageProposeToFinalize); ok {
+		rep.StageE2EP50, rep.StageE2EP99 = d.P50, d.P99
+		rep.stageObserved = true
 	}
 	return rep
 }
@@ -227,6 +240,10 @@ func RunObserved(sw Sweep, observe Observer) (*Result, error) {
 			samples["tx_throughput"] = append(samples["tx_throughput"], rep.TxThroughput)
 			samples["anchor_epochs"] = append(samples["anchor_epochs"], float64(rep.AnchorEpochs))
 			samples["anchor_p99"] = append(samples["anchor_p99"], float64(rep.AnchorP99))
+			if rep.stageObserved {
+				samples["stage_e2e_p50"] = append(samples["stage_e2e_p50"], float64(rep.StageE2EP50))
+				samples["stage_e2e_p99"] = append(samples["stage_e2e_p99"], float64(rep.StageE2EP99))
+			}
 		}
 		cr.Stats = make(map[string]Dist, len(samples))
 		for name, vals := range samples {

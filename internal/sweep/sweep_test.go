@@ -312,3 +312,46 @@ func TestDiff(t *testing.T) {
 		}
 	}
 }
+
+// TestStageMetricsOptIn pins the stage_e2e_* sweep metrics: present and
+// assertable when the cell spec collects stages, absent otherwise.
+func TestStageMetricsOptIn(t *testing.T) {
+	sw := Sweep{
+		Name: "stage-metrics",
+		Base: scenario.Scenario{
+			Protocol: scenario.TetraBFTMulti,
+			Nodes:    4,
+			Workload: scenario.WorkloadSpec{MaxSlot: 8},
+			Stop:     scenario.StopSpec{Horizon: 5000},
+			Collect:  scenario.CollectSpec{Stages: true},
+		},
+		Axes:       []Axis{{Field: "delta", Ints: []int64{10}}},
+		Replicates: 2,
+		Assert:     []string{"max_stage_e2e_p99 <= 50", "min_stage_e2e_p50 >= 1"},
+	}
+	res, err := Run(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("stage assertions failed: %+v", res.Cells[0].FailedAsserts)
+	}
+	if d := res.Cells[0].Stats["stage_e2e_p50"]; d.Count != 2 {
+		t.Errorf("stage_e2e_p50 has %d samples, want 2", d.Count)
+	}
+
+	// Without collect.stages the metric has no samples and the assertion
+	// fails loudly instead of passing vacuously.
+	sw.Base.Collect.Stages = false
+	sw.Name = "stage-metrics-off"
+	res, err = Run(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass {
+		t.Error("stage assertion passed without stage collection")
+	}
+	if len(res.Cells[0].FailedAsserts) == 0 || !strings.Contains(res.Cells[0].FailedAsserts[0], "no stage_e2e") {
+		t.Errorf("failed asserts = %v, want a no-samples failure", res.Cells[0].FailedAsserts)
+	}
+}

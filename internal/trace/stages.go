@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"sort"
+
+	"tetrabft/internal/types"
+)
+
+// Stage-aware slot lifecycle folding. Both protocol families emit into the
+// same Event stream with different vocabularies:
+//
+//   - single-shot cores (Multi=false, slot-less): "propose", "vote-1",
+//     "vote-2", ... and a terminal "decide";
+//   - multi-shot (Multi=true, Slot >= 1): "propose", "vote", "notarize",
+//     "finalize" — where the pipelined vote for slot s+1 doubles as the
+//     second voting round for slot s.
+//
+// FoldSlotStages maps both onto one canonical lifecycle, so the scenario
+// layer's Result.Stages uses a single definition on the simulator (ticks)
+// and the TCP engine (ms). All timestamps are cluster-earliest (min across
+// nodes), which makes the fold insensitive to event ordering — TCP traces
+// arrive in wall-clock order from many nodes at once.
+
+// Unobserved marks a lifecycle timestamp no event supplied.
+const Unobserved types.Time = -1
+
+// SlotStages is one slot's lifecycle: the earliest time any node reached
+// each stage. Single-shot runs fold to a single slot-0 entry.
+type SlotStages struct {
+	Slot     types.Slot `json:"slot"`
+	Propose  types.Time `json:"propose"`
+	Vote1    types.Time `json:"vote1"`
+	Vote2    types.Time `json:"vote2"`
+	Notarize types.Time `json:"notarize"`
+	Finalize types.Time `json:"finalize"`
+}
+
+// Canonical stage-interval names, in lifecycle order. ProposeToFinalize is
+// the end-to-end span; ViewChangeDwell aggregates view-change → enter-view
+// waits and is not per-slot.
+const (
+	StageProposeToVote1     = "propose->vote-1"
+	StageVote1ToVote2       = "vote-1->vote-2"
+	StageVote2ToNotarize    = "vote-2->notarize"
+	StageVote2ToFinalize    = "vote-2->finalize" // single-shot: no notarize stage
+	StageNotarizeToFinalize = "notarize->finalize"
+	StageProposeToFinalize  = "propose->finalize"
+	StageViewChangeDwell    = "view-change-dwell"
+)
+
+// StageOrder is the canonical presentation order for stage intervals.
+var StageOrder = []string{
+	StageProposeToVote1,
+	StageVote1ToVote2,
+	StageVote2ToNotarize,
+	StageVote2ToFinalize,
+	StageNotarizeToFinalize,
+	StageProposeToFinalize,
+	StageViewChangeDwell,
+}
+
+// FoldSlotStages folds an event stream into per-slot lifecycle timestamps,
+// sorted by slot. Events of unknown types are ignored, so protocol rows
+// with richer vocabularies fold cleanly.
+func FoldSlotStages(events []Event) []SlotStages {
+	bySlot := make(map[types.Slot]*SlotStages)
+	at := func(slot types.Slot) *SlotStages {
+		ss, ok := bySlot[slot]
+		if !ok {
+			ss = &SlotStages{
+				Slot:    slot,
+				Propose: Unobserved, Vote1: Unobserved, Vote2: Unobserved,
+				Notarize: Unobserved, Finalize: Unobserved,
+			}
+			bySlot[slot] = ss
+		}
+		return ss
+	}
+	earliest := func(field *types.Time, t types.Time) {
+		if *field == Unobserved || t < *field {
+			*field = t
+		}
+	}
+	for _, e := range events {
+		if e.Multi {
+			switch e.Type {
+			case "propose":
+				earliest(&at(e.Slot).Propose, e.Time)
+			case "vote":
+				// The pipelined vote for slot s is the first voting round
+				// for s and the second voting round for s-1.
+				earliest(&at(e.Slot).Vote1, e.Time)
+				if e.Slot > 1 {
+					earliest(&at(e.Slot-1).Vote2, e.Time)
+				}
+			case "notarize":
+				earliest(&at(e.Slot).Notarize, e.Time)
+			case "finalize":
+				earliest(&at(e.Slot).Finalize, e.Time)
+			}
+			continue
+		}
+		switch e.Type {
+		case "propose":
+			earliest(&at(e.Slot).Propose, e.Time)
+		case "vote-1":
+			earliest(&at(e.Slot).Vote1, e.Time)
+		case "vote-2":
+			earliest(&at(e.Slot).Vote2, e.Time)
+		case "decide":
+			earliest(&at(e.Slot).Finalize, e.Time)
+		}
+	}
+	out := make([]SlotStages, 0, len(bySlot))
+	for _, ss := range bySlot {
+		out = append(out, *ss)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}
+
+// StageSpan is one measured stage interval on one slot.
+type StageSpan struct {
+	Stage string
+	Slot  types.Slot
+	Ticks int64
+}
+
+// StageSpans extracts every observable stage interval from folded slot
+// stages. Intervals with an unobserved endpoint are skipped, as are
+// negative ones (a cross-slot pipelined vote can in principle precede a
+// laggard propose under heavy reordering).
+func StageSpans(stages []SlotStages) []StageSpan {
+	var out []StageSpan
+	span := func(name string, slot types.Slot, from, to types.Time) {
+		if from == Unobserved || to == Unobserved || to < from {
+			return
+		}
+		out = append(out, StageSpan{Stage: name, Slot: slot, Ticks: int64(to - from)})
+	}
+	for _, ss := range stages {
+		span(StageProposeToVote1, ss.Slot, ss.Propose, ss.Vote1)
+		span(StageVote1ToVote2, ss.Slot, ss.Vote1, ss.Vote2)
+		if ss.Notarize != Unobserved {
+			span(StageVote2ToNotarize, ss.Slot, ss.Vote2, ss.Notarize)
+			span(StageNotarizeToFinalize, ss.Slot, ss.Notarize, ss.Finalize)
+		} else {
+			span(StageVote2ToFinalize, ss.Slot, ss.Vote2, ss.Finalize)
+		}
+		span(StageProposeToFinalize, ss.Slot, ss.Propose, ss.Finalize)
+	}
+	return out
+}
+
+// ViewChangeDwells measures, per node, the wait from each "view-change"
+// broadcast to that node's next "enter-view" — the view-change dwell the
+// paper bounds. Returns the dwells in event order.
+func ViewChangeDwells(events []Event) []int64 {
+	type key struct {
+		node types.NodeID
+		slot types.Slot
+	}
+	pending := make(map[key]types.Time)
+	var out []int64
+	for _, e := range events {
+		k := key{e.Node, e.Slot}
+		switch e.Type {
+		case "view-change":
+			// Keep the earliest pending start: repeated view-changes
+			// before recovery extend one dwell, not several.
+			if _, ok := pending[k]; !ok {
+				pending[k] = e.Time
+			}
+		case "enter-view":
+			if start, ok := pending[k]; ok {
+				if d := int64(e.Time - start); d >= 0 {
+					out = append(out, d)
+				}
+				delete(pending, k)
+			}
+		}
+	}
+	return out
+}

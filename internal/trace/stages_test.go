@@ -1,0 +1,202 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestEventStringMultiSlotZeroExplicit(t *testing.T) {
+	// A multishot event always prints its slot — even slot 0 — while a
+	// slot-less single-shot event still elides it.
+	multi := Event{Time: 1, Node: 0, Type: "finalize", Slot: 0, Multi: true}
+	if !strings.Contains(multi.String(), "slot=0") {
+		t.Errorf("multishot slot-0 event hides its slot: %q", multi.String())
+	}
+	single := Event{Time: 1, Node: 0, Type: "decide", Slot: 0}
+	if strings.Contains(single.String(), "slot=") {
+		t.Errorf("single-shot event grew a slot: %q", single.String())
+	}
+}
+
+func TestEventMarshalJSON(t *testing.T) {
+	multi := Event{Time: 5, Node: 2, Type: "vote", View: 1, Slot: 3, Multi: true}
+	data, err := json.Marshal(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["slot"] != float64(3) || got["type"] != "vote" || got["t"] != float64(5) {
+		t.Fatalf("multishot marshal = %s", data)
+	}
+	if _, ok := got["val"]; ok {
+		t.Fatalf("empty val not omitted: %s", data)
+	}
+
+	single := Event{Time: 2, Node: 0, Type: "decide", View: 0, Val: "v"}
+	data, err = json.Marshal(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = nil
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["slot"]; ok {
+		t.Fatalf("slot-less event marshaled a slot: %s", data)
+	}
+	if got["val"] != "v" {
+		t.Fatalf("val lost: %s", data)
+	}
+
+	// Multishot slot 0 stays explicit in JSON too.
+	data, err = json.Marshal(Event{Type: "x", Multi: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"slot":0`)) {
+		t.Fatalf("multishot slot 0 omitted: %s", data)
+	}
+}
+
+// multishotGoodCase is a hand-built pipelined trace: propose at t, votes one
+// delay later, slot s+1's vote doubling as slot s's second round.
+func multishotGoodCase() []Event {
+	return []Event{
+		{Time: 0, Node: 0, Type: "propose", Slot: 1, Multi: true},
+		{Time: 1, Node: 1, Type: "vote", Slot: 1, Multi: true},
+		{Time: 1, Node: 2, Type: "vote", Slot: 1, Multi: true},
+		{Time: 1, Node: 0, Type: "propose", Slot: 2, Multi: true},
+		{Time: 2, Node: 1, Type: "vote", Slot: 2, Multi: true}, // vote-2 for slot 1
+		{Time: 2, Node: 0, Type: "notarize", Slot: 1, Multi: true},
+		{Time: 3, Node: 0, Type: "finalize", Slot: 1, Multi: true},
+		{Time: 3, Node: 0, Type: "notarize", Slot: 2, Multi: true},
+		{Time: 4, Node: 0, Type: "finalize", Slot: 2, Multi: true},
+	}
+}
+
+func TestFoldSlotStagesMultishot(t *testing.T) {
+	stages := FoldSlotStages(multishotGoodCase())
+	if len(stages) != 2 {
+		t.Fatalf("folded %d slots, want 2", len(stages))
+	}
+	s1 := stages[0]
+	want := SlotStages{Slot: 1, Propose: 0, Vote1: 1, Vote2: 2, Notarize: 2, Finalize: 3}
+	if s1 != want {
+		t.Fatalf("slot 1 stages = %+v, want %+v", s1, want)
+	}
+	// Slot 2's vote-2 is unobserved (no slot-3 vote in this trace).
+	if stages[1].Vote2 != Unobserved {
+		t.Fatalf("slot 2 vote2 = %d, want unobserved", stages[1].Vote2)
+	}
+}
+
+func TestFoldSlotStagesSingleShot(t *testing.T) {
+	events := []Event{
+		{Time: 0, Node: 0, Type: "propose", View: 0},
+		{Time: 1, Node: 1, Type: "vote-1", View: 0},
+		{Time: 1, Node: 2, Type: "vote-1", View: 0},
+		{Time: 2, Node: 1, Type: "vote-2", View: 0},
+		{Time: 3, Node: 1, Type: "decide", View: 0},
+		{Time: 4, Node: 2, Type: "decide", View: 0},
+	}
+	stages := FoldSlotStages(events)
+	if len(stages) != 1 {
+		t.Fatalf("folded %d slots, want 1", len(stages))
+	}
+	got := stages[0]
+	want := SlotStages{Slot: 0, Propose: 0, Vote1: 1, Vote2: 2, Notarize: Unobserved, Finalize: 3}
+	if got != want {
+		t.Fatalf("stages = %+v, want %+v", got, want)
+	}
+
+	spans := StageSpans(stages)
+	byName := map[string]int64{}
+	for _, sp := range spans {
+		byName[sp.Stage] = sp.Ticks
+	}
+	if byName[StageProposeToVote1] != 1 || byName[StageVote1ToVote2] != 1 ||
+		byName[StageVote2ToFinalize] != 1 || byName[StageProposeToFinalize] != 3 {
+		t.Fatalf("single-shot spans = %v", byName)
+	}
+	if _, ok := byName[StageVote2ToNotarize]; ok {
+		t.Fatalf("single-shot trace grew a notarize stage: %v", byName)
+	}
+}
+
+// TestFoldOrderInsensitive shuffles the event stream: the min-based fold
+// must not care about delivery order (TCP traces interleave nodes).
+func TestFoldOrderInsensitive(t *testing.T) {
+	events := multishotGoodCase()
+	want := FoldSlotStages(events)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 20; i++ {
+		shuffled := append([]Event(nil), events...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		if got := FoldSlotStages(shuffled); !reflect.DeepEqual(got, want) {
+			t.Fatalf("fold differs after shuffle %d:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func TestViewChangeDwells(t *testing.T) {
+	events := []Event{
+		{Time: 10, Node: 0, Type: "view-change", View: 1, Slot: 2, Multi: true},
+		{Time: 12, Node: 0, Type: "view-change", View: 1, Slot: 2, Multi: true}, // retransmit: same dwell
+		{Time: 25, Node: 0, Type: "enter-view", View: 1, Slot: 2, Multi: true},
+		{Time: 30, Node: 1, Type: "view-change", View: 1},
+		{Time: 34, Node: 1, Type: "enter-view", View: 1},
+		{Time: 50, Node: 2, Type: "view-change", View: 2}, // never recovers: no dwell
+	}
+	got := ViewChangeDwells(events)
+	want := []int64{15, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("dwells = %v, want %v", got, want)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, multishotGoodCase()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	instants, spans := 0, 0
+	for _, rec := range doc.TraceEvents {
+		switch rec["ph"] {
+		case "i":
+			instants++
+		case "X":
+			spans++
+			if rec["dur"] == nil || rec["ts"] == nil {
+				t.Fatalf("span record missing ts/dur: %v", rec)
+			}
+		}
+	}
+	if instants != len(multishotGoodCase()) {
+		t.Fatalf("chrome trace has %d instants, want %d", instants, len(multishotGoodCase()))
+	}
+	if spans != 2 {
+		t.Fatalf("chrome trace has %d slot spans, want 2", spans)
+	}
+
+	// Deterministic output for identical input.
+	var buf2 bytes.Buffer
+	if err := WriteChrome(&buf2, multishotGoodCase()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("chrome trace output is not deterministic")
+	}
+}

@@ -4,6 +4,7 @@
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -20,12 +21,18 @@ type Event struct {
 	Slot types.Slot
 	Val  types.Value
 	Note string
+	// Multi marks events from the multi-shot protocol, where Slot is
+	// meaningful (slots start at 1, and 0 would otherwise be ambiguous
+	// with the slot-less single-shot events). Multishot emitters set it.
+	Multi bool
 }
 
-// String formats the event for human consumption.
+// String formats the event for human consumption. Multishot events always
+// print their slot — eliding slot 0 would make a "slot-0" event
+// indistinguishable from a slot-less single-shot one.
 func (e Event) String() string {
 	s := fmt.Sprintf("t=%-4d node=%d %-12s view=%d", e.Time, e.Node, e.Type, e.View)
-	if e.Slot != 0 {
+	if e.Multi || e.Slot != 0 {
 		s += fmt.Sprintf(" slot=%d", e.Slot)
 	}
 	if e.Val != "" {
@@ -39,6 +46,31 @@ func (e Event) String() string {
 		s += " " + e.Note
 	}
 	return s
+}
+
+// eventJSON is the machine-consumption shape of an Event. The slot is a
+// pointer so slot-less single-shot events omit it while a multishot slot-0
+// (never emitted today, but unambiguous if it ever is) stays explicit.
+type eventJSON struct {
+	Time types.Time   `json:"t"`
+	Node types.NodeID `json:"node"`
+	Type string       `json:"type"`
+	View types.View   `json:"view"`
+	Slot *types.Slot  `json:"slot,omitempty"`
+	Val  types.Value  `json:"val,omitempty"`
+	Note string       `json:"note,omitempty"`
+}
+
+// MarshalJSON renders the event for machine consumption: "slot" appears
+// exactly when the event carries one (any multishot event, or a non-zero
+// slot), and empty val/note are omitted.
+func (e Event) MarshalJSON() ([]byte, error) {
+	out := eventJSON{Time: e.Time, Node: e.Node, Type: e.Type, View: e.View, Val: e.Val, Note: e.Note}
+	if e.Multi || e.Slot != 0 {
+		slot := e.Slot
+		out.Slot = &slot
+	}
+	return json.Marshal(out)
 }
 
 // Tracer receives events.

@@ -31,6 +31,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"tetrabft/internal/obs"
 	"tetrabft/internal/types"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	// reconnects before abandoning it as stale (graceful degradation when
 	// a peer stays down; the protocols retransmit). Default 5s.
 	HeldFrameTTL time.Duration
+	// Metrics optionally counts transport activity (frames sent/received,
+	// bytes, reconnects, dropped frames). Nil — the default — resolves
+	// no-op counters; the frame paths pay one nil check each.
+	Metrics *obs.Registry
 }
 
 // Runtime hosts one Machine over TCP.
@@ -81,6 +86,15 @@ type Runtime struct {
 	killed   bool
 
 	closeOnce sync.Once
+
+	// Pre-resolved metric instruments (nil and free when Config.Metrics
+	// is nil).
+	mFramesSent *obs.Counter
+	mFramesRecv *obs.Counter
+	mBytesSent  *obs.Counter
+	mBytesRecv  *obs.Counter
+	mReconnects *obs.Counter
+	mDropped    *obs.Counter
 }
 
 type event struct {
@@ -161,7 +175,7 @@ func New(machine types.Machine, cfg Config) (*Runtime, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	return &Runtime{
+	r := &Runtime{
 		machine: machine,
 		cfg:     cfg,
 		ln:      ln,
@@ -170,7 +184,14 @@ func New(machine types.Machine, cfg Config) (*Runtime, error) {
 		peers:   make(map[types.NodeID]*peer),
 		timers:  make(map[uint64]*time.Timer),
 		conns:   make(map[net.Conn]struct{}),
-	}, nil
+	}
+	r.mFramesSent = cfg.Metrics.Counter("transport_frames_sent_total")
+	r.mFramesRecv = cfg.Metrics.Counter("transport_frames_received_total")
+	r.mBytesSent = cfg.Metrics.Counter("transport_bytes_sent_total")
+	r.mBytesRecv = cfg.Metrics.Counter("transport_bytes_received_total")
+	r.mReconnects = cfg.Metrics.Counter("transport_reconnects_total")
+	r.mDropped = cfg.Metrics.Counter("transport_frames_dropped_total")
+	return r, nil
 }
 
 // Addr returns the bound listen address (useful with ":0").
@@ -359,6 +380,8 @@ func (r *Runtime) readLoop(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		r.mFramesRecv.Inc()
+		r.mBytesRecv.Add(int64(len(payload)))
 		msg, err := types.Decode(payload)
 		if err != nil {
 			continue // garbage from this peer; keep the channel open
@@ -409,7 +432,9 @@ func (r *Runtime) writeLoop(p *peer) {
 				} else {
 					conn = c
 					backoff = initialBackoff
-					p.connects.Add(1)
+					if p.connects.Add(1) > 1 {
+						r.mReconnects.Inc()
+					}
 				}
 			}
 			if conn == nil {
@@ -419,6 +444,7 @@ func (r *Runtime) writeLoop(p *peer) {
 				if time.Since(heldSince) > r.cfg.HeldFrameTTL {
 					held = nil
 					p.droppedFrames.Add(1)
+					r.mDropped.Inc()
 				}
 				select {
 				case <-r.done:
@@ -437,6 +463,8 @@ func (r *Runtime) writeLoop(p *peer) {
 			conn = nil
 			continue // the held frame retries on the next reconnect
 		}
+		r.mFramesSent.Inc()
+		r.mBytesSent.Add(int64(len(held)))
 		held = nil
 	}
 }
@@ -531,6 +559,7 @@ func (r *Runtime) enqueue(p *peer, frame []byte) {
 	case p.queue <- frame:
 	default:
 		p.droppedFrames.Add(1)
+		r.mDropped.Inc()
 	}
 }
 
