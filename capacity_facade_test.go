@@ -1,0 +1,107 @@
+package tetrabft_test
+
+import (
+	"errors"
+	"testing"
+
+	"tetrabft"
+)
+
+// TestCapacityFacade runs a tiny knee search through the public façade: a
+// plan in, probes and a knee out.
+func TestCapacityFacade(t *testing.T) {
+	res, err := tetrabft.RunCapacity(tetrabft.CapacityPlan{
+		Name: "facade",
+		Base: tetrabft.Scenario{
+			Protocol: tetrabft.ScenarioTetraBFTMulti,
+			Nodes:    4,
+			Workload: tetrabft.WorkloadSpec{
+				Slots:     400,
+				BatchSize: 8,
+				Window:    2,
+				Arrival:   &tetrabft.ArrivalSpec{Process: tetrabft.ArrivalPoisson, Rate: 1},
+			},
+			Stop: tetrabft.StopSpec{Horizon: 800},
+		},
+		MinRate:   10,
+		MaxRate:   4000,
+		LoadTicks: 200,
+		Assert:    []string{"max_backlog <= 0", "max_tx_p99 <= 150"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass || !res.Saturated || res.KneeRate == 0 {
+		t.Fatalf("knee=%d saturated=%v pass=%v, want a saturated knee", res.KneeRate, res.Saturated, res.Pass)
+	}
+	if len(res.Probes) < 3 {
+		t.Fatalf("only %d probes — the bracket should have bisected", len(res.Probes))
+	}
+}
+
+// TestCapacityFacadeNamed checks the bundled plan registry and the JSON
+// plan path are reachable through the façade.
+func TestCapacityFacadeNamed(t *testing.T) {
+	cp, ok := tetrabft.CapacityPlanByName("tetrabft-multi-capacity")
+	if !ok {
+		t.Fatal("bundled capacity plan missing")
+	}
+	if len(tetrabft.NamedCapacityPlans()) == 0 {
+		t.Fatal("no bundled capacity plans")
+	}
+	data, err := cp.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := tetrabft.ParseCapacityPlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != cp.Name || back.MaxRate != cp.MaxRate {
+		t.Fatalf("round-trip lost fields: %+v", back)
+	}
+}
+
+// TestCapacityFacadeRateWithoutCount pins the exported named error: a
+// paced stream with no bound is rejected, and tx_count is the knob that
+// wins.
+func TestCapacityFacadeRateWithoutCount(t *testing.T) {
+	_, err := tetrabft.RunScenario(tetrabft.Scenario{
+		Protocol: tetrabft.ScenarioTetraBFTMulti,
+		Nodes:    4,
+		Workload: tetrabft.WorkloadSpec{Slots: 4, TxRate: 100},
+		Stop:     tetrabft.StopSpec{Horizon: 1000},
+	})
+	if !errors.Is(err, tetrabft.ErrRateWithoutCount) {
+		t.Fatalf("want ErrRateWithoutCount, got %v", err)
+	}
+}
+
+// TestWorkloadFacadeCohortsAndPhases drives the full open-loop vocabulary
+// through the façade: process, cohorts, phases.
+func TestWorkloadFacadeCohortsAndPhases(t *testing.T) {
+	res, err := tetrabft.RunScenario(tetrabft.Scenario{
+		Protocol: tetrabft.ScenarioTetraBFTMulti,
+		Nodes:    4,
+		Workload: tetrabft.WorkloadSpec{
+			Slots:   20,
+			TxCount: 60,
+			Arrival: &tetrabft.ArrivalSpec{Process: tetrabft.ArrivalGamma, Rate: 50, Shape: 0.5},
+			Cohorts: []tetrabft.CohortSpec{
+				{Name: "hot", Weight: 3, Keys: 2},
+				{Name: "cold", Weight: 1, Keys: 64, TxBytes: 128},
+			},
+			Phases: []tetrabft.PhaseSpec{
+				{Duration: 50, RateFactor: 2},
+				{Duration: 50, RateFactor: 0.5},
+			},
+		},
+		Stop: tetrabft.StopSpec{Horizon: 4000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OfferedTxs != 60 || res.DecidedTxs == 0 {
+		t.Fatalf("offered=%d decided=%d, want the mixed stream to flow", res.OfferedTxs, res.DecidedTxs)
+	}
+}

@@ -6,10 +6,15 @@
 //	-run FILE        run a JSON sweep spec (see internal/sweep and the
 //	                 EXPERIMENTS.md "Sweeps & fuzzing" section)
 //	-name NAME       run a bundled named sweep (-list shows them)
+//	-capacity P      run a capacity plan: bracket and bisect to the highest
+//	                 offered rate the SLOs sustain. P is a bundled plan name
+//	                 (-list shows them) or a JSON plan file; the snapshot is
+//	                 tetrabft-capacity/v1 and a plan that finds no knee (or
+//	                 misses its target_rate) exits 1
 //	-fuzz N          sample and run N random scenarios; any failure is
 //	                 shrunk to a minimal reproducing Scenario JSON
 //	-compare A B     diff two tetrabft-sweep/v1 snapshots
-//	-list            list the bundled named sweeps
+//	-list            list the bundled named sweeps and capacity plans
 //
 // Reports go to stdout (-format md|csv|json, default md) and are
 // byte-identical across runs and GOMAXPROCS values; -json FILE additionally
@@ -37,6 +42,7 @@ func main() {
 	var (
 		runPath    = flag.String("run", "", "run the JSON sweep spec at this path")
 		name       = flag.String("name", "", "run the bundled named sweep")
+		capacity   = flag.String("capacity", "", "run a capacity plan (bundled name or JSON file)")
 		fuzzRuns   = flag.Int("fuzz", 0, "sample and run this many random scenarios")
 		compare    = flag.Bool("compare", false, "diff the two snapshot files given as arguments")
 		list       = flag.Bool("list", false, "list the bundled named sweeps")
@@ -57,7 +63,7 @@ func main() {
 		os.Exit(1)
 	}
 	code, err := run(options{
-		runPath: *runPath, name: *name, fuzzRuns: *fuzzRuns, compare: *compare,
+		runPath: *runPath, name: *name, capacity: *capacity, fuzzRuns: *fuzzRuns, compare: *compare,
 		list: *list, format: *format, jsonPath: *jsonPath, fuzzSeed: *fuzzSeed,
 		maxNodes: *maxNodes, protocols: *protocols, mutations: *mutations,
 		outDir: *outDir, args: flag.Args(),
@@ -77,6 +83,7 @@ func main() {
 
 type options struct {
 	runPath, name    string
+	capacity         string
 	fuzzRuns         int
 	compare, list    bool
 	format, jsonPath string
@@ -91,13 +98,13 @@ type options struct {
 // run executes one mode and returns the process exit code (0 pass, 1 fail).
 func run(opts options, stdout io.Writer) (int, error) {
 	modes := 0
-	for _, on := range []bool{opts.runPath != "", opts.name != "", opts.fuzzRuns > 0, opts.compare, opts.list} {
+	for _, on := range []bool{opts.runPath != "", opts.name != "", opts.capacity != "", opts.fuzzRuns > 0, opts.compare, opts.list} {
 		if on {
 			modes++
 		}
 	}
 	if modes != 1 {
-		return 1, fmt.Errorf("pick exactly one mode: -run FILE, -name NAME, -fuzz N, -compare A B or -list")
+		return 1, fmt.Errorf("pick exactly one mode: -run FILE, -name NAME, -capacity PLAN, -fuzz N, -compare A B or -list")
 	}
 	switch opts.format {
 	case "md", "csv", "json":
@@ -108,7 +115,10 @@ func run(opts options, stdout io.Writer) (int, error) {
 	switch {
 	case opts.list:
 		for _, sw := range sweep.Named() {
-			fmt.Fprintf(stdout, "%-20s %d axes, %d asserts\n", sw.Name, len(sw.Axes), len(sw.Assert))
+			fmt.Fprintf(stdout, "%-25s sweep     %d axes, %d asserts\n", sw.Name, len(sw.Axes), len(sw.Assert))
+		}
+		for _, cp := range sweep.NamedCapacity() {
+			fmt.Fprintf(stdout, "%-25s capacity  bracket [%d, %d], %d asserts\n", cp.Name, cp.MinRate, cp.MaxRate, len(cp.Assert))
 		}
 		return 0, nil
 
@@ -117,6 +127,9 @@ func run(opts options, stdout io.Writer) (int, error) {
 
 	case opts.fuzzRuns > 0:
 		return runFuzz(opts, stdout)
+
+	case opts.capacity != "":
+		return runCapacity(opts, stdout)
 	}
 
 	var sw sweep.Sweep
@@ -151,6 +164,50 @@ func run(opts options, stdout io.Writer) (int, error) {
 		fmt.Fprintf(stdout, "%s\n", data)
 	default: // "md", validated above
 		sweep.WriteMarkdown(stdout, res)
+	}
+	if opts.jsonPath != "" {
+		data, err := res.MarshalIndent()
+		if err != nil {
+			return 1, err
+		}
+		if err := os.WriteFile(opts.jsonPath, append(data, '\n'), 0o644); err != nil {
+			return 1, err
+		}
+	}
+	if !res.Pass {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// runCapacity resolves the plan (bundled name first, then a JSON file),
+// runs the knee search and reports it.
+func runCapacity(opts options, stdout io.Writer) (int, error) {
+	cp, ok := sweep.CapacityByName(opts.capacity)
+	if !ok {
+		data, err := os.ReadFile(opts.capacity)
+		if err != nil {
+			return 1, fmt.Errorf("-capacity %q is neither a bundled plan (-list shows them) nor a readable file: %w", opts.capacity, err)
+		}
+		if cp, err = sweep.ParseCapacity(data); err != nil {
+			return 1, err
+		}
+	}
+	res, err := sweep.RunCapacity(cp)
+	if err != nil {
+		return 1, err
+	}
+	switch opts.format {
+	case "csv":
+		return 1, fmt.Errorf("-format csv is not supported for -capacity (use md or json)")
+	case "json":
+		data, err := res.MarshalIndent()
+		if err != nil {
+			return 1, err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	default: // "md", validated above
+		sweep.WriteCapacityMarkdown(stdout, res)
 	}
 	if opts.jsonPath != "" {
 		data, err := res.MarshalIndent()

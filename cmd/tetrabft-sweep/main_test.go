@@ -199,6 +199,112 @@ func TestFuzzCleanAndTeeth(t *testing.T) {
 	}
 }
 
+// smallCapacity writes a fast capacity plan to dir and returns its path.
+func smallCapacity(t *testing.T, dir string) string {
+	t.Helper()
+	spec := `{
+  "name": "cli-capacity",
+  "base": {
+    "protocol": "tetrabft-multi",
+    "nodes": 4,
+    "workload": {"slots": 400, "batch_size": 8, "window": 2,
+                 "arrival": {"process": "poisson", "rate": 1}},
+    "stop": {"horizon": 800}
+  },
+  "min_rate": 10,
+  "max_rate": 4000,
+  "load_ticks": 200,
+  "assert": ["max_backlog <= 0", "max_tx_p99 <= 150"]
+}`
+	path := filepath.Join(dir, "capacity.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCapacityModeFile runs a capacity plan file end to end: exit 0, probe
+// table, tetrabft-capacity/v1 snapshot written.
+func TestCapacityModeFile(t *testing.T) {
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "cap.json")
+	var out strings.Builder
+	code, err := run(options{capacity: smallCapacity(t, dir), format: "md", jsonPath: snap}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v\n%s", code, err, out.String())
+	}
+	for _, want := range []string{"## capacity: cli-capacity", "knee:", "verdict: PASS"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output lacks %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sweep.ParseCapacityResult(data)
+	if err != nil || res.Schema != sweep.CapacitySchema {
+		t.Fatalf("snapshot does not parse as %s: %v", sweep.CapacitySchema, err)
+	}
+	if res.KneeRate == 0 || !res.Saturated {
+		t.Errorf("snapshot knee=%d saturated=%v, want a saturated knee", res.KneeRate, res.Saturated)
+	}
+}
+
+// TestCapacityModeVerdicts pins the capacity exit codes: a missed
+// target_rate is exit 1 without an error, an unknown plan is an error, and
+// csv is rejected up front.
+func TestCapacityModeVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	path := smallCapacity(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := sweep.ParseCapacity(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp.TargetRate = cp.MaxRate * 10
+	strict, err := cp.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	miss := filepath.Join(dir, "miss.json")
+	if err := os.WriteFile(miss, strict, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	code, err := run(options{capacity: miss, format: "md"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 || !strings.Contains(out.String(), "verdict: FAIL") {
+		t.Errorf("missed target: code=%d, want 1 with a FAIL verdict:\n%s", code, out.String())
+	}
+
+	if code, err := run(options{capacity: "no-such-plan", format: "md"}, &out); err == nil || code != 1 {
+		t.Errorf("unknown plan: code=%d err=%v", code, err)
+	}
+	if _, err := run(options{capacity: path, format: "csv"}, &out); err == nil {
+		t.Error("-format csv accepted for -capacity")
+	}
+}
+
+// TestListIncludesCapacityPlans: -list shows both registries.
+func TestListIncludesCapacityPlans(t *testing.T) {
+	var out strings.Builder
+	code, err := run(options{list: true, format: "md"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("code=%d err=%v", code, err)
+	}
+	for _, want := range []string{"offered-load-shootout", "tetrabft-multi-capacity"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
 // TestFuzzFormats pins -format handling in fuzz mode: json emits the
 // machine-readable report, csv is rejected up front.
 func TestFuzzFormats(t *testing.T) {

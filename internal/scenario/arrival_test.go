@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+
+	"tetrabft/internal/workload"
+)
+
+func arrivalScenario() Scenario {
+	return Scenario{
+		Name:     "arrival-e2e",
+		Protocol: TetraBFTMulti,
+		Nodes:    4,
+		Workload: WorkloadSpec{
+			Slots:   12,
+			TxCount: 120,
+			Arrival: &workload.ArrivalSpec{Process: workload.ProcessPoisson, Rate: 50},
+		},
+		Stop:    StopSpec{Horizon: 3000},
+		Collect: CollectSpec{Chain: true},
+	}
+}
+
+// TestArrivalWorkloadSim drives an arrival-process workload end to end on
+// the simulator: transactions must commit, the offered count must be
+// reported, and two runs must be byte-identical.
+func TestArrivalWorkloadSim(t *testing.T) {
+	sc := arrivalScenario()
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.OfferedTxs != 120 {
+		t.Fatalf("OfferedTxs = %d, want 120", res.OfferedTxs)
+	}
+	if res.DecidedTxs == 0 {
+		t.Fatal("no transactions decided under the arrival-process stream")
+	}
+	if res.DecidedTxs > res.OfferedTxs {
+		t.Fatalf("decided %d > offered %d", res.DecidedTxs, res.OfferedTxs)
+	}
+	if res.TxLatencyP50 <= 0 || res.TxLatencyP99 < res.TxLatencyP50 {
+		t.Fatalf("bad latency percentiles p50=%d p99=%d", res.TxLatencyP50, res.TxLatencyP99)
+	}
+	again, err := Run(sc)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	ja, _ := json.Marshal(res)
+	jb, _ := json.Marshal(again)
+	if string(ja) != string(jb) {
+		t.Fatal("two identical arrival-process runs diverged")
+	}
+}
+
+// TestArrivalCohortsAndPhasesSim exercises the full workload surface
+// (cohort mix + rate phases) through the sim engine.
+func TestArrivalCohortsAndPhasesSim(t *testing.T) {
+	sc := arrivalScenario()
+	sc.Workload.Arrival = &workload.ArrivalSpec{Process: workload.ProcessGamma, Rate: 60, Shape: 0.5}
+	sc.Workload.Cohorts = []workload.CohortSpec{
+		{Name: "hot", Weight: 3, Keys: 4},
+		{Name: "bulk", Weight: 1, Keys: 256, TxBytes: 128},
+	}
+	sc.Workload.Phases = []workload.PhaseSpec{
+		{Duration: 400, RateFactor: 1},
+		{Duration: 200, RateFactor: 3},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.DecidedTxs == 0 {
+		t.Fatal("no transactions decided")
+	}
+}
+
+// TestArrivalScheduleEngineIndependent pins the tentpole's contract: the
+// schedule both engines submit comes from one generator and is identical
+// whatever the engine field says and whatever GOMAXPROCS is.
+func TestArrivalScheduleEngineIndependent(t *testing.T) {
+	simSc := arrivalScenario()
+	tcpSc := arrivalScenario()
+	tcpSc.Engine = EngineTCP
+	tcpSc.Stop = StopSpec{WallClockMS: 1000}
+
+	schedule := func(sc Scenario) string {
+		p, err := sc.compile()
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		b, _ := json.Marshal(p.offeredSchedule(sc.Workload.TxCount, 1))
+		return string(b)
+	}
+	a := schedule(simSc)
+	if b := schedule(tcpSc); a != b {
+		t.Fatal("sim and TCP engines would submit different schedules")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	one := schedule(simSc)
+	runtime.GOMAXPROCS(4)
+	four := schedule(simSc)
+	runtime.GOMAXPROCS(prev)
+	if one != a || four != a {
+		t.Fatal("schedule depends on GOMAXPROCS")
+	}
+}
+
+// TestArrivalShardedSim routes an arrival-process stream by cohort key
+// across a sharded service and checks the offered accounting.
+func TestArrivalShardedSim(t *testing.T) {
+	sc := Scenario{
+		Name:     "arrival-sharded",
+		Protocol: TetraBFTMulti,
+		Shards:   &ShardsSpec{Count: 2},
+		Workload: WorkloadSpec{
+			Slots:   8,
+			TxCount: 40, // per shard
+			Arrival: &workload.ArrivalSpec{Rate: 50},
+			Cohorts: []workload.CohortSpec{{Name: "a", Keys: 64}, {Name: "b", Keys: 64}},
+		},
+		Stop: StopSpec{Horizon: 4000},
+	}
+	res, err := Run(sc)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.OfferedTxs != 80 {
+		t.Fatalf("OfferedTxs = %d, want 80 (2 shards × 40)", res.OfferedTxs)
+	}
+	if res.DecidedTxs == 0 {
+		t.Fatal("no transactions decided across shards")
+	}
+	again, err := Run(sc)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	ja, _ := json.Marshal(res)
+	jb, _ := json.Marshal(again)
+	if string(ja) != string(jb) {
+		t.Fatal("sharded arrival runs diverged")
+	}
+}
+
+// TestArrivalValidation covers the new fields' error paths, including the
+// named rate-without-count error (the old silent no-op).
+func TestArrivalValidation(t *testing.T) {
+	base := func() Scenario {
+		sc := arrivalScenario()
+		return sc
+	}
+	t.Run("rate without count is ErrRateWithoutCount", func(t *testing.T) {
+		sc := base()
+		sc.Workload.Arrival = nil
+		sc.Workload.TxCount = 0
+		sc.Workload.TxRate = 100
+		_, err := Run(sc)
+		if !errors.Is(err, ErrRateWithoutCount) {
+			t.Fatalf("want ErrRateWithoutCount, got %v", err)
+		}
+	})
+	t.Run("arrival without count is ErrRateWithoutCount", func(t *testing.T) {
+		sc := base()
+		sc.Workload.TxCount = 0
+		_, err := Run(sc)
+		if !errors.Is(err, ErrRateWithoutCount) {
+			t.Fatalf("want ErrRateWithoutCount, got %v", err)
+		}
+	})
+	t.Run("sharded rate without count is ErrRateWithoutCount", func(t *testing.T) {
+		sc := Scenario{Protocol: TetraBFTMulti, Shards: &ShardsSpec{Count: 2},
+			Workload: WorkloadSpec{Slots: 4, TxRate: 100}, Stop: StopSpec{Horizon: 1000}}
+		_, err := Run(sc)
+		if !errors.Is(err, ErrRateWithoutCount) {
+			t.Fatalf("want ErrRateWithoutCount, got %v", err)
+		}
+	})
+	errCases := []struct {
+		name   string
+		mutate func(*Scenario)
+		want   string
+	}{
+		{"arrival plus tx_rate", func(sc *Scenario) { sc.Workload.TxRate = 10 }, "mutually exclusive"},
+		{"cohorts without arrival", func(sc *Scenario) {
+			sc.Workload.Arrival = nil
+			sc.Workload.Cohorts = []workload.CohortSpec{{}}
+		}, "require workload.arrival"},
+		{"phases without arrival", func(sc *Scenario) {
+			sc.Workload.Arrival = nil
+			sc.Workload.Phases = []workload.PhaseSpec{{Duration: 10, RateFactor: 1}}
+		}, "require workload.arrival"},
+		{"unknown process", func(sc *Scenario) { sc.Workload.Arrival.Process = "zeta" }, "unknown arrival process"},
+		{"zero rate", func(sc *Scenario) { sc.Workload.Arrival.Rate = 0 }, "must be positive"},
+		{"single-shot arrival", func(sc *Scenario) {
+			sc.Protocol = TetraBFT
+			sc.Workload = WorkloadSpec{TxCount: 5, Arrival: &workload.ArrivalSpec{Rate: 10}}
+		}, "multi-shot"},
+	}
+	for _, tc := range errCases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := base()
+			tc.mutate(&sc)
+			_, err := Run(sc)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestArrivalSpecJSONRoundTrip pushes every new WorkloadSpec field through
+// the strict parser and back.
+func TestArrivalSpecJSONRoundTrip(t *testing.T) {
+	sc := arrivalScenario()
+	sc.Workload.Arrival = &workload.ArrivalSpec{Process: workload.ProcessWeibull, Rate: 42.5, Shape: 0.8}
+	sc.Workload.Cohorts = []workload.CohortSpec{{Name: "x", Weight: 2, Keys: 32, TxBytes: 64}}
+	sc.Workload.Phases = []workload.PhaseSpec{{Duration: 100, RateFactor: 1}, {Duration: 50, RateFactor: 2.5}}
+	blob, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := Parse(blob)
+	if err != nil {
+		t.Fatalf("strict parse rejected round-tripped spec: %v", err)
+	}
+	blob2, err := json.Marshal(back)
+	if err != nil {
+		t.Fatalf("remarshal: %v", err)
+	}
+	if string(blob) != string(blob2) {
+		t.Fatalf("round trip changed the spec:\n%s\n%s", blob, blob2)
+	}
+	w := back.Workload
+	if w.Arrival == nil || *w.Arrival != *sc.Workload.Arrival ||
+		len(w.Cohorts) != 1 || w.Cohorts[0] != sc.Workload.Cohorts[0] ||
+		len(w.Phases) != 2 || w.Phases[1] != sc.Workload.Phases[1] {
+		t.Fatalf("round trip lost workload fields: %+v", w)
+	}
+}

@@ -127,14 +127,15 @@ func TestRunCached(t *testing.T) {
 // of the last transaction is bounded below by its arrival.
 func TestTimedArrivalGating(t *testing.T) {
 	p := &plan{sc: Scenario{Workload: WorkloadSpec{TxRate: 200}}}
-	if got := p.txArrival(0); got != 0 {
+	sched := p.offeredSchedule(11, 1)
+	if got := sched[0].At; got != 0 {
 		t.Fatalf("first arrival at %d, want 0", got)
 	}
-	if got := p.txArrival(10); got != types.Time(5) {
+	if got := sched[10].At; got != types.Time(5) {
 		t.Fatalf("arrival 10 at %d, want 5 (200 txs / 100 ticks)", got)
 	}
 	burst := &plan{sc: Scenario{Workload: WorkloadSpec{}}}
-	if got := burst.txArrival(99); got != 0 {
+	if got := burst.offeredSchedule(100, 1)[99].At; got != 0 {
 		t.Fatalf("rate 0 must mean all at t=0, got %d", got)
 	}
 }

@@ -30,6 +30,11 @@ type Result struct {
 	DecidedCount int `json:"decided_count"`
 	// Finalized reports each honest node's finalized slot (multi-shot).
 	Finalized []NodeSlot `json:"finalized,omitempty"`
+	// OfferedTxs is the offered-load stream's length (Workload.TxCount;
+	// service-wide in sharded runs). OfferedTxs − DecidedTxs is the
+	// backlog the run left behind — the capacity planner's saturation
+	// signal.
+	OfferedTxs int `json:"offered_txs,omitempty"`
 	// DecidedTxs counts the transactions carried by the reference honest
 	// node's finalized chain (multi-shot runs with a batched workload).
 	DecidedTxs int `json:"decided_txs,omitempty"`

@@ -50,6 +50,9 @@ func Run(sc Scenario) (*Result, error) {
 	if sc.Engine == EngineTCP {
 		return runTCP(p)
 	}
+	if p.seq {
+		return runSeq(p)
+	}
 	return runSim(p)
 }
 
@@ -75,7 +78,10 @@ type cluster struct {
 }
 
 // offeredLoad builds the shared arrival-gated stream when the workload
-// declares one. Submission is in arrival order (the timed pool's contract).
+// declares one. Submission is in arrival order (the timed pool's contract);
+// the schedule itself (legacy tx_rate pacing or an arrival process) comes
+// from the one plan.offeredSchedule entry point shared with the TCP and
+// sharded engines.
 func (cl *cluster) offeredLoad(p *plan) {
 	count := p.sc.Workload.TxCount
 	if !p.multi || count <= 0 {
@@ -83,11 +89,9 @@ func (cl *cluster) offeredLoad(p *plan) {
 	}
 	cl.timed = blockchain.NewTimedMempool(count)
 	cl.arrivals = make(map[string]types.Time, count)
-	for i := 0; i < count; i++ {
-		tx := offeredTx(i)
-		at := p.txArrival(i)
-		cl.timed.Submit(at, tx)
-		cl.arrivals[string(tx)] = at
+	for _, a := range p.offeredSchedule(count, 1) {
+		cl.timed.Submit(a.At, a.Payload)
+		cl.arrivals[string(a.Payload)] = a.At
 	}
 }
 
@@ -149,6 +153,7 @@ func runSim(p *plan) (*Result, error) {
 		DecidedCount:    r.DecidedCount(0),
 		TotalSentBytes:  r.TotalSentBytes(),
 		Dropped:         r.DroppedMessages(),
+		OfferedTxs:      len(cl.arrivals),
 	}
 	decisions := r.Decisions()
 	for _, m := range p.members {

@@ -108,22 +108,18 @@ func shardSilent(p *plan, s int) map[types.NodeID]bool {
 	return out
 }
 
-// shardTxArrival is the arrival tick of the j-th global offered transaction:
-// Workload.TxRate is per shard, so the service's aggregate offered rate is
-// S × TxRate per 100 ticks.
-func shardTxArrival(rate int64, s, j int) types.Time {
-	if rate <= 0 {
-		return 0
-	}
-	return types.Time(int64(j) * 100 / (rate * int64(s)))
-}
-
-// buildShardWorkload splits the global offered-load stream across shards:
-// transaction j is pinned round-robin (j mod S, exactly equal per-shard
-// rate) unless the cross-mix says it roams — then its synthetic account key
-// is placed by the gateway's own router, modeling realistic imbalance. Each
-// shard gets its own arrival-gated pool plus the arrival map for the
-// latency fold; submissions are in arrival order (the pool's contract).
+// buildShardWorkload splits the global offered-load stream across shards.
+// Workload.TxCount and TxRate (or Arrival.Rate) are per shard, so the
+// service-wide stream is S × both — one plan.offeredSchedule call shared
+// with the flat engines. Legacy tx_rate streams pin transaction j
+// round-robin (j mod S, exactly equal per-shard rate) unless the cross-mix
+// says it roams — then its synthetic account key is placed by the gateway's
+// own router, modeling realistic imbalance. Arrival-process streams route
+// every transaction by its cohort key instead: small cohort key spaces
+// concentrate on few shards (hot-shard workloads) and the cross-mix knob is
+// subsumed by key placement. Each shard gets its own arrival-gated pool
+// plus the arrival map for the latency fold; submissions are in arrival
+// order (the pool's contract).
 func buildShardWorkload(p *plan) (pools []*blockchain.TimedMempool, arrivals []map[string]types.Time) {
 	sh := p.sc.Shards
 	s := sh.count()
@@ -135,16 +131,14 @@ func buildShardWorkload(p *plan) (pools []*blockchain.TimedMempool, arrivals []m
 	}
 	router := shard.Router{Shards: s}
 	roamPct := int(sh.CrossMix*100 + 0.5)
-	total := s * p.sc.Workload.TxCount
-	for j := 0; j < total; j++ {
+	byKey := p.sc.Workload.Arrival != nil
+	for j, a := range p.offeredSchedule(s*p.sc.Workload.TxCount, s) {
 		home := j % s
-		if j%100 < roamPct {
-			home = router.Shard(fmt.Sprintf("acct-%08d", j))
+		if byKey || j%100 < roamPct {
+			home = router.Shard(a.Key)
 		}
-		at := shardTxArrival(p.sc.Workload.TxRate, s, j)
-		tx := offeredTx(j)
-		pools[home].Submit(at, tx)
-		arrivals[home][string(tx)] = at
+		pools[home].Submit(a.At, a.Payload)
+		arrivals[home][string(a.Payload)] = a.At
 	}
 	return pools, arrivals
 }
@@ -323,6 +317,9 @@ func foldShards(p *plan, inputs []shardFoldInput, anchorIn shardFoldInput, arriv
 		Name:            p.sc.Name,
 		FinishedAt:      finishedAt,
 		FirstDecisionAt: -1,
+	}
+	for _, m := range arrivals {
+		res.OfferedTxs += len(m)
 	}
 	var allLats []int64
 	pooledStages := make(map[string][]int64)

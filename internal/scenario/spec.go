@@ -15,12 +15,21 @@ package scenario
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 
 	"tetrabft/internal/quorum"
 	"tetrabft/internal/types"
+	"tetrabft/internal/workload"
 )
+
+// ErrRateWithoutCount rejects an offered-load pacing knob (tx_rate or
+// arrival) without tx_count. The count is the stream's length and always
+// wins: the rate only spreads those tx_count arrivals over time, so a rate
+// with tx_count = 0 would silently offer nothing — an easy way to read a
+// vacuous "0 tx decided, SLO green" result as a real measurement.
+var ErrRateWithoutCount = errors.New("scenario: tx_rate/arrival pace the offered-load stream but tx_count is 0 (tx_count bounds the stream and always wins; set workload.tx_count)")
 
 // Protocol names a consensus protocol the scenario engine can run.
 type Protocol string
@@ -35,11 +44,20 @@ const (
 	ITHotStuff Protocol = "it-hotstuff"
 	// ITHotStuffBlog is the non-responsive blog variant of IT-HotStuff.
 	ITHotStuffBlog Protocol = "it-hotstuff-blog"
+	// ITHotStuffMulti chains single-shot IT-HotStuff instances on one
+	// virtual clock so the baseline consumes the offered-load stream:
+	// every slot pays the full commit latency (no pipelining), which is
+	// the throughput gap the protocol shootout measures against
+	// TetraBFTMulti.
+	ITHotStuffMulti Protocol = "it-hotstuff-multi"
 	// PBFT is unauthenticated PBFT with bounded (checkpointed) storage.
 	PBFT Protocol = "pbft"
 	// PBFTUnbounded is PBFT retaining its full message log (Table 1's
 	// unbounded-storage row).
 	PBFTUnbounded Protocol = "pbft-unbounded"
+	// PBFTMulti chains single-shot PBFT instances on one virtual clock —
+	// the PBFT row of the offered-load protocol shootout.
+	PBFTMulti Protocol = "pbft-multi"
 	// LiConsensus is the Li et al. baseline.
 	LiConsensus Protocol = "liconsensus"
 )
@@ -362,8 +380,25 @@ type WorkloadSpec struct {
 	// mutually exclusive with Transactions.
 	TxCount int `json:"tx_count,omitempty"`
 	// TxRate is the offered load in transactions per 100 ticks
-	// (0 = the whole TxCount arrives at time 0).
+	// (0 = the whole TxCount arrives at time 0). TxCount bounds the
+	// stream; TxRate only paces it — a rate without a count is rejected
+	// with ErrRateWithoutCount rather than silently offering nothing.
 	TxRate int64 `json:"tx_rate,omitempty"`
+	// Arrival switches the offered-load stream from deterministic TxRate
+	// pacing to a seeded open-loop arrival process (Poisson, Gamma,
+	// Weibull or constant inter-arrival). The schedule is a pure function
+	// of (spec, TxCount, seed), generated once and consumed identically by
+	// the sim, TCP and sharded engines. Requires TxCount (the stream
+	// length); mutually exclusive with TxRate and Transactions.
+	Arrival *workload.ArrivalSpec `json:"arrival,omitempty"`
+	// Cohorts splits the arrival stream into weighted client cohorts with
+	// per-cohort key spaces (which drive shard routing) and transaction
+	// sizes. Requires Arrival.
+	Cohorts []workload.CohortSpec `json:"cohorts,omitempty"`
+	// Phases shapes the arrival rate over time (ramp/spike/diurnal):
+	// piecewise windows scaling Arrival.Rate, repeating cyclically.
+	// Requires Arrival.
+	Phases []workload.PhaseSpec `json:"phases,omitempty"`
 	// BatchSize caps transactions per block for the offered-load stream
 	// (default 8 when TxCount is set).
 	BatchSize int `json:"batch_size,omitempty"`
@@ -446,6 +481,7 @@ type plan struct {
 	netwk   []FaultSpec // message-level faults, in schedule order
 	crashes []FaultSpec // crash-restart schedule (EngineTCP)
 	multi   bool        // multi-shot protocol
+	seq     bool        // chained single-shot baseline (pbft/it-hotstuff multi)
 	maxSlot types.Slot  // derived proposal cap for multi-shot
 }
 
@@ -463,6 +499,9 @@ func (sc Scenario) compile() (*plan, error) {
 	case "", TetraBFT, ITHotStuff, ITHotStuffBlog, PBFT, PBFTUnbounded, LiConsensus:
 	case TetraBFTMulti:
 		p.multi = true
+	case PBFTMulti, ITHotStuffMulti:
+		p.multi = true
+		p.seq = true
 	default:
 		return nil, fmt.Errorf("scenario: unknown protocol %q", sc.Protocol)
 	}
@@ -715,14 +754,18 @@ func (sc Scenario) compile() (*plan, error) {
 	if w.TxCount > 0 && len(w.Transactions) > 0 {
 		return nil, fmt.Errorf("scenario: tx_count (offered-load stream) and transactions (explicit mempool) are mutually exclusive")
 	}
+	if err := validateOfferedLoad(w); err != nil {
+		return nil, err
+	}
 	if p.multi {
 		p.maxSlot = types.Slot(w.MaxSlot)
 		if p.maxSlot == 0 && w.Slots > 0 {
 			p.maxSlot = types.Slot(w.Slots + 3) // keep the ≤5-deep pipeline from overshooting the target
 		}
 	} else if w.Slots != 0 || w.MaxSlot != 0 || len(w.Transactions) != 0 || w.TxsPerBlock != 0 ||
-		w.TxCount != 0 || w.TxRate != 0 || w.BatchSize != 0 || w.Window != 0 {
-		return nil, fmt.Errorf("scenario: slots/max_slot/transactions/tx_count/window require a multi-shot protocol")
+		w.TxCount != 0 || w.TxRate != 0 || w.BatchSize != 0 || w.Window != 0 ||
+		w.Arrival != nil || len(w.Cohorts) != 0 || len(w.Phases) != 0 {
+		return nil, fmt.Errorf("scenario: slots/max_slot/transactions/tx_count/arrival/window require a multi-shot protocol")
 	}
 	for _, tx := range w.Transactions {
 		if tx.Op != "set" && tx.Op != "del" {
@@ -741,6 +784,35 @@ func (sc Scenario) compile() (*plan, error) {
 	}
 	if sc.Engine == EngineTCP && w.Slots == 0 {
 		return nil, fmt.Errorf("scenario: engine %q needs workload.slots", EngineTCP)
+	}
+
+	// The chained single-shot baselines run whole sub-instances per slot on
+	// one virtual clock, so knobs whose semantics span slots (pipelining,
+	// mid-run faults, GST epochs) have no meaning there.
+	if p.seq {
+		if w.Slots <= 0 {
+			return nil, fmt.Errorf("scenario: protocol %q needs workload.slots", sc.Protocol)
+		}
+		if sc.Stop.Horizon <= 0 {
+			return nil, fmt.Errorf("scenario: protocol %q needs stop.horizon (the shared clock's budget)", sc.Protocol)
+		}
+		if w.Window != 0 || w.MaxSlot != 0 || w.TxsPerBlock != 0 || len(w.Transactions) != 0 {
+			return nil, fmt.Errorf("scenario: protocol %q supports only the offered-load workload (no window/max_slot/transactions)", sc.Protocol)
+		}
+		if nw.GST != 0 || nw.DropBeforeGST != 0 || nw.EventBudget != 0 {
+			return nil, fmt.Errorf("scenario: protocol %q does not support gst/drop_before_gst/event_budget", sc.Protocol)
+		}
+		for _, f := range p.byzByID {
+			if f.Type != FaultSilent {
+				return nil, fmt.Errorf("scenario: protocol %q supports only silent faults, not %q", sc.Protocol, f.Type)
+			}
+		}
+		if len(p.netwk) != 0 {
+			return nil, fmt.Errorf("scenario: protocol %q does not support message-level adversaries", sc.Protocol)
+		}
+		if sc.Collect.Trace || sc.Collect.Stages || sc.Collect.Metrics {
+			return nil, fmt.Errorf("scenario: protocol %q does not collect traces, stages or metrics", sc.Protocol)
+		}
 	}
 
 	for _, m := range p.members {
@@ -841,6 +913,9 @@ func (p *plan) compileSharded() error {
 	}
 	if w.TxCount < 0 || w.TxRate < 0 || w.BatchSize < 0 || w.Window < 0 {
 		return fmt.Errorf("scenario: negative tx_count, tx_rate, batch_size or window")
+	}
+	if err := validateOfferedLoad(w); err != nil {
+		return err
 	}
 
 	// Stop condition: virtual horizon on sim, slots + wall clock on TCP.
@@ -946,19 +1021,64 @@ func (p *plan) batchSize() int {
 	return 8
 }
 
-// txArrival is the arrival tick of the i-th offered transaction: TxRate
-// transactions per 100 ticks, in submission order (0 = everything at t=0).
-func (p *plan) txArrival(i int) types.Time {
-	r := p.sc.Workload.TxRate
-	if r <= 0 {
-		return 0
-	}
-	return types.Time(int64(i) * 100 / r)
-}
-
-// offeredTx is the i-th offered transaction's deterministic opaque payload.
+// offeredTx is the i-th offered transaction's deterministic opaque payload
+// (the legacy tx_rate stream; arrival-process streams carry their own).
 func offeredTx(i int) []byte {
 	return []byte(fmt.Sprintf("otx-%08d", i))
+}
+
+// validateOfferedLoad checks the offered-load knob interactions shared by
+// the flat and sharded compile paths: pacing without a count is
+// ErrRateWithoutCount, arrival replaces (not composes with) tx_rate, and
+// cohorts/phases only shape an arrival-process stream.
+func validateOfferedLoad(w WorkloadSpec) error {
+	if (w.TxRate > 0 || w.Arrival != nil) && w.TxCount == 0 {
+		return ErrRateWithoutCount
+	}
+	if w.Arrival == nil {
+		if len(w.Cohorts) != 0 || len(w.Phases) != 0 {
+			return fmt.Errorf("scenario: workload.cohorts/phases require workload.arrival")
+		}
+		return nil
+	}
+	if w.TxRate != 0 {
+		return fmt.Errorf("scenario: workload.arrival and tx_rate are mutually exclusive (the arrival process is the pacing)")
+	}
+	if err := (workload.Spec{Arrival: *w.Arrival, Cohorts: w.Cohorts, Phases: w.Phases}).Validate(); err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	return nil
+}
+
+// offeredSchedule materializes the offered-load stream: count arrivals in
+// arrival order, each with its payload and routing key. Every engine (sim,
+// TCP, sharded) consumes this one schedule, so the stream is byte-identical
+// across engines and GOMAXPROCS values. scale multiplies the offered rate
+// for sharded runs (tx_count and tx_rate are per shard; the service-wide
+// stream is scale × both).
+func (p *plan) offeredSchedule(count, scale int) []workload.Arrival {
+	w := p.sc.Workload
+	if w.Arrival == nil {
+		// Legacy deterministic pacing: TxRate per 100 ticks, synthetic
+		// account keys for the shard router.
+		out := make([]workload.Arrival, count)
+		for i := range out {
+			var at types.Time
+			if r := w.TxRate; r > 0 {
+				at = types.Time(int64(i) * 100 / (r * int64(scale)))
+			}
+			out[i] = workload.Arrival{At: at, Key: fmt.Sprintf("acct-%08d", i), Payload: offeredTx(i)}
+		}
+		return out
+	}
+	a := *w.Arrival
+	a.Rate *= float64(scale)
+	arr, err := workload.Spec{Arrival: a, Cohorts: w.Cohorts, Phases: w.Phases}.Schedule(count, p.seed())
+	if err != nil {
+		// compile() validated the spec; a failure here is a programming error.
+		panic(fmt.Sprintf("scenario: offered schedule: %v", err))
+	}
+	return arr
 }
 
 // initialValue resolves node's single-shot consensus input.

@@ -99,11 +99,9 @@ func runTCP(p *plan) (*Result, error) {
 	if count := p.sc.Workload.TxCount; count > 0 {
 		timed = blockchain.NewTimedMempool(count)
 		arrivals = make(map[string]types.Time, count)
-		for i := 0; i < count; i++ {
-			tx := offeredTx(i)
-			at := p.txArrival(i)
-			timed.Submit(at, tx)
-			arrivals[string(tx)] = at
+		for _, a := range p.offeredSchedule(count, 1) {
+			timed.Submit(a.At, a.Payload)
+			arrivals[string(a.Payload)] = a.At
 		}
 	}
 	// commitAt records the earliest wall-clock commit of each slot across
@@ -382,6 +380,7 @@ func runTCP(p *plan) (*Result, error) {
 		}
 	}
 	sort.Slice(res.Transport, func(i, j int) bool { return res.Transport[i].Node < res.Transport[j].Node })
+	res.OfferedTxs = len(arrivals)
 	res.txStats(ref, commitAt, arrivals)
 	if p.sc.Collect.Chain && len(live) > 0 {
 		res.Chain = ref

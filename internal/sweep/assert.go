@@ -9,8 +9,8 @@ import (
 // Metric names usable in assertions; see RepResult for what each measures.
 var metricNames = []string{
 	"latency", "decided", "traffic", "storage", "max_view", "events",
-	"dropped", "finalized", "decided_txs", "tx_p50", "tx_p99",
-	"tx_throughput", "anchor_epochs", "anchor_p99",
+	"dropped", "finalized", "decided_txs", "offered_txs", "backlog",
+	"tx_p50", "tx_p99", "tx_throughput", "anchor_epochs", "anchor_p99",
 	"stage_e2e_p50", "stage_e2e_p99",
 }
 

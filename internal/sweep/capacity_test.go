@@ -1,0 +1,315 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"tetrabft/internal/scenario"
+	"tetrabft/internal/workload"
+)
+
+// smokeCapacity is a miniature plan that brackets a real knee in well under
+// a second: a Poisson stream against the pipelined multishot, sustained
+// meaning no backlog and bounded commit p99.
+func smokeCapacity() Capacity {
+	return Capacity{
+		Name: "smoke",
+		Base: scenario.Scenario{
+			Protocol: scenario.TetraBFTMulti,
+			Nodes:    4,
+			Workload: scenario.WorkloadSpec{
+				Slots:     400,
+				BatchSize: 8,
+				Window:    2,
+				Arrival:   &workload.ArrivalSpec{Process: workload.ProcessPoisson, Rate: 1},
+			},
+			Stop: scenario.StopSpec{Horizon: 800},
+		},
+		MinRate:   10,
+		MaxRate:   4000,
+		LoadTicks: 200,
+		Assert: []string{
+			"max_backlog <= 0",
+			"max_tx_p99 <= 150",
+		},
+	}
+}
+
+// TestCapacityFindsKnee pins the search contract: the knee lies strictly
+// inside the bracket, the bracket is saturated (a failing rate was seen
+// above the knee), every probe below the knee passed and the first failing
+// probe above it failed, and the knee carries its goodput/p99 measurements.
+func TestCapacityFindsKnee(t *testing.T) {
+	res, err := RunCapacity(smokeCapacity())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Pass || res.KneeRate == 0 {
+		t.Fatalf("expected a knee, got knee=%d pass=%v", res.KneeRate, res.Pass)
+	}
+	if !res.Saturated {
+		t.Fatal("bracket should saturate: max_rate 4000 must violate the SLOs")
+	}
+	if res.KneeRate <= res.MinRate || res.KneeRate >= res.MaxRate {
+		t.Fatalf("knee %d not strictly inside bracket [%d, %d]", res.KneeRate, res.MinRate, res.MaxRate)
+	}
+	if res.KneeGoodput <= 0 {
+		t.Fatalf("knee goodput %g, want > 0", res.KneeGoodput)
+	}
+	if res.KneeTxP99 <= 0 || res.KneeTxP99 > 150 {
+		t.Fatalf("knee p99 %g outside (0, 150]", res.KneeTxP99)
+	}
+	for _, p := range res.Probes {
+		if p.Rate <= res.KneeRate && !p.Pass() {
+			t.Fatalf("probe at %d (below knee %d) failed: %v", p.Rate, res.KneeRate, p.Cell.FailedAsserts)
+		}
+	}
+	failing := 0
+	for _, p := range res.Probes {
+		if !p.Pass() {
+			failing++
+			if p.Rate <= res.KneeRate {
+				t.Fatalf("failing probe at %d at or below knee %d", p.Rate, res.KneeRate)
+			}
+		}
+	}
+	if failing == 0 {
+		t.Fatal("a saturated search must record at least one failing probe")
+	}
+}
+
+// TestCapacityDeterministic runs the same plan twice: probe sequences and
+// the marshaled snapshot must be byte-identical.
+func TestCapacityDeterministic(t *testing.T) {
+	a, err := RunCapacity(smokeCapacity())
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	b, err := RunCapacity(smokeCapacity())
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	ja, err := a.MarshalIndent()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	jb, _ := b.MarshalIndent()
+	if string(ja) != string(jb) {
+		t.Fatal("two identical capacity runs produced different snapshots")
+	}
+	parsed, err := ParseCapacityResult(ja)
+	if err != nil {
+		t.Fatalf("parse snapshot: %v", err)
+	}
+	if parsed.Schema != CapacitySchema || parsed.KneeRate != a.KneeRate {
+		t.Fatalf("snapshot round-trip lost data: %+v", parsed)
+	}
+}
+
+// TestCapacityNoKnee pins the floor-fails outcome: impossible SLOs make
+// even MinRate fail, so KneeRate is 0 and the plan does not pass.
+func TestCapacityNoKnee(t *testing.T) {
+	cp := smokeCapacity()
+	cp.Assert = []string{"max_tx_p99 <= 0"}
+	res, err := RunCapacity(cp)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Pass || res.KneeRate != 0 {
+		t.Fatalf("impossible SLO must yield no knee, got knee=%d pass=%v", res.KneeRate, res.Pass)
+	}
+	if len(res.Probes) != 1 {
+		t.Fatalf("floor failure should stop after one probe, got %d", len(res.Probes))
+	}
+}
+
+// TestCapacityTargetRate pins the regression-gate semantics: a target above
+// the knee fails the plan even though a knee was found.
+func TestCapacityTargetRate(t *testing.T) {
+	cp := smokeCapacity()
+	cp.TargetRate = cp.MaxRate * 10
+	res, err := RunCapacity(cp)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.KneeRate == 0 {
+		t.Fatal("knee should still be found")
+	}
+	if res.Pass {
+		t.Fatalf("target %d above knee %d must fail the plan", cp.TargetRate, res.KneeRate)
+	}
+	cp.TargetRate = 1
+	res, err = RunCapacity(cp)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if !res.Pass {
+		t.Fatal("target 1 at/below knee must pass")
+	}
+}
+
+// TestCapacityUnsaturatedBracket pins the MaxRate-passes outcome: the knee
+// is reported as MaxRate with Saturated=false.
+func TestCapacityUnsaturatedBracket(t *testing.T) {
+	cp := smokeCapacity()
+	cp.MaxRate = 20
+	res, err := RunCapacity(cp)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.KneeRate != 20 || res.Saturated {
+		t.Fatalf("easy bracket: want knee=20 saturated=false, got knee=%d saturated=%v", res.KneeRate, res.Saturated)
+	}
+	if !res.Pass {
+		t.Fatal("unsaturated bracket still passes (capacity is at least max_rate)")
+	}
+}
+
+// TestCapacityLegacyRateStream checks a plan whose base has no arrival
+// spec: probes pace the legacy uniform tx_rate stream instead.
+func TestCapacityLegacyRateStream(t *testing.T) {
+	cp := smokeCapacity()
+	cp.Base.Workload.Arrival = nil
+	res, err := RunCapacity(cp)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.KneeRate == 0 || !res.Pass {
+		t.Fatalf("legacy stream: want a knee, got knee=%d pass=%v", res.KneeRate, res.Pass)
+	}
+	for _, p := range res.Probes {
+		if sc := p.Cell.Scenario; sc.Workload.TxRate != p.Rate || sc.Workload.Arrival != nil {
+			t.Fatalf("probe at %d should pace via tx_rate, got rate=%d arrival=%v", p.Rate, sc.Workload.TxRate, sc.Workload.Arrival)
+		}
+	}
+}
+
+// TestCapacityValidation covers plan rejection.
+func TestCapacityValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Capacity)
+		want   string
+	}{
+		{"zero min rate", func(cp *Capacity) { cp.MinRate = 0 }, "min_rate"},
+		{"inverted bracket", func(cp *Capacity) { cp.MaxRate = cp.MinRate - 1 }, "max_rate"},
+		{"zero load ticks", func(cp *Capacity) { cp.LoadTicks = 0 }, "load_ticks"},
+		{"negative tolerance", func(cp *Capacity) { cp.Tolerance = -1 }, "tolerance"},
+		{"no asserts", func(cp *Capacity) { cp.Assert = nil }, "assert"},
+		{"no drain headroom", func(cp *Capacity) { cp.Base.Stop.Horizon = cp.LoadTicks }, "drain headroom"},
+		{"bad assert", func(cp *Capacity) { cp.Assert = []string{"max_nonsense <= 1"} }, "unknown metric"},
+		{"invalid base", func(cp *Capacity) { cp.Base.Protocol = "nope" }, "protocol"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cp := smokeCapacity()
+			tc.mutate(&cp)
+			if _, err := RunCapacity(cp); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// TestCapacityParseRoundTrip pins the JSON plan format: strict decoding,
+// field survival, unknown-field rejection.
+func TestCapacityParseRoundTrip(t *testing.T) {
+	cp := smokeCapacity()
+	cp.TargetRate = 100
+	cp.Tolerance = 0.5
+	data, err := cp.MarshalIndent()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	back, err := ParseCapacity(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if back.MinRate != cp.MinRate || back.MaxRate != cp.MaxRate ||
+		back.LoadTicks != cp.LoadTicks || back.Tolerance != cp.Tolerance ||
+		back.TargetRate != cp.TargetRate || len(back.Assert) != len(cp.Assert) {
+		t.Fatalf("round-trip lost fields: %+v", back)
+	}
+	if _, err := ParseCapacity([]byte(`{"nonsense": 1}`)); err == nil {
+		t.Fatal("unknown fields must be rejected")
+	}
+}
+
+// TestNamedCapacityValid checks every bundled plan validates and the
+// registry lookup works.
+func TestNamedCapacityValid(t *testing.T) {
+	plans := NamedCapacity()
+	if len(plans) == 0 {
+		t.Fatal("no bundled capacity plans")
+	}
+	for _, cp := range plans {
+		if err := cp.Validate(); err != nil {
+			t.Fatalf("bundled plan %q invalid: %v", cp.Name, err)
+		}
+		got, ok := CapacityByName(cp.Name)
+		if !ok || got.Name != cp.Name {
+			t.Fatalf("CapacityByName(%q) = %v, %v", cp.Name, got.Name, ok)
+		}
+	}
+	if _, ok := CapacityByName("no-such-plan"); ok {
+		t.Fatal("unknown name must not resolve")
+	}
+}
+
+// TestNamedCapacitySmoke runs the bundled smoke plan end to end — the same
+// run the CI capacity job gates on.
+func TestNamedCapacitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bundled capacity search is a few seconds")
+	}
+	cp, _ := CapacityByName("tetrabft-multi-capacity")
+	res, err := RunCapacity(cp)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Pass || !res.Saturated {
+		t.Fatalf("bundled plan must find a saturated knee, got knee=%d saturated=%v pass=%v",
+			res.KneeRate, res.Saturated, res.Pass)
+	}
+	if res.KneeRate < 500 {
+		t.Fatalf("knee %d implausibly low (the pipeline sustains ~2500)", res.KneeRate)
+	}
+}
+
+// TestBacklogAndArrivalRateAxis covers the two new sweep surfaces directly:
+// the backlog metric is assertable and the arrival_rate axis varies the
+// process rate per cell.
+func TestBacklogAndArrivalRateAxis(t *testing.T) {
+	sw := Sweep{
+		Base: scenario.Scenario{
+			Protocol: scenario.TetraBFTMulti,
+			Nodes:    4,
+			Workload: scenario.WorkloadSpec{
+				Slots:     200,
+				BatchSize: 8,
+				TxCount:   80,
+				Window:    2,
+				Arrival:   &workload.ArrivalSpec{Process: workload.ProcessPoisson, Rate: 1},
+			},
+			Stop: scenario.StopSpec{Horizon: 600},
+		},
+		Axes:   []Axis{{Field: "arrival_rate", Floats: []float64{40, 80}}},
+		Assert: []string{"max_backlog <= 0", "min_offered_txs >= 80"},
+	}
+	res, err := Run(sw)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !res.Pass {
+		t.Fatalf("sweep failed: %+v", res.Cells)
+	}
+	for i, want := range []float64{40, 80} {
+		got := res.Cells[i].Scenario.Workload.Arrival
+		if got == nil || got.Rate != want {
+			t.Fatalf("cell %d arrival rate = %v, want %g", i, got, want)
+		}
+	}
+	if sw.Base.Workload.Arrival.Rate != 1 {
+		t.Fatal("axis setter mutated the base's arrival spec")
+	}
+}

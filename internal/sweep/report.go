@@ -99,6 +99,68 @@ func orUnnamed(name string) string {
 	return name
 }
 
+// WriteCapacityMarkdown renders a capacity search as a probe table plus the
+// knee verdict. Deterministic like the sweep writers.
+func WriteCapacityMarkdown(w io.Writer, r *CapacityResult) {
+	fmt.Fprintf(w, "## capacity: %s\n\n", orUnnamed(r.Name))
+	fmt.Fprintf(w, "bracket [%d, %d] txs/100 ticks, %d load ticks, %d replicates per probe\n",
+		r.MinRate, r.MaxRate, r.LoadTicks, r.Replicates)
+	fmt.Fprintf(w, "sustained means: %s\n\n", joinOrNone(r.Asserts))
+	fmt.Fprint(w, "| rate | offered txs | goodput (tx/1000t) | tx p99 max | backlog max | verdict |\n")
+	fmt.Fprint(w, "|---|---|---|---|---|---|\n")
+	for _, p := range r.Probes {
+		goodput, p99, backlog := "—", "—", "—"
+		if d, ok := p.Cell.Stats["tx_throughput"]; ok && d.Count > 0 {
+			goodput = fmt.Sprintf("%.1f", d.Mean)
+		}
+		if d, ok := p.Cell.Stats["tx_p99"]; ok && d.Count > 0 {
+			p99 = fmtG(d.Max)
+		}
+		if d, ok := p.Cell.Stats["backlog"]; ok && d.Count > 0 {
+			backlog = fmtG(d.Max)
+		}
+		fmt.Fprintf(w, "| %d | %d | %s | %s | %s | %s |\n",
+			p.Rate, p.TxCount, goodput, p99, backlog, verdictString(p.Cell))
+	}
+	fmt.Fprintln(w)
+	for _, p := range r.Probes {
+		if p.Cell.FirstError != "" {
+			fmt.Fprintf(w, "- probe %d: FAILED: %s\n", p.Rate, p.Cell.FirstError)
+		}
+		for _, a := range p.Cell.FailedAsserts {
+			fmt.Fprintf(w, "- probe %d: assert violated: %s\n", p.Rate, a)
+		}
+	}
+	switch {
+	case r.KneeRate == 0:
+		fmt.Fprintf(w, "knee: none — even min_rate %d violates the SLOs\n", r.MinRate)
+	case !r.Saturated:
+		fmt.Fprintf(w, "knee: >= %d (max_rate passed; the bracket never saturated)\n", r.KneeRate)
+	default:
+		fmt.Fprintf(w, "knee: %d txs/100 ticks (goodput %.1f tx/1000t, tx p99 %s)\n",
+			r.KneeRate, r.KneeGoodput, fmtG(r.KneeTxP99))
+	}
+	if r.TargetRate > 0 {
+		fmt.Fprintf(w, "target: %d\n", r.TargetRate)
+	}
+	if r.Pass {
+		fmt.Fprintln(w, "verdict: PASS")
+	} else {
+		fmt.Fprintln(w, "verdict: FAIL")
+	}
+}
+
+func joinOrNone(clauses []string) string {
+	if len(clauses) == 0 {
+		return "(none)"
+	}
+	out := clauses[0]
+	for _, c := range clauses[1:] {
+		out += " && " + c
+	}
+	return out
+}
+
 // WriteCSV renders the result in long form — one row per (cell, metric) —
 // for downstream analysis. Deterministic like the other writers.
 func WriteCSV(w io.Writer, r *Result) {

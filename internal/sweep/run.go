@@ -76,6 +76,9 @@ func (c CellResult) LabelString() string { return labelString(c.Labels) }
 //	finalized — the laggard honest node's finalized slot (multi-shot);
 //	            in sharded runs, the laggard shard's finalized slot
 //	decided_txs — transactions on the reference finalized chain
+//	offered_txs — the offered-load stream's length
+//	backlog     — offered_txs − decided_txs: transactions the run left
+//	            uncommitted, the capacity planner's saturation signal
 //	tx_p50, tx_p99 — offered-load commit-latency percentiles, in ticks
 //	tx_throughput  — decided transactions per 1000 ticks of run time
 //	anchor_epochs — anchor epochs committed across shards (sharded runs)
@@ -93,6 +96,8 @@ type RepResult struct {
 	Dropped      int64   `json:"dropped"`
 	Finalized    int64   `json:"finalized"`
 	DecidedTxs   int     `json:"decided_txs"`
+	OfferedTxs   int     `json:"offered_txs,omitempty"`
+	Backlog      int     `json:"backlog,omitempty"`
 	TxP50        int64   `json:"tx_p50"`
 	TxP99        int64   `json:"tx_p99"`
 	TxThroughput float64 `json:"tx_throughput"`
@@ -139,6 +144,10 @@ func repOf(seed int64, res *scenario.Result, err error) RepResult {
 	rep.AnchorEpochs = res.AnchorEpochs
 	rep.AnchorP99 = res.AnchorLatencyP99
 	rep.DecidedTxs = res.DecidedTxs
+	rep.OfferedTxs = res.OfferedTxs
+	if b := res.OfferedTxs - res.DecidedTxs; b > 0 {
+		rep.Backlog = b
+	}
 	rep.TxP50 = res.TxLatencyP50
 	rep.TxP99 = res.TxLatencyP99
 	if res.FinishedAt > 0 && res.DecidedTxs > 0 {
@@ -235,6 +244,8 @@ func RunObserved(sw Sweep, observe Observer) (*Result, error) {
 			samples["dropped"] = append(samples["dropped"], float64(rep.Dropped))
 			samples["finalized"] = append(samples["finalized"], float64(rep.Finalized))
 			samples["decided_txs"] = append(samples["decided_txs"], float64(rep.DecidedTxs))
+			samples["offered_txs"] = append(samples["offered_txs"], float64(rep.OfferedTxs))
+			samples["backlog"] = append(samples["backlog"], float64(rep.Backlog))
 			samples["tx_p50"] = append(samples["tx_p50"], float64(rep.TxP50))
 			samples["tx_p99"] = append(samples["tx_p99"], float64(rep.TxP99))
 			samples["tx_throughput"] = append(samples["tx_throughput"], rep.TxThroughput)

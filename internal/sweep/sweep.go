@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	"tetrabft/internal/scenario"
+	"tetrabft/internal/workload"
 )
 
 // Schema identifies the sweep result serialization format.
@@ -61,7 +62,7 @@ type Axis struct {
 	// timeout_factor, gst, event_budget, horizon, slots, max_slot,
 	// batch_size, tx_rate, tx_count, window, shards).
 	Ints []int64 `json:"ints,omitempty"`
-	// Floats holds values for drop_before_gst.
+	// Floats holds values for drop_before_gst and arrival_rate.
 	Floats []float64 `json:"floats,omitempty"`
 	// Strings holds values for protocol and mutation.
 	Strings []string `json:"strings,omitempty"`
@@ -109,9 +110,19 @@ var axisFields = map[string]struct {
 		sc.Shards = &cp
 	}},
 	"drop_before_gst": {kindFloat, func(sc *scenario.Scenario, v axisValue) { sc.Network.DropBeforeGST = v.f }},
-	"protocol":        {kindString, func(sc *scenario.Scenario, v axisValue) { sc.Protocol = scenario.Protocol(v.s) }},
-	"mutation":        {kindString, func(sc *scenario.Scenario, v axisValue) { sc.Mutation = scenario.Mutation(v.s) }},
-	"faults":          {kindFaults, func(sc *scenario.Scenario, v axisValue) { sc.Faults = v.faults }},
+	"arrival_rate": {kindFloat, func(sc *scenario.Scenario, v axisValue) {
+		// Deep-copy the spec: cells must not share the base's pointer. A
+		// base without an arrival spec gets a plain Poisson process.
+		var cp workload.ArrivalSpec
+		if sc.Workload.Arrival != nil {
+			cp = *sc.Workload.Arrival
+		}
+		cp.Rate = v.f
+		sc.Workload.Arrival = &cp
+	}},
+	"protocol": {kindString, func(sc *scenario.Scenario, v axisValue) { sc.Protocol = scenario.Protocol(v.s) }},
+	"mutation": {kindString, func(sc *scenario.Scenario, v axisValue) { sc.Mutation = scenario.Mutation(v.s) }},
+	"faults":   {kindFaults, func(sc *scenario.Scenario, v axisValue) { sc.Faults = v.faults }},
 	"delay": {kindDelay, func(sc *scenario.Scenario, v axisValue) {
 		d := v.delay
 		sc.Network.Delay = &d

@@ -1,0 +1,85 @@
+package workload
+
+import "math"
+
+// rng is a small deterministic generator (splitmix64) owned by one schedule
+// build. It is a pure function of its seed: schedules are byte-identical
+// across runs, engines and GOMAXPROCS values, which is what lets the sim and
+// TCP engines consume the same arrival stream.
+type rng struct{ state uint64 }
+
+// newRNG seeds the generator through a splitmix64 finalizer so nearby seeds
+// produce unrelated streams (the same idiom as the checker's walk seeding).
+func newRNG(seed int64) *rng {
+	z := uint64(seed)*0x9E3779B97F4A7C15 + 0x94D049BB133111EB
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return &rng{state: z}
+}
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// uniform draws from (0, 1]: never exactly 0, so logarithms are safe.
+func (r *rng) uniform() float64 {
+	return (float64(r.next()>>11) + 1) / (1 << 53)
+}
+
+// intn draws uniformly from [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// exp draws an exponential with the given mean (inverse CDF).
+func (r *rng) exp(mean float64) float64 {
+	return -mean * math.Log(r.uniform())
+}
+
+// normal draws a standard normal (Box–Muller; one draw per call keeps the
+// stream a pure function of the call sequence, no cached spare).
+func (r *rng) normal() float64 {
+	u1, u2 := r.uniform(), r.uniform()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// gamma draws a Gamma(shape k, scale θ) via Marsaglia–Tsang, with the
+// standard k < 1 boost. Mean is k·θ.
+func (r *rng) gamma(k, theta float64) float64 {
+	if k < 1 {
+		// Gamma(k) = Gamma(k+1) · U^(1/k).
+		return r.gamma(k+1, theta) * math.Pow(r.uniform(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.normal()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.uniform()
+		if u < 1-0.0331*x*x*x*x || math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * theta
+		}
+	}
+}
+
+// weibull draws a Weibull(shape k, scale λ) by inverse CDF.
+func (r *rng) weibull(k, lambda float64) float64 {
+	return lambda * math.Pow(-math.Log(r.uniform()), 1/k)
+}

@@ -64,6 +64,7 @@ import (
 	"tetrabft/internal/transport"
 	"tetrabft/internal/types"
 	"tetrabft/internal/wal"
+	"tetrabft/internal/workload"
 )
 
 // Core vocabulary, shared by every component.
@@ -263,6 +264,15 @@ type (
 	WorkloadSpec = scenario.WorkloadSpec
 	// TxSpec is one key-value transaction in a scenario workload.
 	TxSpec = scenario.TxSpec
+	// ArrivalSpec declares an open-loop arrival process for the offered
+	// load (workload.arrival): Poisson, Gamma, Weibull or constant
+	// inter-arrivals at a mean rate in txs per 100 ticks.
+	ArrivalSpec = workload.ArrivalSpec
+	// CohortSpec is one traffic cohort in an open-loop mix: a weight, a
+	// key space and a transaction size.
+	CohortSpec = workload.CohortSpec
+	// PhaseSpec is one segment of a piecewise time-varying rate profile.
+	PhaseSpec = workload.PhaseSpec
 	// StopSpec declares when a scenario run ends.
 	StopSpec = scenario.StopSpec
 	// CollectSpec requests optional scenario result payloads.
@@ -304,7 +314,31 @@ const (
 	ScenarioPBFTUnbounded = scenario.PBFTUnbounded
 	// ScenarioLiConsensus runs the Li et al. baseline.
 	ScenarioLiConsensus = scenario.LiConsensus
+	// ScenarioPBFTMulti chains single-shot PBFT instances through the
+	// offered-load stream (the multishot PBFT baseline).
+	ScenarioPBFTMulti = scenario.PBFTMulti
+	// ScenarioITHotStuffMulti chains single-shot IT-HotStuff instances
+	// through the offered-load stream.
+	ScenarioITHotStuffMulti = scenario.ITHotStuffMulti
 )
+
+// Open-loop arrival processes for ArrivalSpec.Process.
+const (
+	// ArrivalPoisson draws exponential inter-arrivals (memoryless).
+	ArrivalPoisson = workload.ProcessPoisson
+	// ArrivalGamma draws gamma inter-arrivals (shape < 1 is bursty).
+	ArrivalGamma = workload.ProcessGamma
+	// ArrivalWeibull draws Weibull inter-arrivals.
+	ArrivalWeibull = workload.ProcessWeibull
+	// ArrivalConstant spaces arrivals uniformly at the mean rate.
+	ArrivalConstant = workload.ProcessConstant
+)
+
+// ErrRateWithoutCount reports a workload that paces an offered-load stream
+// (tx_rate or arrival) without bounding it (tx_count) — such a spec would
+// silently offer nothing. tx_count always wins: it bounds the stream, the
+// rate only paces it.
+var ErrRateWithoutCount = scenario.ErrRateWithoutCount
 
 // Scenario fault behaviors.
 const (
@@ -406,6 +440,34 @@ func SweepByName(name string) (Sweep, bool) { return sweep.ByName(name) }
 // FuzzScenarios runs a seeded fuzzing campaign: random valid scenarios,
 // any failure shrunk to a minimal reproducing Scenario.
 func FuzzScenarios(cfg FuzzConfig) (*FuzzReport, error) { return sweep.Fuzz(cfg) }
+
+// Capacity planning: a CapacityPlan brackets and bisects to the knee — the
+// highest offered rate (txs per 100 ticks) a base scenario sustains under
+// declarative SLOs — probing each candidate rate as a replicated one-cell
+// sweep. See internal/sweep/capacity.go and the EXPERIMENTS.md "Capacity
+// planning" section.
+type (
+	// CapacityPlan is the declarative, JSON-serializable knee search.
+	CapacityPlan = sweep.Capacity
+	// CapacityResult is a capacity search's full record: every probe,
+	// the knee, and the verdict ("tetrabft-capacity/v1").
+	CapacityResult = sweep.CapacityResult
+	// CapacityProbe is one probed rate and its one-cell measurement.
+	CapacityProbe = sweep.ProbeResult
+)
+
+// RunCapacity executes a capacity plan's knee search.
+func RunCapacity(cp CapacityPlan) (*CapacityResult, error) { return sweep.RunCapacity(cp) }
+
+// ParseCapacityPlan decodes and validates a JSON capacity plan (unknown
+// fields are errors).
+func ParseCapacityPlan(data []byte) (CapacityPlan, error) { return sweep.ParseCapacity(data) }
+
+// NamedCapacityPlans returns the bundled capacity plans.
+func NamedCapacityPlans() []CapacityPlan { return sweep.NamedCapacity() }
+
+// CapacityPlanByName returns the bundled capacity plan with the given name.
+func CapacityPlanByName(name string) (CapacityPlan, bool) { return sweep.CapacityByName(name) }
 
 // Tracing.
 type (
